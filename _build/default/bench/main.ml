@@ -1,0 +1,146 @@
+(* Benchmark and experiment harness.
+
+   Usage:
+     dune exec bench/main.exe              # everything: T1-T4, F1-F4, microbenches
+     dune exec bench/main.exe -- t3 f2     # selected experiments
+     dune exec bench/main.exe -- bechamel  # microbenchmarks only
+
+   Each T/F experiment regenerates one claim of the paper as a table or
+   series (see DESIGN.md section 3 and EXPERIMENTS.md). The bechamel suite
+   measures the cost of the building blocks themselves. *)
+
+let fmt = Format.std_formatter
+
+(* -- Bechamel microbenchmarks ------------------------------------------ *)
+
+let delta = 100
+
+let bench_sync_fast_path protocol name =
+  let run () =
+    let proposals = Checker.Scenario.all_proposals_at_zero ~n:5 [ 0; 1; 2; 3; 4 ] in
+    Checker.Scenario.run protocol ~n:5 ~e:2 ~f:2 ~delta
+      ~net:(Checker.Scenario.Sync (`Favor 4)) ~proposals ~disable_timers:true
+      ~until:(3 * delta) ()
+  in
+  Bechamel.Test.make ~name (Bechamel.Staged.stage (fun () -> ignore (run ())))
+
+let bench_recovery_select =
+  let replies =
+    List.init 10 (fun i ->
+        {
+          Core.Recovery.sender = i;
+          vbal = 0;
+          value = (if i < 4 then Some 7 else if i < 7 then Some 3 else None);
+          proposer = Some (100 + (i mod 2));
+          decided = None;
+        })
+  in
+  Bechamel.Test.make ~name:"recovery.select (10 replies)"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Core.Recovery.select ~n:13 ~e:3 ~f:3 ~initial:(Some 1) ~replies)))
+
+let bench_witness =
+  Bechamel.Test.make ~name:"witness.task_scenario n=6"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Lowerbound.Witness.task_scenario ~n:6 ~e:2 ~f:2 ())))
+
+let bench_partial_sync_run =
+  Bechamel.Test.make ~name:"rgs-task partial-sync run to decision (n=6)"
+    (Bechamel.Staged.stage (fun () ->
+         let proposals = Checker.Scenario.all_proposals_at_zero ~n:6 [ 5; 4; 3; 2; 1; 0 ] in
+         ignore
+           (Checker.Scenario.run Core.Rgs.task ~n:6 ~e:2 ~f:2 ~delta
+              ~net:(Checker.Scenario.Partial { gst = 3 * delta; max_pre_gst = 2 * delta })
+              ~proposals ~seed:1 ~until:(40 * delta) ())))
+
+let bench_rng =
+  let rng = Stdext.Rng.create ~seed:7 in
+  Bechamel.Test.make ~name:"rng.bits64"
+    (Bechamel.Staged.stage (fun () -> ignore (Stdext.Rng.bits64 rng)))
+
+let bench_pqueue =
+  Bechamel.Test.make ~name:"pqueue push+pop x100"
+    (Bechamel.Staged.stage (fun () ->
+         let q = Stdext.Pqueue.create () in
+         for i = 0 to 99 do
+           Stdext.Pqueue.push q ~priority:(i * 7 mod 31) i
+         done;
+         while not (Stdext.Pqueue.is_empty q) do
+           ignore (Stdext.Pqueue.pop q)
+         done))
+
+let run_bechamel () =
+  let open Bechamel in
+  Format.fprintf fmt "@.%s@.B1. Microbenchmarks (Bechamel, OLS estimate per run)@.%s@."
+    (String.make 78 '-') (String.make 78 '-');
+  let tests =
+    Test.make_grouped ~name:"twostep"
+      [
+        bench_rng;
+        bench_pqueue;
+        bench_recovery_select;
+        bench_sync_fast_path Core.Rgs.task "rgs-task sync fast path (n=5)";
+        bench_sync_fast_path Baselines.Fast_paxos.protocol "fast-paxos sync fast path (n=5)";
+        bench_witness;
+        bench_partial_sync_run;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+    |> List.sort compare
+  in
+  Format.fprintf fmt "%-55s | %15s | %6s@." "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with Some (x :: _) -> x | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square result) in
+      Format.fprintf fmt "%-55s | %15.1f | %6.4f@." name estimate r2)
+    rows
+
+(* -- dispatch ----------------------------------------------------------- *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|all]...";
+  exit 1
+
+let run_experiment = function
+  | "t1" -> Experiments.t1_bounds_table fmt
+  | "t2" -> Experiments.t2_twostep_verification fmt
+  | "t3" -> Experiments.t3_tightness_witnesses fmt
+  | "t4" -> Experiments.t4_recovery_audit fmt
+  | "f1" -> Experiments.f1_fast_rate_vs_crashes fmt
+  | "f2" -> Experiments.f2_latency_vs_conflict fmt
+  | "f3" -> Experiments.f3_wan_latency fmt
+  | "f4" -> Experiments.f4_smr_throughput fmt
+  | "f5" -> Experiments.f5_epaxos_motivation fmt
+  | "tables" ->
+      Experiments.t1_bounds_table fmt;
+      Experiments.t2_twostep_verification fmt;
+      Experiments.t3_tightness_witnesses fmt;
+      Experiments.t4_recovery_audit fmt
+  | "figures" ->
+      Experiments.f1_fast_rate_vs_crashes fmt;
+      Experiments.f2_latency_vs_conflict fmt;
+      Experiments.f3_wan_latency fmt;
+      Experiments.f4_smr_throughput fmt;
+      Experiments.f5_epaxos_motivation fmt
+  | "bechamel" -> run_bechamel ()
+  | "all" ->
+      Experiments.all fmt;
+      run_bechamel ()
+  | arg ->
+      Printf.eprintf "unknown experiment %S\n" arg;
+      usage ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> run_experiment "all"
+  | _ :: args -> List.iter run_experiment args
+  | [] -> usage ()

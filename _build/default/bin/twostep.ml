@@ -1,0 +1,240 @@
+(* Command-line interface to the library: run scenarios, verify the
+   e-two-step definitions, print the bound tables, and reproduce the
+   tightness witnesses without writing any OCaml. *)
+
+open Cmdliner
+
+let protocols =
+  [
+    ("rgs-task", Core.Rgs.task);
+    ("rgs-object", Core.Rgs.obj);
+    ("paxos", Baselines.Paxos.protocol);
+    ("fast-paxos", Baselines.Fast_paxos.protocol);
+  ]
+
+let protocol_conv =
+  let parse s =
+    match List.assoc_opt s protocols with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown protocol %S (expected %s)" s
+                (String.concat ", " (List.map fst protocols))))
+  in
+  let print fmt p = Format.pp_print_string fmt (Proto.Protocol.name p) in
+  Arg.conv (parse, print)
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv Core.Rgs.task
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"Protocol: rgs-task, rgs-object, paxos or fast-paxos.")
+
+let e_arg = Arg.(value & opt int 2 & info [ "e" ] ~docv:"E" ~doc:"Fast-path crash threshold.")
+
+let f_arg = Arg.(value & opt int 2 & info [ "f" ] ~docv:"F" ~doc:"Resilience threshold.")
+
+let n_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n" ] ~docv:"N" ~doc:"Number of processes (defaults to the protocol's bound).")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let delta = 100
+
+(* -- bounds ------------------------------------------------------------ *)
+
+let bounds_cmd =
+  let run () = Experiments.t1_bounds_table Format.std_formatter in
+  Cmd.v (Cmd.info "bounds" ~doc:"Print the bounds table (Theorems 5 & 6 vs Lamport).")
+    Term.(const run $ const ())
+
+(* -- run ---------------------------------------------------------------- *)
+
+let pairs_conv ~what =
+  (* "0:5,3:7" -> [(0,5); (3,7)] *)
+  let parse s =
+    if s = "" then Ok []
+    else
+      try
+        Ok
+          (String.split_on_char ',' s
+          |> List.map (fun item ->
+                 match String.split_on_char ':' item with
+                 | [ a; b ] -> (int_of_string a, int_of_string b)
+                 | _ -> failwith "syntax"))
+      with _ -> Error (`Msg (Printf.sprintf "bad %s syntax (want a:b,c:d)" what))
+  in
+  let print fmt l =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map (fun (a, b) -> Printf.sprintf "%d:%d" a b) l))
+  in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let proposals_arg =
+    Arg.(
+      value
+      & opt (pairs_conv ~what:"proposals") []
+      & info [ "proposals" ] ~docv:"P:V,..."
+          ~doc:"Proposals as pid:value pairs (default: every process proposes its pid).")
+  in
+  let crashes_arg =
+    Arg.(
+      value
+      & opt (pairs_conv ~what:"crashes") []
+      & info [ "crashes" ] ~docv:"T:P,..." ~doc:"Crash schedule as time:pid pairs.")
+  in
+  let net_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sync", `Sync); ("partial", `Partial); ("wan", `Wan) ]) `Partial
+      & info [ "net" ] ~docv:"NET" ~doc:"Network model: sync, partial or wan.")
+  in
+  let until_arg =
+    Arg.(value & opt int (60 * delta) & info [ "until" ] ~docv:"T" ~doc:"Horizon (ticks).")
+  in
+  let run protocol n e f proposals crashes net until seed =
+    let (module P : Proto.Protocol.S) = protocol in
+    let n = Option.value ~default:(P.min_n ~e ~f) n in
+    let proposals =
+      match proposals with
+      | [] -> Checker.Scenario.all_proposals_at_zero ~n (List.init n Fun.id)
+      | l -> List.map (fun (p, v) -> (0, p, v)) l
+    in
+    let crashes = List.map (fun (t, p) -> (t, p)) crashes in
+    let net =
+      match net with
+      | `Sync -> Checker.Scenario.Sync `Arrival
+      | `Partial -> Checker.Scenario.Partial { gst = 5 * delta; max_pre_gst = 3 * delta }
+      | `Wan ->
+          Checker.Scenario.Wan
+            { latency = Workload.Topology.latency_fn Workload.Topology.planet5; jitter = 3 }
+    in
+    let o =
+      Checker.Scenario.run protocol ~n ~e ~f ~delta ~net ~proposals ~crashes ~seed ~until ()
+    in
+    Format.printf "protocol: %s, n=%d, e=%d, f=%d@." P.name n e f;
+    List.iter
+      (fun (t, p, v) -> Format.printf "  t=%-6d %a decides %a@." t Dsim.Pid.pp p Proto.Value.pp v)
+      o.decisions;
+    Format.printf "messages: %d@." o.messages;
+    Format.printf "verdict: %a@." Checker.Safety.pp_verdict (Checker.Safety.check o)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one consensus scenario and print decisions and verdict.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ proposals_arg $ crashes_arg
+      $ net_arg $ until_arg $ seed_arg)
+
+(* -- check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & opt (enum [ ("task", `Task); ("object", `Object) ]) `Task
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Definition to check: task (Def 4) or object (Def A.1).")
+  in
+  let run protocol n e f kind =
+    let (module P : Proto.Protocol.S) = protocol in
+    let n = Option.value ~default:(P.min_n ~e ~f) n in
+    let r =
+      match kind with
+      | `Task -> Checker.Twostep.check_task protocol ~n ~e ~f ~delta ~values:[ 0; 1 ] ()
+      | `Object -> Checker.Twostep.check_object protocol ~n ~e ~f ~delta ~values:[ 0; 1 ] ()
+    in
+    Format.printf "%s at n=%d e=%d f=%d: %a@." P.name n e f Checker.Twostep.pp_report r;
+    if not (Checker.Twostep.ok r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify the e-two-step property over all E and configurations.")
+    Term.(const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ kind_arg)
+
+(* -- witness ------------------------------------------------------------ *)
+
+let witness_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("task", `Task); ("object", `Object) ]) `Task
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Which theorem's witness: task (Thm 5) or object (Thm 6).")
+  in
+  let run mode n e f =
+    let bound =
+      Proto.Bounds.required
+        (match mode with `Task -> Proto.Bounds.Task | `Object -> Proto.Bounds.Object)
+        ~e ~f
+    in
+    let n = Option.value ~default:(bound - 1) n in
+    let r =
+      match mode with
+      | `Task -> Lowerbound.Witness.task_scenario ~n ~e ~f ()
+      | `Object -> Lowerbound.Witness.object_scenario ~n ~e ~f ()
+    in
+    Format.printf "%a@." Lowerbound.Witness.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:"Replay the adversarial tightness choreography (default: one below the bound).")
+    Term.(const run $ mode_arg $ n_arg $ e_arg $ f_arg)
+
+(* -- audit --------------------------------------------------------------- *)
+
+let audit_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("task", Core.Rgs.Task); ("object", Core.Rgs.Object) ]) Core.Rgs.Task
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Recovery rule variant to audit.")
+  in
+  let run mode n e f =
+    let bound =
+      Proto.Bounds.required
+        (match mode with Core.Rgs.Task -> Proto.Bounds.Task | Core.Rgs.Object -> Proto.Bounds.Object)
+        ~e ~f
+    in
+    let n = Option.value ~default:bound n in
+    let s = Lowerbound.Audit.check ~mode ~n ~e ~f in
+    Format.printf "%a mode at n=%d e=%d f=%d: %a@." Core.Rgs.pp_mode mode n e f
+      Lowerbound.Audit.pp_stats s;
+    if s.Lowerbound.Audit.failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Exhaustively audit the recovery rule (Lemma 7 / Lemma C.2).")
+    Term.(const run $ mode_arg $ n_arg $ e_arg $ f_arg)
+
+(* -- experiments --------------------------------------------------------- *)
+
+let experiments_cmd =
+  let which_arg =
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc:"t1..t4, f1..f4 or all.")
+  in
+  let run which =
+    let fmt = Format.std_formatter in
+    List.iter
+      (function
+        | "t1" -> Experiments.t1_bounds_table fmt
+        | "t2" -> Experiments.t2_twostep_verification fmt
+        | "t3" -> Experiments.t3_tightness_witnesses fmt
+        | "t4" -> Experiments.t4_recovery_audit fmt
+        | "f1" -> Experiments.f1_fast_rate_vs_crashes fmt
+        | "f2" -> Experiments.f2_latency_vs_conflict fmt
+        | "f3" -> Experiments.f3_wan_latency fmt
+        | "f4" -> Experiments.f4_smr_throughput fmt
+        | "f5" -> Experiments.f5_epaxos_motivation fmt
+        | "all" -> Experiments.all fmt
+        | other -> Format.printf "unknown experiment %S@." other)
+      which
+  in
+  Cmd.v (Cmd.info "experiments" ~doc:"Run the evaluation experiments (see EXPERIMENTS.md).")
+    Term.(const run $ which_arg)
+
+let () =
+  let doc = "Two-step consensus: protocols, checkers and lower-bound witnesses." in
+  let info = Cmd.info "twostep" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ bounds_cmd; run_cmd; check_cmd; witness_cmd; audit_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Checker Core Dsim Format List Proto String

@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Core Dsim Format List Lowerbound Proto String

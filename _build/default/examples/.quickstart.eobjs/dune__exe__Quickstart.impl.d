@@ -1,0 +1,1 @@
+examples/quickstart.ml: Checker Core Dsim Format List Proto

@@ -1,0 +1,1 @@
+examples/wan_replication.ml: Baselines Checker Core Format List Proto Smr String Workload

@@ -1,0 +1,1 @@
+lib/baselines/fast_paxos.ml: Dsim Format List Proto

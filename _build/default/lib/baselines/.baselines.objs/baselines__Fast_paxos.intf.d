@@ -1,0 +1,1 @@
+lib/baselines/fast_paxos.mli: Dsim Format Proto

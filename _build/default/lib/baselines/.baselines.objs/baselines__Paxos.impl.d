@@ -1,0 +1,1 @@
+lib/baselines/paxos.ml: Dsim Format Proto

@@ -1,0 +1,1 @@
+lib/baselines/paxos.mli: Dsim Format Proto

@@ -1,0 +1,32 @@
+(** Fast Paxos (Lamport 2006), the protocol matching the classical bound
+    [n >= max{2e+f+1, 2f+1}].
+
+    Ballot 0 is a fast ballot open to every proposer: a proposer broadcasts
+    its value, every acceptor votes for the {e first} proposal it receives
+    (no value ordering — this is where it differs from the paper's
+    protocol) and announces its vote to all learners, i.e. to everyone; any
+    process that observes [n-e] votes for the same value decides. Lamport's
+    stronger fast property holds: with a single proposer, {e every} correct
+    process decides within two message delays, for any [e] crashes.
+
+    Collisions (no value reaches [n-e] votes) are resolved by coordinated
+    recovery on the Ω leader's timer: [1A]/[1B] from [n-f], then any value
+    with at least [n-e-f] ballot-0 votes must be proposed — unique because
+    [n >= 2e+f+1]. *)
+
+type msg
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type state
+
+val decided_value : state -> Proto.Value.t option
+
+val make :
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  (state, msg, Proto.Value.t, Proto.Value.t) Dsim.Automaton.t
+
+val protocol : Proto.Protocol.t

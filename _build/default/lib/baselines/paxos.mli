@@ -1,0 +1,24 @@
+(** Single-decree Paxos (leader-driven), the classical [2f+1] baseline.
+
+    Non-leader proposers forward their proposal to the current Ω leader
+    ([Submit]); the initial leader (p0) skips phase 1 at ballot 0 and
+    proposes directly ([2A]/[2B], classic quorums of [n-f]); on leader
+    change the new leader runs the full two-phase protocol.
+
+    Paxos is [f]-resilient with [n >= 2f+1] but is {e not} [e]-two-step for
+    any [e > 0]: if the initial leader crashes, every decision waits for a
+    timeout plus a view change. It decides in two message delays only when
+    the leader itself proposes and stays alive. *)
+
+type msg
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type state
+
+val decided_value : state -> Proto.Value.t option
+
+val make :
+  n:int -> f:int -> delta:int -> (state, msg, Proto.Value.t, Proto.Value.t) Dsim.Automaton.t
+
+val protocol : Proto.Protocol.t

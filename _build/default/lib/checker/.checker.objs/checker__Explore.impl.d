@@ -1,0 +1,1 @@
+lib/checker/explore.ml: Dsim List Proto Scenario Stdext

@@ -1,0 +1,1 @@
+lib/checker/explore.mli: Dsim Proto Scenario

@@ -1,0 +1,1 @@
+lib/checker/linearizability.ml: Format List Proto Scenario

@@ -1,0 +1,1 @@
+lib/checker/safety.ml: Dsim Format List Proto Scenario

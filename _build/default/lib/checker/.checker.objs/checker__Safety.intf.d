@@ -1,0 +1,1 @@
+lib/checker/safety.mli: Dsim Format Proto Scenario

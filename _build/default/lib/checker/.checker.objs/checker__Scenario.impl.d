@@ -1,0 +1,1 @@
+lib/checker/scenario.ml: Dsim List Proto

@@ -1,0 +1,1 @@
+lib/checker/scenario.mli: Dsim Proto

@@ -1,0 +1,1 @@
+lib/checker/twostep.ml: Dsim Format List Proto Safety Scenario Stdext

@@ -1,0 +1,1 @@
+lib/checker/twostep.mli: Dsim Format Proto

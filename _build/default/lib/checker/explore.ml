@@ -1,0 +1,125 @@
+module Pid = Dsim.Pid
+module Time = Dsim.Time
+module Combinat = Stdext.Combinat
+
+type result = {
+  explored : int;
+  violations : int;
+  first_violation : Scenario.outcome option;
+  truncated : bool;
+}
+
+(* A path (an [int list list]) prescribes, for each round boundary, the
+   exact order in which the pending messages are delivered (as pending
+   ids). Pending ids are deterministic for a fixed path, so replaying a
+   path always reconstructs the same run. *)
+
+let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crashes = [])
+    ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true) ~check () =
+  let explored = ref 0 in
+  let violations = ref 0 in
+  let first_violation = ref None in
+  let truncated = ref false in
+  let fresh () =
+    let automaton = P.make ~n ~e ~f ~delta in
+    Dsim.Engine.create ~automaton ~n ~network:Dsim.Network.Manual ~seed:0
+      ~disable_timers ~record_trace:true ~inputs:proposals ~crashes ()
+  in
+  (* Replay [path]: for round k (1-based), deliver the prescribed pending
+     messages at k*delta, then advance to just before the next boundary. *)
+  let replay path =
+    let engine = fresh () in
+    let deliver_round k ids =
+      let boundary = k * delta in
+      ignore (Dsim.Engine.run ~until:(boundary - 1) engine);
+      List.iter (fun id -> Dsim.Engine.deliver_pending engine ~id ~at:boundary) ids;
+      ignore (Dsim.Engine.run ~until:boundary engine)
+    in
+    List.iteri (fun i ids -> deliver_round (i + 1) ids) path;
+    engine
+  in
+  let outcome_of engine =
+    let trace = Dsim.Engine.trace engine in
+    {
+      Scenario.decisions = Dsim.Engine.outputs engine;
+      proposals = Dsim.Trace.inputs trace;
+      crashes = Dsim.Trace.crashes trace;
+      n;
+      horizon = Dsim.Engine.now engine;
+      messages = Dsim.Trace.message_count trace;
+      engine_result = Dsim.Engine.Quiescent;
+    }
+  in
+  let orders_for_batch ids =
+    if List.length ids <= perm_limit then Combinat.permutations ids
+    else begin
+      truncated := true;
+      [ ids; List.rev ids ]
+    end
+  in
+  let evaluate engine =
+    incr explored;
+    let outcome = outcome_of engine in
+    if not (check outcome) then begin
+      incr violations;
+      if !first_violation = None then first_violation := Some outcome
+    end
+  in
+  let rec dfs path round =
+    if !explored >= budget then truncated := true
+    else begin
+      let engine = replay path in
+      (* Process everything strictly before the coming boundary (init and
+         inputs at the first level, timers in between later) so the pending
+         pool holds exactly this round's messages. *)
+      ignore (Dsim.Engine.run ~until:((round * delta) - 1) engine);
+      if round > rounds then evaluate engine
+      else begin
+        (* What is pending for the coming boundary? Group per correct
+           recipient; messages to crashed processes are irrelevant and are
+           appended in arrival order. *)
+        let pending = Dsim.Engine.pending engine in
+        if pending = [] then evaluate engine
+        else begin
+          let to_live, to_crashed =
+            List.partition
+              (fun (p : _ Dsim.Engine.pending) -> not (Dsim.Engine.crashed engine p.dst))
+              pending
+          in
+          let dsts =
+            List.sort_uniq Pid.compare
+              (List.map (fun (p : _ Dsim.Engine.pending) -> p.dst) to_live)
+          in
+          let per_dst_orders =
+            List.map
+              (fun dst ->
+                let ids =
+                  List.filter_map
+                    (fun (p : _ Dsim.Engine.pending) ->
+                      if Pid.equal p.dst dst then Some p.id else None)
+                    to_live
+                in
+                orders_for_batch ids)
+              dsts
+          in
+          let crashed_ids = List.map (fun (p : _ Dsim.Engine.pending) -> p.id) to_crashed in
+          let combos = Combinat.cartesian per_dst_orders in
+          List.iter
+            (fun combo ->
+              if !explored < budget then begin
+                let ids = List.concat combo @ crashed_ids in
+                dfs (path @ [ ids ]) (round + 1)
+              end
+              else truncated := true)
+            combos
+        end
+      end
+    end
+  in
+  dfs [] 1;
+  {
+    explored = !explored;
+    violations = !violations;
+    first_violation = !first_violation;
+    truncated = !truncated;
+  }

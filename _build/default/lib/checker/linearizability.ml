@@ -1,0 +1,34 @@
+module Value = Proto.Value
+
+type verdict = { linearizable : bool; reason : string option }
+
+let fail reason = { linearizable = false; reason = Some reason }
+
+let check (o : Scenario.outcome) =
+  match o.decisions with
+  | [] -> { linearizable = true; reason = None }
+  | (first_time, _, first_value) :: _ -> begin
+      let values = List.sort_uniq Value.compare (List.map (fun (_, _, v) -> v) o.decisions) in
+      match values with
+      | [ v ] -> begin
+          assert (Value.equal v first_value);
+          (* The deciding value must come from an invocation that started
+             before the first response completed. *)
+          let witness =
+            List.exists
+              (fun (t, _, proposed) -> Value.equal proposed v && t <= first_time)
+              o.proposals
+          in
+          if witness then { linearizable = true; reason = None }
+          else
+            fail
+              (Format.asprintf
+                 "decided %a, but no propose(%a) was invoked before the first response"
+                 Value.pp v Value.pp v)
+        end
+      | _ ->
+          fail
+            (Format.asprintf "conflicting decisions: %a"
+               (Format.pp_print_list ~pp_sep:Format.pp_print_space Value.pp)
+               values)
+    end

@@ -1,0 +1,17 @@
+(** Linearizability of single-shot consensus objects.
+
+    For a consensus object (Castañeda-Rajsbaum-Raynal style), a run is
+    linearizable iff all responses return the same value [v], [v] was the
+    argument of some [propose] invocation, and that invocation started no
+    later than the first response (real-time order). For the single-shot
+    object these conditions are necessary and sufficient, so no search is
+    involved. *)
+
+type verdict = {
+  linearizable : bool;
+  reason : string option;  (** set when not linearizable *)
+}
+
+val check : Scenario.outcome -> verdict
+(** Treats [outcome.proposals] as invocations and [outcome.decisions] as
+    responses. *)

@@ -1,0 +1,41 @@
+module Pid = Dsim.Pid
+module Value = Proto.Value
+
+type verdict = {
+  validity : bool;
+  agreement : bool;
+  termination : bool;
+  undecided_correct : Pid.t list;
+  distinct_decisions : Value.t list;
+}
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "validity=%b agreement=%b termination=%b decisions=[%a] undecided=[%a]"
+    v.validity v.agreement v.termination
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Value.pp)
+    v.distinct_decisions
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Pid.pp)
+    v.undecided_correct
+
+let check (o : Scenario.outcome) =
+  let proposed = List.map (fun (_, _, v) -> v) o.proposals in
+  let decided = List.map (fun (_, _, v) -> v) o.decisions in
+  let distinct_decisions = List.sort_uniq Value.compare decided in
+  let validity =
+    List.for_all (fun v -> List.exists (Value.equal v) proposed) distinct_decisions
+  in
+  let agreement = List.length distinct_decisions <= 1 in
+  let crashed = Pid.set_of_list (List.map snd o.crashes) in
+  let correct = List.filter (fun p -> not (Pid.Set.mem p crashed)) (Pid.all ~n:o.n) in
+  let decided_pids = Pid.set_of_list (List.map (fun (_, p, _) -> p) o.decisions) in
+  let undecided_correct = List.filter (fun p -> not (Pid.Set.mem p decided_pids)) correct in
+  let termination = undecided_correct = [] in
+  { validity; agreement; termination; undecided_correct; distinct_decisions }
+
+let safe o =
+  let v = check o in
+  v.validity && v.agreement
+
+let live o =
+  let v = check o in
+  v.validity && v.agreement && v.termination

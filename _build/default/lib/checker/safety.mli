@@ -1,0 +1,25 @@
+(** Consensus safety and liveness checks over run outcomes.
+
+    - {b Validity}: every decision is the proposal of some process.
+    - {b Agreement}: no two decisions differ (across all processes, and a
+      process never decides twice differently).
+    - {b Termination}: every correct process decides (checked against the
+      run's horizon, so only meaningful on runs long enough to stabilise). *)
+
+type verdict = {
+  validity : bool;
+  agreement : bool;
+  termination : bool;
+  undecided_correct : Dsim.Pid.t list;  (** correct processes without a decision *)
+  distinct_decisions : Proto.Value.t list;  (** all decided values, deduplicated *)
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check : Scenario.outcome -> verdict
+
+val safe : Scenario.outcome -> bool
+(** Validity and agreement only (ignores termination). *)
+
+val live : Scenario.outcome -> bool
+(** All of validity, agreement, termination. *)

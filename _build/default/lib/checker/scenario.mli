@@ -1,0 +1,53 @@
+(** Generic scenario runner: execute any {!Proto.Protocol.t} under a network
+    model and summarise the run monomorphically, so property checkers do not
+    depend on protocol-specific state or message types. *)
+
+type net =
+  | Sync of [ `Arrival | `Random | `Favor of Dsim.Pid.t ]
+      (** E-faulty synchronous rounds (Definition 2) with an intra-round
+          delivery-order policy. *)
+  | Partial of { gst : Dsim.Time.t; max_pre_gst : int }
+      (** Partial synchrony: chaotic (but bounded) before [gst], within Δ
+          after. *)
+  | Uniform of { min_delay : int; max_delay : int }
+  | Wan of { latency : src:Dsim.Pid.t -> dst:Dsim.Pid.t -> int; jitter : int }
+
+type outcome = {
+  decisions : (Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list;  (** chronological *)
+  proposals : (Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list;
+  crashes : (Dsim.Time.t * Dsim.Pid.t) list;
+  n : int;
+  horizon : Dsim.Time.t;  (** time when the run stopped *)
+  messages : int;  (** total messages sent *)
+  engine_result : Dsim.Engine.run_result;
+}
+
+val run :
+  Proto.Protocol.t ->
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  net:net ->
+  proposals:(Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list ->
+  ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
+  ?seed:int ->
+  ?disable_timers:bool ->
+  until:Dsim.Time.t ->
+  unit ->
+  outcome
+(** Run one complete scenario. [disable_timers] yields the pure
+    message-driven behaviour used by the two-step existence checks. *)
+
+val decided_value : outcome -> Dsim.Pid.t -> (Dsim.Time.t * Proto.Value.t) option
+(** First decision of a process, if any. *)
+
+val decided_by : outcome -> deadline:Dsim.Time.t -> Dsim.Pid.t list
+(** Processes that decided at or before [deadline]. *)
+
+val all_proposals_at_zero : n:int -> Proto.Value.t list -> (Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list
+(** Task-style initial configuration: process [i] proposes the [i]-th value
+    at time 0. The list must have length [n]. *)
+
+val crash_at_start : Dsim.Pid.t list -> (Dsim.Time.t * Dsim.Pid.t) list
+(** E-faulty crashes "at the beginning of the first round". *)

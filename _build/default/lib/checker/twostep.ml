@@ -1,0 +1,142 @@
+module Pid = Dsim.Pid
+module Time = Dsim.Time
+module Value = Proto.Value
+module Combinat = Stdext.Combinat
+
+type failure = {
+  witness_e : Pid.t list;
+  config : (Pid.t * Value.t) list;
+  target : Pid.t option;
+  item : int;
+}
+
+let pp_failure fmt f =
+  let pp_pair fmt (p, v) = Format.fprintf fmt "%a:%a" Pid.pp p Value.pp v in
+  Format.fprintf fmt "item %d: E=[%a] config=[%a]%a" f.item
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Pid.pp)
+    f.witness_e
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pair)
+    f.config
+    (fun fmt -> function
+      | None -> ()
+      | Some p -> Format.fprintf fmt " target=%a" Pid.pp p)
+    f.target
+
+type report = { checked_configs : int; checked_runs : int; failures : failure list }
+
+let ok r = r.failures = []
+
+let pp_report fmt r =
+  if ok r then
+    Format.fprintf fmt "OK (%d configurations, %d runs)" r.checked_configs r.checked_runs
+  else
+    Format.fprintf fmt "FAILED (%d configurations, %d runs):@,%a" r.checked_configs
+      r.checked_runs
+      (Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_failure)
+      r.failures
+
+(* Shared search: does there exist an E-faulty synchronous run, starting
+   from the given proposals, that is two-step for [target] (or for anybody
+   when [target = None])? Candidate runs must also be safe. *)
+let exists_two_step protocol ~n ~e ~f ~delta ~proposals ~crashed ~target ~random_orders
+    ~runs_counter =
+  let deadline = 2 * delta in
+  let correct = List.filter (fun p -> not (List.mem p crashed)) (Pid.all ~n) in
+  let try_order (net, seed) =
+    incr runs_counter;
+    let outcome =
+      Scenario.run protocol ~n ~e ~f ~delta ~net ~proposals
+        ~crashes:(Scenario.crash_at_start crashed) ~seed ~disable_timers:true
+        ~until:(3 * delta) ()
+    in
+    if not (Safety.safe outcome) then false
+    else begin
+      let early = Scenario.decided_by outcome ~deadline in
+      match target with
+      | Some p -> List.mem p early
+      | None -> early <> []
+    end
+  in
+  let favor_orders =
+    (* Favouring the eventual winner is how the paper's existence proofs
+       construct the run; try the target (or every correct process) first. *)
+    match target with
+    | Some p -> List.map (fun q -> (Scenario.Sync (`Favor q), 0)) (p :: correct)
+    | None -> List.map (fun q -> (Scenario.Sync (`Favor q), 0)) correct
+  in
+  let random = List.init random_orders (fun i -> (Scenario.Sync `Random, i + 1)) in
+  List.exists try_order (favor_orders @ random)
+
+let check_gen ~items protocol ~n ~e ~f ~delta ~random_orders =
+  let runs_counter = ref 0 in
+  let configs_counter = ref 0 in
+  let failures = ref [] in
+  let subsets = Combinat.subsets_of_size e (Pid.all ~n) in
+  List.iter
+    (fun crashed ->
+      List.iter
+        (fun (item, proposals, target) ->
+          incr configs_counter;
+          let found =
+            exists_two_step protocol ~n ~e ~f ~delta ~proposals ~crashed ~target
+              ~random_orders ~runs_counter
+          in
+          if not found then
+            failures :=
+              {
+                witness_e = crashed;
+                config = List.map (fun (_, p, v) -> (p, v)) proposals;
+                target;
+                item;
+              }
+              :: !failures)
+        (items ~crashed))
+    subsets;
+  { checked_configs = !configs_counter; checked_runs = !runs_counter; failures = List.rev !failures }
+
+let check_task protocol ~n ~e ~f ~delta ~values ?(random_orders = 5) () =
+  if values = [] then invalid_arg "Twostep.check_task: empty value domain";
+  let items ~crashed =
+    let correct = List.filter (fun p -> not (List.mem p crashed)) (Pid.all ~n) in
+    (* Item 1: every initial configuration, some process decides two-step. *)
+    let all_configs =
+      Combinat.cartesian (List.init n (fun _ -> values))
+      |> List.map (fun vs -> (1, Scenario.all_proposals_at_zero ~n vs, None))
+    in
+    (* Item 2: same-value configurations, every correct process can decide
+       two-step. The crashed processes' proposals are irrelevant (they take
+       no step), so we give everyone the same value. *)
+    let same_value =
+      List.concat_map
+        (fun v ->
+          let proposals = Scenario.all_proposals_at_zero ~n (List.init n (fun _ -> v)) in
+          List.map (fun p -> (2, proposals, Some p)) correct)
+        values
+    in
+    all_configs @ same_value
+  in
+  check_gen ~items protocol ~n ~e ~f ~delta ~random_orders
+
+let check_object protocol ~n ~e ~f ~delta ~values ?(random_orders = 5) () =
+  if values = [] then invalid_arg "Twostep.check_object: empty value domain";
+  let items ~crashed =
+    let correct = List.filter (fun p -> not (List.mem p crashed)) (Pid.all ~n) in
+    (* Item 1: only [p] proposes [v]; the run must be two-step for [p]. *)
+    let solo =
+      List.concat_map
+        (fun v ->
+          List.map (fun p -> (1, [ (Time.zero, p, v) ], Some p)) correct)
+        values
+    in
+    (* Item 2: all correct processes propose the same [v] at the beginning
+       of the first round; two-step for each correct [p]. *)
+    let same_value =
+      List.concat_map
+        (fun v ->
+          let proposals = List.map (fun q -> (Time.zero, q, v)) correct in
+          List.map (fun p -> (2, proposals, Some p)) correct)
+        values
+    in
+    solo @ same_value
+  in
+  check_gen ~items protocol ~n ~e ~f ~delta ~random_orders

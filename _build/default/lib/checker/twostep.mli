@@ -1,0 +1,64 @@
+(** Checkers for the paper's e-two-step definitions.
+
+    Both definitions quantify {e existentially} over E-faulty synchronous
+    runs. Within the synchronous model of Definition 2 the remaining freedom
+    is the per-recipient delivery order inside a round, so the checker
+    searches over order policies: the [Favor p] orders (which realise the
+    existence proofs: the winner's [Propose] is accepted first everywhere)
+    and a batch of seeded random orders as a fallback. A reported failure
+    therefore means "no run found within the search budget"; for the paper's
+    protocol the [Favor] orders always suffice, making the check exact in
+    practice.
+
+    Runs are executed with protocol timers disabled (the property concerns
+    only the first two rounds) and every run found is additionally required
+    to be safe (validity + agreement). *)
+
+type failure = {
+  witness_e : Dsim.Pid.t list;  (** the crashed set E *)
+  config : (Dsim.Pid.t * Proto.Value.t) list;  (** initial proposals tried *)
+  target : Dsim.Pid.t option;  (** the process that had to decide, if specific *)
+  item : int;  (** which item of the definition (1 or 2) *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type report = {
+  checked_configs : int;
+  checked_runs : int;
+  failures : failure list;
+}
+
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val check_task :
+  Proto.Protocol.t ->
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  values:Proto.Value.t list ->
+  ?random_orders:int ->
+  unit ->
+  report
+(** Definition 4 over all E ⊆ Π of size [e] and all initial configurations
+    drawn from [values]^n (item 1), plus all same-value configurations
+    (item 2). [random_orders] (default 5) random schedules are tried when no
+    [Favor] order yields a two-step run. *)
+
+val check_object :
+  Proto.Protocol.t ->
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  values:Proto.Value.t list ->
+  ?random_orders:int ->
+  unit ->
+  report
+(** Definition A.1: item 1 — for every value and every correct [p], a run
+    where only [p] proposes is two-step for [p]; item 2 — all correct
+    processes propose the same value and each correct [p] can decide
+    two-step. *)

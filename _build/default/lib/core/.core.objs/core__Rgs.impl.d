@@ -1,0 +1,1 @@
+lib/core/rgs.ml: Dsim Format List Proto Recovery

@@ -1,0 +1,1 @@
+lib/core/rgs.mli: Dsim Format Proto

@@ -1,0 +1,80 @@
+module Pid = Dsim.Pid
+module Value = Proto.Value
+module Votes = Proto.Votes
+
+type reply = {
+  sender : Pid.t;
+  vbal : Proto.Ballot.t;
+  value : Value.t option;
+  proposer : Pid.t option;
+  decided : Value.t option;
+}
+
+let pp_reply fmt r =
+  let pp_opt pp fmt = function
+    | None -> Format.pp_print_string fmt "⊥"
+    | Some x -> pp fmt x
+  in
+  Format.fprintf fmt "{%a vbal=%a val=%a prop=%a dec=%a}" Pid.pp r.sender Proto.Ballot.pp
+    r.vbal (pp_opt Value.pp) r.value (pp_opt Pid.pp) r.proposer (pp_opt Value.pp) r.decided
+
+type choice =
+  | Already_decided of Value.t
+  | From_slow_ballot of Value.t
+  | Fast_majority of Value.t
+  | Fast_boundary of Value.t
+  | Own_initial of Value.t
+  | Nothing
+
+let value_of_choice = function
+  | Already_decided v | From_slow_ballot v | Fast_majority v | Fast_boundary v
+  | Own_initial v ->
+      Some v
+  | Nothing -> None
+
+let pp_choice fmt = function
+  | Already_decided v -> Format.fprintf fmt "already-decided %a" Value.pp v
+  | From_slow_ballot v -> Format.fprintf fmt "slow-ballot %a" Value.pp v
+  | Fast_majority v -> Format.fprintf fmt "fast-majority %a" Value.pp v
+  | Fast_boundary v -> Format.fprintf fmt "fast-boundary %a" Value.pp v
+  | Own_initial v -> Format.fprintf fmt "own-initial %a" Value.pp v
+  | Nothing -> Format.pp_print_string fmt "nothing"
+
+let select ~n ~e ~f ~initial ~replies =
+  match List.find_opt (fun r -> r.decided <> None) replies with
+  | Some { decided = Some v; _ } -> Already_decided v
+  | Some { decided = None; _ } -> assert false
+  | None -> begin
+      let bmax = List.fold_left (fun acc r -> max acc r.vbal) 0 replies in
+      if bmax > 0 then begin
+        match List.find_opt (fun r -> r.vbal = bmax && r.value <> None) replies with
+        | Some { value = Some v; _ } -> From_slow_ballot v
+        | _ -> assert false  (* vbal > 0 implies a vote was cast *)
+      end
+      else begin
+        (* bmax = 0: recover a possible fast-path decision. Exclude votes
+           whose proposer is itself in Q (line 15's set R). *)
+        let senders = Pid.set_of_list (List.map (fun r -> r.sender) replies) in
+        let in_r r =
+          match r.proposer with None -> true | Some p -> not (Pid.Set.mem p senders)
+        in
+        let votes =
+          List.fold_left
+            (fun acc r ->
+              match r.value with
+              | Some v when in_r r -> Votes.add v r.sender acc
+              | Some _ | None -> acc)
+            Votes.empty replies
+        in
+        let threshold = Proto.Bounds.recovery_threshold ~n ~e ~f in
+        match Votes.max_value_with_count_at_least (threshold + 1) votes with
+        | Some v -> Fast_majority v
+        | None -> begin
+            match Votes.max_value_with_count_at_least threshold votes with
+            | Some v when threshold > 0 -> Fast_boundary v
+            | _ -> begin
+                match initial with Some v -> Own_initial v | None -> Nothing
+              end
+          end
+      end
+    end

@@ -1,0 +1,45 @@
+(** The slow-ballot value-selection rule of Figure 1 (lines 12–19).
+
+    When a new leader has gathered [1B] replies from a quorum [Q] of [n-f]
+    processes, it must propose a value that preserves any decision possibly
+    reached earlier — in particular a value decided on the {e fast} path,
+    which only [n-e] processes witnessed. The paper's novelty is that this
+    is possible with [n] as low as [2e+f] (task) or [2e+f-1] (object):
+    ballot-0 votes whose {e proposer} itself replied in [Q] can be excluded
+    (that proposer never completed, and can no longer complete, its fast
+    path), and among the remaining votes a count of [n-f-e] is enough to
+    identify a possibly-decided value, breaking ties towards the maximal
+    value (Lemma 7 / Lemma C.2).
+
+    This module is pure so the lemma can be tested exhaustively. *)
+
+type reply = {
+  sender : Dsim.Pid.t;
+  vbal : Proto.Ballot.t;  (** Last ballot in which [sender] voted; 0 if none/fast. *)
+  value : Proto.Value.t option;  (** The vote cast at [vbal], if any. *)
+  proposer : Dsim.Pid.t option;
+      (** Who proposed [value], when the vote was cast at ballot 0. *)
+  decided : Proto.Value.t option;  (** Already-decided value, if any. *)
+}
+
+val pp_reply : Format.formatter -> reply -> unit
+
+type choice =
+  | Already_decided of Proto.Value.t  (** line 13: some process reported a decision *)
+  | From_slow_ballot of Proto.Value.t  (** line 14: highest slow-ballot vote *)
+  | Fast_majority of Proto.Value.t  (** line 15-16: more than [n-f-e] compatible ballot-0 votes *)
+  | Fast_boundary of Proto.Value.t
+      (** line 17-18: exactly [n-f-e] votes; maximal such value *)
+  | Own_initial of Proto.Value.t  (** line 19: leader's own proposal *)
+  | Nothing  (** object mode with no proposal anywhere: stay silent *)
+
+val value_of_choice : choice -> Proto.Value.t option
+
+val pp_choice : Format.formatter -> choice -> unit
+
+val select :
+  n:int -> e:int -> f:int -> initial:Proto.Value.t option -> replies:reply list -> choice
+(** Apply lines 12–19 to the replies of quorum [Q]. [replies] must contain
+    exactly one entry per member of [Q] (the caller collects [n-f] of
+    them); [initial] is the leader's own proposal (⊥ if it has not
+    proposed). *)

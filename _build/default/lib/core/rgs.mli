@@ -1,0 +1,76 @@
+(** The paper's consensus protocol (Figure 1).
+
+    In [Task] mode (black lines only) the protocol implements an
+    [f]-resilient [e]-two-step consensus {e task} and is live and safe for
+    [n >= max{2e+f, 2f+1}] (Theorem 5). In [Object] mode (red lines
+    included) it implements an [e]-two-step consensus {e object} and
+    requires only [n >= max{2e+f-1, 2f+1}] (Theorem 6). The two modes
+    differ exactly where the paper's red lines do: the [Object] mode sets
+    [initial_val] upon an explicit [propose] invocation, and accepts a
+    [Propose(v)] message only if it has not proposed yet or [v] matches its
+    own proposal.
+
+    Protocol flow:
+    - {b Fast ballot (0):} each proposer broadcasts [Propose(v)]; a process
+      votes ([2B]) for the first proposal [>=] its own; a proposer that
+      gathers [n-e] votes (itself included) decides after two message
+      delays and broadcasts [Decide].
+    - {b Slow ballots:} on timeout (2Δ, then every 5Δ), the Ω leader runs a
+      Paxos-like ballot: [1A]/[1B] to a quorum of [n-f], value selection by
+      {!Recovery.select}, then [2A]/[2B] and a [Decide] broadcast.
+
+    Proposals are environment inputs: [on_input v] is [propose(v)]. The
+    task harness feeds every process its input at time 0; the object
+    harness injects [propose] calls at arbitrary times, possibly only at
+    some processes. Decisions are environment outputs, emitted once per
+    process. *)
+
+type mode = Task | Object
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type msg =
+  | Propose of Proto.Value.t
+  | Two_b of { bal : Proto.Ballot.t; value : Proto.Value.t }
+  | Decide of Proto.Value.t
+  | One_a of Proto.Ballot.t
+  | One_b of {
+      bal : Proto.Ballot.t;
+      vbal : Proto.Ballot.t;
+      value : Proto.Value.t option;
+      proposer : Dsim.Pid.t option;
+      decided : Proto.Value.t option;
+    }
+  | Two_a of { bal : Proto.Ballot.t; value : Proto.Value.t }
+  | Omega_msg of Proto.Omega.msg
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type state
+
+(** {2 State inspection} (used by tests and the lower-bound machinery) *)
+
+val current_ballot : state -> Proto.Ballot.t
+
+val voted_value : state -> Proto.Value.t option
+
+val initial_value : state -> Proto.Value.t option
+
+val decided_value : state -> Proto.Value.t option
+
+val make :
+  mode:mode ->
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  (state, msg, Proto.Value.t, Proto.Value.t) Dsim.Automaton.t
+(** Build the automaton. [n], [e], [f] are {e not} checked against the
+    bound: instantiating below the bound is exactly what the tightness
+    experiments do. *)
+
+val task : Proto.Protocol.t
+(** The protocol packaged in [Task] mode. *)
+
+val obj : Proto.Protocol.t
+(** The protocol packaged in [Object] mode. *)

@@ -1,0 +1,1 @@
+lib/dsim/automaton.ml: List Pid Time

@@ -1,0 +1,1 @@
+lib/dsim/automaton.mli: Pid Time

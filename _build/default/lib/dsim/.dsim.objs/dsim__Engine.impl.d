@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Array Automaton Hashtbl Int List Network Option Pid Stdext Time Trace

@@ -1,0 +1,1 @@
+lib/dsim/engine.mli: Automaton Network Pid Time Trace

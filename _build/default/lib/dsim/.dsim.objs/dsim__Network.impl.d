@@ -1,0 +1,1 @@
+lib/dsim/network.ml: Int List Pid Stdext Time

@@ -1,0 +1,1 @@
+lib/dsim/network.mli: Pid Stdext Time

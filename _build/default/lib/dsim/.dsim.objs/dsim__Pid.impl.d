@@ -1,0 +1,1 @@
+lib/dsim/pid.ml: Format Int List Map Set

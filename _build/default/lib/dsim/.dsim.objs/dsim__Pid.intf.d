@@ -1,0 +1,1 @@
+lib/dsim/pid.mli: Format Map Set

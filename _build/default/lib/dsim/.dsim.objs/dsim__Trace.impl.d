@@ -1,0 +1,1 @@
+lib/dsim/trace.ml: Automaton Format List Pid Time

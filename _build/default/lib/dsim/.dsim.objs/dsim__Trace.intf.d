@@ -1,0 +1,1 @@
+lib/dsim/trace.mli: Automaton Format Pid Time

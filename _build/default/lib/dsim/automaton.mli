@@ -1,0 +1,42 @@
+(** Protocol automata: the interface every protocol implements.
+
+    An automaton is a record of pure transition functions over an opaque
+    state. Each transition returns the successor state together with a list
+    of actions (messages to send, timers to (re)set, outputs such as
+    consensus decisions). The engine interprets actions; protocols never
+    perform effects themselves, which keeps every run deterministic and
+    replayable.
+
+    Type parameters: ['state] protocol state, ['msg] wire messages,
+    ['input] environment inputs (e.g. [propose v] invocations),
+    ['output] environment outputs (e.g. decisions). *)
+
+type timer_id = int
+
+type ('msg, 'output) action =
+  | Send of Pid.t * 'msg  (** Unicast. Sending to self is delivered like any message. *)
+  | Broadcast of 'msg  (** Send to every process except self. *)
+  | Set_timer of { id : timer_id; after : Time.t }
+      (** (Re)arm timer [id] to fire [after] ticks from now. Re-arming an
+          already-armed timer replaces its deadline. *)
+  | Cancel_timer of timer_id
+  | Output of 'output  (** Deliver a value to the environment (recorded in the trace). *)
+
+type ('state, 'msg, 'input, 'output) t = {
+  init : self:Pid.t -> n:int -> 'state * ('msg, 'output) action list;
+      (** Called once per process at time 0, before any other event. *)
+  on_message : 'state -> src:Pid.t -> 'msg -> 'state * ('msg, 'output) action list;
+  on_input : 'state -> 'input -> 'state * ('msg, 'output) action list;
+  on_timer : 'state -> timer_id -> 'state * ('msg, 'output) action list;
+}
+
+val no_input : 'state -> 'input -> 'state * ('msg, 'output) action list
+(** Convenience [on_input] for protocols that take no environment inputs. *)
+
+val no_timer : 'state -> timer_id -> 'state * ('msg, 'output) action list
+(** Convenience [on_timer] for protocols without timers. *)
+
+val map_msg : ('a -> 'b) -> ('a, 'output) action list -> ('b, 'output) action list
+(** Re-wrap the messages of a sub-component's actions into the enclosing
+    protocol's message type (e.g. Ω heartbeats inside a consensus
+    protocol). *)

@@ -1,0 +1,269 @@
+module Rng = Stdext.Rng
+module Pqueue = Stdext.Pqueue
+
+type 'msg delivery = { src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
+
+type ('msg, 'input) event =
+  | Ev_crash of Pid.t
+  | Ev_init of Pid.t
+  | Ev_input of Pid.t * 'input
+  | Ev_deliver of 'msg delivery
+  | Ev_timer of { pid : Pid.t; id : Automaton.timer_id; epoch : int }
+
+(* Events at equal time are processed by rank; see the .mli. *)
+let rank = function
+  | Ev_crash _ -> 0
+  | Ev_init _ -> 1
+  | Ev_input _ -> 2
+  | Ev_deliver _ -> 3
+  | Ev_timer _ -> 4
+
+let priority ~time ev = (time * 8) + rank ev
+
+let time_of_priority prio = prio / 8
+
+type 'msg pending = { id : int; src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
+
+type ('state, 'msg, 'input, 'output) t = {
+  automaton : ('state, 'msg, 'input, 'output) Automaton.t;
+  n : int;
+  network : 'msg Network.t;
+  rng : Rng.t;
+  states : 'state option array;  (* None until Ev_init ran *)
+  crashed_flags : bool array;
+  queue : (('msg, 'input) event) Pqueue.t;
+  timer_epochs : (int * Automaton.timer_id, int) Hashtbl.t;
+  mutable now : Time.t;
+  mutable trace_rev : ('msg, 'input, 'output) Trace.entry list;
+  record_trace : bool;
+  disable_timers : bool;
+  max_steps : int;
+  mutable steps : int;
+  mutable outputs_rev : (Time.t * Pid.t * 'output) list;
+  pending_pool : (int, 'msg pending) Hashtbl.t;
+  mutable next_pending_id : int;
+}
+
+type run_result = Quiescent | Reached_until | Step_budget_exhausted
+
+let record t entry = if t.record_trace then t.trace_rev <- entry :: t.trace_rev
+
+let push_event t ~at ev = Pqueue.push t.queue ~priority:(priority ~time:at ev) ev
+
+let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
+    ?(disable_timers = false) ?(max_steps = 5_000_000) ?(inputs = []) ?(crashes = []) () =
+  if n < 1 then invalid_arg "Engine.create: n must be >= 1";
+  let t =
+    {
+      automaton;
+      n;
+      network;
+      rng = Rng.create ~seed;
+      states = Array.make n None;
+      crashed_flags = Array.make n false;
+      queue = Pqueue.create ();
+      timer_epochs = Hashtbl.create 16;
+      now = Time.zero;
+      trace_rev = [];
+      record_trace;
+      disable_timers;
+      max_steps;
+      steps = 0;
+      outputs_rev = [];
+      pending_pool = Hashtbl.create 16;
+      next_pending_id = 0;
+    }
+  in
+  List.iter (fun p -> push_event t ~at:Time.zero (Ev_init p)) (Pid.all ~n);
+  List.iter (fun (at, p, i) -> push_event t ~at (Ev_input (p, i))) inputs;
+  List.iter (fun (at, p) -> push_event t ~at (Ev_crash p)) crashes;
+  t
+
+let now t = t.now
+
+let n t = t.n
+
+let state t p =
+  match t.states.(p) with
+  | Some s -> s
+  | None -> invalid_arg "Engine.state: process not initialised (crashed at time 0?)"
+
+let crashed t p = t.crashed_flags.(p)
+
+let correct_pids t = List.filter (fun p -> not t.crashed_flags.(p)) (Pid.all ~n:t.n)
+
+let trace t = List.rev t.trace_rev
+
+let outputs t = List.rev t.outputs_rev
+
+let schedule_input t ~at p input =
+  if at < t.now then invalid_arg "Engine.schedule_input: at < now";
+  push_event t ~at (Ev_input (p, input))
+
+let schedule_crash t ~at p =
+  if at < t.now then invalid_arg "Engine.schedule_crash: at < now";
+  push_event t ~at (Ev_crash p)
+
+let send t ~src ~dst msg =
+  record t (Trace.Sent { time = t.now; src; dst; msg });
+  match Network.delivery_time t.network ~rng:t.rng ~now:t.now ~src ~dst with
+  | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now })
+  | None ->
+      let id = t.next_pending_id in
+      t.next_pending_id <- id + 1;
+      Hashtbl.replace t.pending_pool id { id; src; dst; msg; sent_at = t.now }
+
+let set_timer t ~pid ~id ~after =
+  if not t.disable_timers then begin
+    let key = (pid, id) in
+    let epoch = 1 + Option.value ~default:0 (Hashtbl.find_opt t.timer_epochs key) in
+    Hashtbl.replace t.timer_epochs key epoch;
+    push_event t ~at:(t.now + max 0 after) (Ev_timer { pid; id; epoch })
+  end
+
+let cancel_timer t ~pid ~id =
+  let key = (pid, id) in
+  let epoch = 1 + Option.value ~default:0 (Hashtbl.find_opt t.timer_epochs key) in
+  Hashtbl.replace t.timer_epochs key epoch
+
+let apply_actions t ~pid actions =
+  let apply = function
+    | Automaton.Send (dst, msg) -> send t ~src:pid ~dst msg
+    | Automaton.Broadcast msg ->
+        List.iter (fun dst -> send t ~src:pid ~dst msg) (Pid.others ~n:t.n pid)
+    | Automaton.Set_timer { id; after } -> set_timer t ~pid ~id ~after
+    | Automaton.Cancel_timer id -> cancel_timer t ~pid ~id
+    | Automaton.Output output ->
+        t.outputs_rev <- (t.now, pid, output) :: t.outputs_rev;
+        record t (Trace.Output { time = t.now; pid; output })
+  in
+  List.iter apply actions
+
+let step_process t ~pid transition =
+  if not t.crashed_flags.(pid) then begin
+    match t.states.(pid) with
+    | None -> ()  (* not initialised: crashed before init *)
+    | Some s ->
+        let s', actions = transition s in
+        t.states.(pid) <- Some s';
+        apply_actions t ~pid actions
+  end
+
+let handle_deliver t ~src ~dst ~msg ~sent_at =
+  if not t.crashed_flags.(dst) then begin
+    record t (Trace.Delivered { time = t.now; src; dst; msg; sent_at });
+    step_process t ~pid:dst (fun s -> t.automaton.on_message s ~src msg)
+  end
+
+(* Collect every further Ev_deliver sharing [prio] (same instant), reorder
+   per recipient with the synchronous order policy, then process. *)
+let handle_deliver_batch t ~order ~(first : _ delivery) ~prio =
+  let rec collect (acc : _ delivery list) =
+    match Pqueue.peek t.queue with
+    | Some (p, Ev_deliver _) when p = prio -> begin
+        match Pqueue.pop t.queue with
+        | Some (_, Ev_deliver d) -> collect (d :: acc)
+        | _ -> assert false
+      end
+    | _ -> List.rev acc
+  in
+  let batch = collect [ first ] in
+  let by_dst = Hashtbl.create 8 in
+  List.iter
+    (fun (d : _ delivery) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_dst d.dst) in
+      Hashtbl.replace by_dst d.dst (d :: existing))
+    batch;
+  let dsts = List.sort_uniq Pid.compare (List.map (fun (d : _ delivery) -> d.dst) batch) in
+  List.iter
+    (fun dst ->
+      let group = List.rev (Option.value ~default:[] (Hashtbl.find_opt by_dst dst)) in
+      let pairs = List.map (fun (d : _ delivery) -> (d.src, d.msg)) group in
+      let ordered = Network.order_batch order ~rng:t.rng pairs in
+      (* Re-attach sent_at by matching deliveries back in order; sent_at is
+         only informational so we pair ordered (src, msg) with the original
+         record found first. *)
+      List.iter
+        (fun (src, msg) ->
+          let sent_at =
+            match
+              List.find_opt
+                (fun (d : _ delivery) -> Pid.equal d.src src && d.msg == msg)
+                group
+            with
+            | Some d -> d.sent_at
+            | None -> t.now
+          in
+          handle_deliver t ~src ~dst ~msg ~sent_at)
+        ordered)
+    dsts
+
+let handle_event t ev =
+  match ev with
+  | Ev_crash pid ->
+      if not t.crashed_flags.(pid) then begin
+        t.crashed_flags.(pid) <- true;
+        record t (Trace.Crashed { time = t.now; pid })
+      end
+  | Ev_init pid ->
+      if not t.crashed_flags.(pid) then begin
+        let s, actions = t.automaton.init ~self:pid ~n:t.n in
+        t.states.(pid) <- Some s;
+        apply_actions t ~pid actions
+      end
+  | Ev_input (pid, input) ->
+      if not t.crashed_flags.(pid) then begin
+        record t (Trace.Input { time = t.now; pid; input });
+        step_process t ~pid (fun s -> t.automaton.on_input s input)
+      end
+  | Ev_deliver d -> begin
+      match t.network with
+      | Network.Sync_rounds { order; _ } ->
+          let prio = priority ~time:t.now ev in
+          handle_deliver_batch t ~order ~first:d ~prio
+      | _ -> handle_deliver t ~src:d.src ~dst:d.dst ~msg:d.msg ~sent_at:d.sent_at
+    end
+  | Ev_timer { pid; id; epoch } ->
+      let current = Hashtbl.find_opt t.timer_epochs (pid, id) in
+      if current = Some epoch && not t.crashed_flags.(pid) then begin
+        record t (Trace.Timer_fired { time = t.now; pid; id });
+        step_process t ~pid (fun s -> t.automaton.on_timer s id)
+      end
+
+let run ?until t =
+  let rec loop () =
+    if t.steps >= t.max_steps then Step_budget_exhausted
+    else begin
+      match Pqueue.peek t.queue with
+      | None -> Quiescent
+      | Some (prio, _) -> begin
+          let time = time_of_priority prio in
+          match until with
+          | Some u when time > u -> Reached_until
+          | _ -> begin
+              match Pqueue.pop t.queue with
+              | None -> Quiescent
+              | Some (_, ev) ->
+                  t.steps <- t.steps + 1;
+                  t.now <- max t.now time;
+                  handle_event t ev;
+                  loop ()
+            end
+        end
+    end
+  in
+  loop ()
+
+let pending t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.pending_pool []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let deliver_pending t ~id ~at =
+  match Hashtbl.find_opt t.pending_pool id with
+  | None -> raise Not_found
+  | Some p ->
+      if at < t.now then invalid_arg "Engine.deliver_pending: at < now";
+      Hashtbl.remove t.pending_pool id;
+      push_event t ~at (Ev_deliver { src = p.src; dst = p.dst; msg = p.msg; sent_at = p.sent_at })
+
+let drop_pending t ~id = Hashtbl.remove t.pending_pool id

@@ -1,0 +1,80 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns an event queue ordered by (virtual time, event kind,
+    insertion order). At equal timestamps the processing order is: crashes,
+    process initialisation, environment inputs, message deliveries, timer
+    fires — so a process that crashes "at the beginning of round k"
+    (Definition 2) takes no step at or after that instant, and round-boundary
+    deliveries happen before the 2Δ new-ballot timer at the same instant.
+
+    All randomness (network delays, delivery-order shuffles) comes from the
+    engine's seeded RNG: equal seeds and equal set-ups give bit-identical
+    runs. *)
+
+type ('state, 'msg, 'input, 'output) t
+
+type run_result =
+  | Quiescent  (** Event queue drained. *)
+  | Reached_until  (** Stopped at the [until] bound; events remain. *)
+  | Step_budget_exhausted  (** Safety valve ({!create}'s [max_steps]). *)
+
+val create :
+  automaton:('state, 'msg, 'input, 'output) Automaton.t ->
+  n:int ->
+  network:'msg Network.t ->
+  ?seed:int ->
+  ?record_trace:bool ->
+  ?disable_timers:bool ->
+  ?max_steps:int ->
+  ?inputs:(Time.t * Pid.t * 'input) list ->
+  ?crashes:(Time.t * Pid.t) list ->
+  unit ->
+  ('state, 'msg, 'input, 'output) t
+(** Build a simulation of [n] processes. [inputs] schedules environment
+    inputs (e.g. proposals); [crashes] schedules crash-stop failures.
+    [record_trace] defaults to [true]; [max_steps] defaults to 5_000_000
+    events. *)
+
+val run : ?until:Time.t -> ('state, 'msg, 'input, 'output) t -> run_result
+(** Process events until the queue is empty, the next event is strictly
+    after [until], or the step budget runs out. Can be called repeatedly
+    with increasing [until]. *)
+
+val now : ('state, 'msg, 'input, 'output) t -> Time.t
+
+val n : ('state, 'msg, 'input, 'output) t -> int
+
+val state : ('state, 'msg, 'input, 'output) t -> Pid.t -> 'state
+(** Current protocol state of a process (read-only inspection). *)
+
+val crashed : ('state, 'msg, 'input, 'output) t -> Pid.t -> bool
+
+val correct_pids : ('state, 'msg, 'input, 'output) t -> Pid.t list
+
+val trace : ('state, 'msg, 'input, 'output) t -> ('msg, 'input, 'output) Trace.t
+
+val outputs : ('state, 'msg, 'input, 'output) t -> (Time.t * Pid.t * 'output) list
+(** Outputs in chronological order (available even when [record_trace] is
+    false). *)
+
+val schedule_input : ('state, 'msg, 'input, 'output) t -> at:Time.t -> Pid.t -> 'input -> unit
+(** Enqueue a future input; [at] must be [>= now]. *)
+
+val schedule_crash : ('state, 'msg, 'input, 'output) t -> at:Time.t -> Pid.t -> unit
+
+(** {2 Manual network control}
+
+    Only meaningful when the network is {!Network.Manual}: sends pile up in
+    a pending pool and the caller decides delivery. *)
+
+type 'msg pending = { id : int; src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
+
+val pending : ('state, 'msg, 'input, 'output) t -> 'msg pending list
+(** Undelivered sends, in send order. *)
+
+val deliver_pending : ('state, 'msg, 'input, 'output) t -> id:int -> at:Time.t -> unit
+(** Schedule pending message [id] for delivery at [at] (must be [>= now]).
+    Raises [Not_found] for unknown ids. *)
+
+val drop_pending : ('state, 'msg, 'input, 'output) t -> id:int -> unit
+(** Discard a pending message (models asynchrony: delayed past the horizon). *)

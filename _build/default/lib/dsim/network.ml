@@ -1,0 +1,45 @@
+type 'msg order =
+  | Arrival
+  | Random_order
+  | Favor of Pid.t
+  | Sort_by of (src:Pid.t -> 'msg -> int)
+
+type 'msg t =
+  | Sync_rounds of { delta : int; order : 'msg order }
+  | Partial_sync of { delta : int; gst : Time.t; max_pre_gst : int }
+  | Uniform of { min_delay : int; max_delay : int }
+  | Wan of { latency : src:Pid.t -> dst:Pid.t -> int; jitter : int }
+  | Manual
+
+let delivery_time t ~rng ~now ~src ~dst =
+  match t with
+  | Sync_rounds { delta; _ } ->
+      (* Delivered precisely at the next round boundary. *)
+      Some (((now / delta) + 1) * delta)
+  | Partial_sync { delta; gst; max_pre_gst } ->
+      if now >= gst then Some (now + Stdext.Rng.int_in rng 1 delta)
+      else begin
+        let candidate = now + Stdext.Rng.int_in rng 1 (max 1 max_pre_gst) in
+        let cap = gst + Stdext.Rng.int_in rng 1 delta in
+        Some (min candidate cap)
+      end
+  | Uniform { min_delay; max_delay } ->
+      let d = Stdext.Rng.int_in rng (max 1 min_delay) (max 1 max_delay) in
+      Some (now + d)
+  | Wan { latency; jitter } ->
+      let j = if jitter <= 0 then 0 else Stdext.Rng.int rng (jitter + 1) in
+      Some (now + max 1 (latency ~src ~dst) + j)
+  | Manual -> None
+
+let order_batch order ~rng batch =
+  match order with
+  | Arrival -> batch
+  | Random_order -> Stdext.Rng.shuffle rng batch
+  | Favor p ->
+      let favored, rest = List.partition (fun (src, _) -> Pid.equal src p) batch in
+      favored @ rest
+  | Sort_by key ->
+      (* Stable sort keeps arrival order among equal keys. *)
+      List.stable_sort
+        (fun (src1, m1) (src2, m2) -> Int.compare (key ~src:src1 m1) (key ~src:src2 m2))
+        batch

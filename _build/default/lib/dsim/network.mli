@@ -1,0 +1,56 @@
+(** Network models: when and in what order messages are delivered.
+
+    All models implement reliable links (no loss, no duplication, no
+    corruption); messages to crashed processes are silently dropped by the
+    engine, matching the crash-stop model of the paper. *)
+
+(** How simultaneous deliveries at a round boundary are ordered, per
+    recipient. The e-two-step definitions existentially quantify over
+    synchronous runs, and within the synchronous model of Definition 2 the
+    only freedom left is this per-recipient order — so checkers search over
+    order policies. *)
+type 'msg order =
+  | Arrival  (** Send order (deterministic default). *)
+  | Random_order  (** Seeded shuffle, per batch. *)
+  | Favor of Pid.t
+      (** Messages from the favored sender are delivered first at every
+          recipient; remaining messages in arrival order. This is the order
+          the paper's existence proofs use ("the [Propose] message sent by
+          [p] is the first one accepted by all other correct processes"). *)
+  | Sort_by of (src:Pid.t -> 'msg -> int)
+      (** Ascending by key; ties in arrival order. *)
+
+type 'msg t =
+  | Sync_rounds of { delta : int; order : 'msg order }
+      (** The E-faulty synchronous model (Definition 2): every message sent
+          during round [k] is delivered precisely at the beginning of round
+          [k+1], i.e. at time [k * delta]. *)
+  | Partial_sync of { delta : int; gst : Time.t; max_pre_gst : int }
+      (** Partial synchrony (Dwork-Lynch-Stockmeyer): after [gst] every
+          message takes at most [delta] ticks; before [gst] delays are
+          random up to [max_pre_gst] ticks, but every message is delivered
+          by [gst + delta] at the latest. *)
+  | Uniform of { min_delay : int; max_delay : int }
+      (** Every message delayed uniformly in [\[min_delay, max_delay\]];
+          used for randomized safety testing. *)
+  | Wan of { latency : src:Pid.t -> dst:Pid.t -> int; jitter : int }
+      (** Deterministic one-way latency matrix plus uniform jitter in
+          [\[0, jitter\]]; ticks are interpreted as milliseconds. *)
+  | Manual
+      (** Sends accumulate in a pending pool; an external driver decides
+          what is delivered and when ({!Engine.pending},
+          {!Engine.deliver_pending}). Used by the lower-bound splicing
+          machinery. *)
+
+val delivery_time :
+  'msg t -> rng:Stdext.Rng.t -> now:Time.t -> src:Pid.t -> dst:Pid.t -> Time.t option
+(** Delivery time for a message sent at [now], or [None] for {!Manual}
+    (pending pool). The result is always [> now]. *)
+
+val order_batch :
+  'msg order ->
+  rng:Stdext.Rng.t ->
+  (Pid.t * 'msg) list ->
+  (Pid.t * 'msg) list
+(** Reorder one recipient's batch of same-instant deliveries (elements are
+    [(src, msg)] in arrival order). *)

@@ -1,0 +1,16 @@
+type t = int
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let pp fmt p = Format.fprintf fmt "p%d" p
+
+let all ~n = List.init n (fun i -> i)
+
+let others ~n p = List.filter (fun q -> q <> p) (all ~n)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list = Set.of_list

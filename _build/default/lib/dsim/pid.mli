@@ -1,0 +1,25 @@
+(** Process identifiers.
+
+    A system of [n] processes is identified as [0 .. n-1]; the paper's
+    process [p_i] is pid [i-1]. *)
+
+type t = int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [p3]. *)
+
+val all : n:int -> t list
+(** [all ~n] is [\[0; ...; n-1\]]. *)
+
+val others : n:int -> t -> t list
+(** Every pid except the given one. *)
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t

@@ -1,0 +1,13 @@
+type t = int
+
+let zero = 0
+
+let pp fmt t = Format.fprintf fmt "t=%d" t
+
+let round_of ~delta t =
+  if delta <= 0 then invalid_arg "Time.round_of: delta must be positive";
+  (t / delta) + 1
+
+let round_start ~delta k =
+  if k < 1 then invalid_arg "Time.round_start: rounds are 1-based";
+  (k - 1) * delta

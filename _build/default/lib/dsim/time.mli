@@ -1,0 +1,19 @@
+(** Virtual time, measured in integer ticks.
+
+    The simulation is untyped about what a tick means; the synchronous-round
+    network model interprets [delta] ticks as one message delay Δ, and the
+    WAN model interprets ticks as milliseconds. *)
+
+type t = int
+
+val zero : t
+
+val pp : Format.formatter -> t -> unit
+
+val round_of : delta:int -> t -> int
+(** [round_of ~delta t] is the 1-based round containing [t]: events in
+    [\[0, delta)] are round 1, [\[delta, 2*delta)] round 2, ... (Definition 2
+    of the paper). *)
+
+val round_start : delta:int -> int -> t
+(** [round_start ~delta k] is the first instant of (1-based) round [k]. *)

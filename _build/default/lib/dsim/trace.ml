@@ -1,0 +1,59 @@
+type ('msg, 'input, 'output) entry =
+  | Sent of { time : Time.t; src : Pid.t; dst : Pid.t; msg : 'msg }
+  | Delivered of { time : Time.t; src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
+  | Input of { time : Time.t; pid : Pid.t; input : 'input }
+  | Output of { time : Time.t; pid : Pid.t; output : 'output }
+  | Timer_fired of { time : Time.t; pid : Pid.t; id : Automaton.timer_id }
+  | Crashed of { time : Time.t; pid : Pid.t }
+
+type ('msg, 'input, 'output) t = ('msg, 'input, 'output) entry list
+
+let outputs t =
+  List.filter_map
+    (function Output { time; pid; output } -> Some (time, pid, output) | _ -> None)
+    t
+
+let outputs_of t p =
+  List.filter_map
+    (function
+      | Output { time; pid; output } when Pid.equal pid p -> Some (time, output)
+      | _ -> None)
+    t
+
+let first_output t =
+  match outputs t with [] -> None | o :: _ -> Some o
+
+let inputs t =
+  List.filter_map
+    (function Input { time; pid; input } -> Some (time, pid, input) | _ -> None)
+    t
+
+let crashes t =
+  List.filter_map (function Crashed { time; pid } -> Some (time, pid) | _ -> None) t
+
+let crashed_set t = Pid.set_of_list (List.map snd (crashes t))
+
+let message_count t =
+  List.length (List.filter (function Sent _ -> true | _ -> false) t)
+
+let pp ?pp_msg ?pp_input ?pp_output fmt t =
+  let pp_opt pp fmt x =
+    match pp with Some pp -> pp fmt x | None -> Format.pp_print_string fmt "_"
+  in
+  let entry fmt = function
+    | Sent { time; src; dst; msg } ->
+        Format.fprintf fmt "%a %a -> %a send %a" Time.pp time Pid.pp src Pid.pp dst
+          (pp_opt pp_msg) msg
+    | Delivered { time; src; dst; msg; sent_at } ->
+        Format.fprintf fmt "%a %a -> %a recv %a (sent %a)" Time.pp time Pid.pp src Pid.pp
+          dst (pp_opt pp_msg) msg Time.pp sent_at
+    | Input { time; pid; input } ->
+        Format.fprintf fmt "%a %a input %a" Time.pp time Pid.pp pid (pp_opt pp_input) input
+    | Output { time; pid; output } ->
+        Format.fprintf fmt "%a %a output %a" Time.pp time Pid.pp pid (pp_opt pp_output)
+          output
+    | Timer_fired { time; pid; id } ->
+        Format.fprintf fmt "%a %a timer %d" Time.pp time Pid.pp pid id
+    | Crashed { time; pid } -> Format.fprintf fmt "%a %a CRASH" Time.pp time Pid.pp pid
+  in
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline entry fmt t

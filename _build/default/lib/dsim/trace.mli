@@ -1,0 +1,40 @@
+(** Execution traces.
+
+    The engine records every observable event; property checkers work over
+    traces rather than protocol internals, so they apply uniformly to every
+    protocol. *)
+
+type ('msg, 'input, 'output) entry =
+  | Sent of { time : Time.t; src : Pid.t; dst : Pid.t; msg : 'msg }
+  | Delivered of { time : Time.t; src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
+  | Input of { time : Time.t; pid : Pid.t; input : 'input }
+  | Output of { time : Time.t; pid : Pid.t; output : 'output }
+  | Timer_fired of { time : Time.t; pid : Pid.t; id : Automaton.timer_id }
+  | Crashed of { time : Time.t; pid : Pid.t }
+
+type ('msg, 'input, 'output) t = ('msg, 'input, 'output) entry list
+(** Chronological order. *)
+
+val outputs : ('msg, 'input, 'output) t -> (Time.t * Pid.t * 'output) list
+(** All environment outputs, chronological. *)
+
+val outputs_of : ('msg, 'input, 'output) t -> Pid.t -> (Time.t * 'output) list
+
+val first_output : ('msg, 'input, 'output) t -> (Time.t * Pid.t * 'output) option
+
+val inputs : ('msg, 'input, 'output) t -> (Time.t * Pid.t * 'input) list
+
+val crashes : ('msg, 'input, 'output) t -> (Time.t * Pid.t) list
+
+val crashed_set : ('msg, 'input, 'output) t -> Pid.Set.t
+
+val message_count : ('msg, 'input, 'output) t -> int
+(** Number of [Sent] entries. *)
+
+val pp :
+  ?pp_msg:(Format.formatter -> 'msg -> unit) ->
+  ?pp_input:(Format.formatter -> 'input -> unit) ->
+  ?pp_output:(Format.formatter -> 'output -> unit) ->
+  Format.formatter ->
+  ('msg, 'input, 'output) t ->
+  unit

@@ -1,0 +1,80 @@
+(** An Egalitarian-Paxos-style leaderless protocol (single round of
+    commands), the paper's motivating example (§1): with [n = 2f+1]
+    processes it commits a command within two message delays under up to
+    [e = ceil((f+1)/2)] failures, provided concurrent commands do not
+    interfere — "seemingly contradicting" Lamport's bound, and resolved by
+    the paper's object-formulation bound [2e+f-1 = 2f+1].
+
+    The implementation follows the EPaxos commit protocol (Moraru et al.,
+    SOSP 2013), specialised to one command per replica:
+
+    - every replica owns one instance; a client command submitted to
+      replica [L] (the {e command leader}) is [PreAccept]ed to everyone
+      with dependencies = the interfering commands [L] has seen and a
+      sequence number above them;
+    - replies merge in each acceptor's own interference information; if
+      [n-e] replies (counting [L]) agree on the merged attributes, [L]
+      commits in two message delays (fast path);
+    - otherwise [L] runs a Paxos-like [Accept] round on the merged
+      attributes (slow path, two more delays);
+    - committed commands execute in dependency order (strongly connected
+      components broken by sequence number, then instance id), so all
+      replicas apply interfering commands in the same order.
+
+    Commands interfere when they touch the same key ({!Cmd.interferes}).
+
+    {b Scope.} Crash recovery of a failed command leader uses a simplified
+    explicit-prepare rule: committed > accepted > pristine preaccept (one
+    carrying the leader's unmodified attributes — the only attributes a
+    fast commit can have used, and present in every recovery quorum when
+    one happened) > merged preaccepts > no-op. This preserves agreement on
+    each instance, but — like the original EPaxos explicit prepare, whose
+    subtleties in exactly this corner were later documented by França
+    Rezende & Sutra (DISC 2020, cited by the paper) — it can order two
+    {e interfering} commands inconsistently when a {e premature} recovery
+    adopts pristine attributes even though no fast commit happened. The
+    full TryPreAccept machinery is out of scope for this reproduction
+    (DESIGN.md records the substitution); recovery timers are long and
+    per-replica staggered, so the corner is reachable only under prolonged
+    asynchrony combined with concurrent interference and recovery. *)
+
+module Cmd : sig
+  type t = { origin : Dsim.Pid.t; key : int; payload : int }
+
+  val interferes : t -> t -> bool
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type msg
+
+val pp_msg : Format.formatter -> msg -> unit
+
+type state
+
+(** What a replica has executed, in execution order. *)
+val executed : state -> Cmd.t list
+
+val committed_count : state -> int
+
+type output = Committed of Cmd.t | Executed of Cmd.t
+
+val pp_output : Format.formatter -> output -> unit
+
+val make :
+  n:int ->
+  f:int ->
+  delta:int ->
+  (state, msg, Cmd.t, output) Dsim.Automaton.t
+(** Fast-path threshold is fixed to [e = ceil((f+1)/2)], EPaxos's value for
+    [n = 2f+1]. Inputs are client commands at their command leader; outputs
+    report commits (at the command leader) and executions (everywhere). *)
+
+val fast_quorum : n:int -> f:int -> int
+(** [n - ceil((f+1)/2)], the number of matching replies (command leader
+    included) needed for a fast commit. *)
+
+(**/**)
+
+val debug_instances : state -> (Dsim.Pid.t * string) list
+(** Internal: per-instance one-line summaries, for tests and debugging. *)

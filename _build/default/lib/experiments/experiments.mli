@@ -1,0 +1,54 @@
+(** The evaluation harness.
+
+    The paper is a theory brief announcement with no measured evaluation;
+    every claim is a theorem. Each experiment below regenerates one claim
+    as a table (T1-T4) or series (F1-F4) — see DESIGN.md §3 and
+    EXPERIMENTS.md for the mapping and archived results. All experiments
+    print to the given formatter and are deterministic for a fixed seed. *)
+
+val t1_bounds_table : Format.formatter -> unit
+(** T1 — the headline bounds: required [n] per formulation over an
+    (e, f) grid (Theorems 5, 6 vs Lamport's bound). *)
+
+val t2_twostep_verification : Format.formatter -> unit
+(** T2 — upper-bound direction: the protocols satisfy their two-step
+    definitions at exactly their minimal [n]; Paxos does not. Exercises
+    {!Checker.Twostep} over every E and every small-domain configuration. *)
+
+val t3_tightness_witnesses : Format.formatter -> unit
+(** T3 — lower-bound direction: the adversarial choreography preserves
+    agreement at the bound and violates it one process below
+    ({!Lowerbound.Witness}). *)
+
+val t4_recovery_audit : Format.formatter -> unit
+(** T4 — Lemma 7 / Lemma C.2: exhaustive vote-layout audit of the recovery
+    rule at and below the bounds ({!Lowerbound.Audit}). *)
+
+val f1_fast_rate_vs_crashes : ?seeds:int -> Format.formatter -> unit
+(** F1 — fraction of runs with a two-step decision vs number of crashes,
+    per protocol at its minimal [n] (e = f = 2), unanimous proposals,
+    random synchronous schedules. *)
+
+val f2_latency_vs_conflict : ?seeds:int -> Format.formatter -> unit
+(** F2 — decision latency (in Δ) at the first decider vs proposal-conflict
+    rate; with the initial leader alive and crashed. Shows the crossover
+    between leader-driven Paxos and the fast protocols. *)
+
+val f3_wan_latency : Format.formatter -> unit
+(** F3 — wide-area commit latency (ms) at a proxy in each region of a
+    5-region planet topology, per protocol at its minimal [n]: the cost of
+    the extra processes Lamport's bound demands. *)
+
+val f4_smr_throughput : ?seeds:int -> Format.formatter -> unit
+(** F4 — replicated KV store over each protocol: commands committed and
+    mean commit latency at the proxy under a small multi-client workload,
+    with and without a replica crash. *)
+
+val f5_epaxos_motivation : ?seeds:int -> Format.formatter -> unit
+(** F5 — the paper's §1 motivation: the EPaxos-style protocol commits in
+    two message delays with [2f+1] processes under up to
+    [e = ceil((f+1)/2)] crashes when commands do not interfere, and
+    degrades with the interference rate. *)
+
+val all : Format.formatter -> unit
+(** Run T1-T4 and F1-F5 in order. *)

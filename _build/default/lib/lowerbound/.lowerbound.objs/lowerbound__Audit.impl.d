@@ -1,0 +1,1 @@
+lib/lowerbound/audit.ml: Array Buffer Core Format Fun List Printf Stdext

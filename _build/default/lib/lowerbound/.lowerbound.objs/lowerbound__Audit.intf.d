@@ -1,0 +1,1 @@
+lib/lowerbound/audit.mli: Core Format

@@ -1,0 +1,1 @@
+lib/lowerbound/splice.ml: Dsim List

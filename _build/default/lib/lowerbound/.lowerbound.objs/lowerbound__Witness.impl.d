@@ -1,0 +1,1 @@
+lib/lowerbound/witness.ml: Core Dsim Format List Proto Splice

@@ -1,0 +1,1 @@
+lib/lowerbound/witness.mli: Core Dsim Format Proto

@@ -1,0 +1,184 @@
+module Recovery = Core.Recovery
+
+type stats = { layouts : int; failures : int; example : string option }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d layouts, %d failures%a" s.layouts s.failures
+    (fun fmt -> function
+      | None -> ()
+      | Some ex -> Format.fprintf fmt " (e.g. %s)" ex)
+    s.example
+
+(* One enumerated layout: index 0 is the decided value [d]; 1 and 2 are the
+   rivals. [in_q] counts ballot-0 votes visible in the reply quorum;
+   [outside_d] is the number of processes outside Q voting for [d] (rival
+   votes outside Q are invisible to the recovery and irrelevant). *)
+type layout = {
+  values : int array;
+  in_q : int array;
+  outside_d : int;
+  prop_in_q : bool array;
+}
+
+let pp_layout l =
+  let b = Buffer.create 64 in
+  for i = 0 to 2 do
+    Buffer.add_string b
+      (Printf.sprintf "v%d(%s%s): inQ=%d; " l.values.(i)
+         (if i = 0 then "decided" else "rival")
+         (if l.prop_in_q.(i) then ", prop in Q" else "")
+         l.in_q.(i))
+  done;
+  Buffer.add_string b (Printf.sprintf "outside d-votes=%d" l.outside_d);
+  Buffer.contents b
+
+(* May the proposer of value [j] vote for value [i]? Anonymous
+   non-proposers (with arbitrarily small proposals in task mode, or no
+   proposal in object mode) can vote for anything. *)
+let proposer_may_vote ~mode ~values i j =
+  i = j
+  ||
+  match (mode : Core.Rgs.mode) with
+  | Core.Rgs.Object -> false (* red lines: only own value *)
+  | Core.Rgs.Task -> values.(i) > values.(j) (* line 5: accepted >= own *)
+
+(* Fake pids >= 1000 denote processes outside Q. *)
+let outside_pid i = 1000 + i
+
+let replies_of_layout l ~n ~f =
+  let q_size = n - f in
+  let next_pid = ref 0 in
+  let fresh () =
+    let p = !next_pid in
+    incr next_pid;
+    p
+  in
+  let replies = ref [] in
+  let proposer_pid =
+    Array.mapi (fun i in_q -> if in_q then fresh () else outside_pid i) l.prop_in_q
+  in
+  (* Proposers inside Q reply themselves; the decided proposer reports its
+     decision (it had decided before joining the slow ballot). *)
+  Array.iteri
+    (fun i in_q ->
+      if in_q then
+        replies :=
+          {
+            Recovery.sender = proposer_pid.(i);
+            vbal = 0;
+            value = None;
+            proposer = None;
+            decided = (if i = 0 then Some l.values.(0) else None);
+          }
+          :: !replies)
+    l.prop_in_q;
+  (* Anonymous in-Q votes per value. *)
+  Array.iteri
+    (fun i count ->
+      for _ = 1 to count do
+        replies :=
+          {
+            Recovery.sender = fresh ();
+            vbal = 0;
+            value = Some l.values.(i);
+            proposer = Some proposer_pid.(i);
+            decided = None;
+          }
+          :: !replies
+      done)
+    l.in_q;
+  (* Remaining Q members took no ballot-0 vote. *)
+  while List.length !replies < q_size do
+    replies :=
+      { Recovery.sender = fresh (); vbal = 0; value = None; proposer = None; decided = None }
+      :: !replies
+  done;
+  !replies
+
+(* Compositions of [total] into [k] non-negative bins. *)
+let rec compositions total k =
+  if k = 1 then [ [ total ] ]
+  else
+    List.concat_map
+      (fun x -> List.map (fun rest -> x :: rest) (compositions (total - x) (k - 1)))
+      (List.init (total + 1) Fun.id)
+
+let check ~mode ~n ~e ~f =
+  let q_size = n - f in
+  let layouts = ref 0 in
+  let failures = ref 0 in
+  let example = ref None in
+  let rank_assignments =
+    Stdext.Combinat.permutations [ 30; 20; 10 ] |> List.map Array.of_list
+  in
+  List.iter
+    (fun values ->
+      List.iter
+        (fun split ->
+          match split with
+          | [ kd; k1; k2; _idle ] ->
+              (* Proposer placement: inside Q, outside Q, or — for a rival
+                 nobody voted for — absent from the system entirely (the
+                 "rival" value then simply does not exist, modelling
+                 two-value and one-value layouts without burning one of the
+                 f outside slots on a phantom proposer). *)
+              let placements i votes =
+                if i = 0 then [ `In; `Out ]
+                else if votes = 0 then [ `Absent ]
+                else [ `In; `Out ]
+              in
+              List.iter
+                (fun pd_place ->
+                  List.iter
+                    (fun p1_place ->
+                      List.iter
+                        (fun p2_place ->
+                          let places = [ pd_place; p1_place; p2_place ] in
+                          let pd_in = pd_place = `In in
+                          let proposers_in =
+                            List.length (List.filter (fun p -> p = `In) places)
+                          in
+                          let proposers_out =
+                            List.length (List.filter (fun p -> p = `Out) places)
+                          in
+                          let q_members = kd + k1 + k2 + proposers_in in
+                          let extras = f - proposers_out in
+                          (* Votes for d needed outside Q to complete its
+                             fast quorum; pd's implicit self-vote counts. *)
+                          let od = max 0 (n - e - kd - if pd_in then 1 else 0) in
+                          (* Who outside Q can vote for d: pd itself, rival
+                             proposers when the acceptance rule allows it,
+                             and the anonymous extras. *)
+                          let capacity =
+                            (if pd_in then 0 else 1)
+                            + (if p1_place = `Out && proposer_may_vote ~mode ~values 0 1
+                               then 1
+                               else 0)
+                            + (if p2_place = `Out && proposer_may_vote ~mode ~values 0 2
+                               then 1
+                               else 0)
+                            + max 0 extras
+                          in
+                          if q_members <= q_size && extras >= 0 && od <= capacity then begin
+                            incr layouts;
+                            let prop_in_q = [| pd_in; p1_place = `In; p2_place = `In |] in
+                            let layout =
+                              { values; in_q = [| kd; k1; k2 |]; outside_d = od; prop_in_q }
+                            in
+                            let replies = replies_of_layout layout ~n ~f in
+                            let choice =
+                              Recovery.select ~n ~e ~f ~initial:(Some 1) ~replies
+                            in
+                            match Recovery.value_of_choice choice with
+                            | Some v when v = values.(0) -> ()
+                            | _ ->
+                                incr failures;
+                                if !example = None then example := Some (pp_layout layout)
+                          end)
+                        (placements 2 k2))
+                    (placements 1 k1))
+                (placements 0 kd)
+          | _ -> assert false)
+        (compositions q_size 4))
+    rank_assignments;
+  { layouts = !layouts; failures = !failures; example = !example }

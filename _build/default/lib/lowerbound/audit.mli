@@ -1,0 +1,30 @@
+(** Exhaustive audit of the recovery lemmas (Lemma 7 and Lemma C.2).
+
+    The lemmas claim: {e if a value was decided on the fast path at ballot
+    0, the slow-ballot selection rule always re-selects it} — for the task
+    protocol when [n >= 2e+f], for the object protocol when
+    [n >= 2e+f-1].
+
+    The audit enumerates every {e realizable} three-value vote layout a
+    recovering leader can observe: the decided value [d] plus up to two
+    competitors, votes split between the reply quorum [Q] (size [n-f]) and
+    the [f] processes outside, proposers placed inside or outside [Q], and
+    every relative value ordering. Realizability encodes the protocol's
+    acceptance rules: in task mode a process votes only for values at least
+    its own proposal (so a competitor's proposer can vote for [d] only when
+    [d] is larger); in object mode a proposer votes only for its own value.
+    For each layout, {!Core.Recovery.select} must return [d].
+
+    Run at the theorem's bound the audit passes; run one process below it
+    reports the violating layouts — the same boundary the engine-level
+    {!Witness} scenarios exhibit. *)
+
+type stats = {
+  layouts : int;  (** realizable layouts enumerated *)
+  failures : int;  (** layouts where the rule picked another value *)
+  example : string option;  (** a pretty-printed failing layout, if any *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val check : mode:Core.Rgs.mode -> n:int -> e:int -> f:int -> stats

@@ -1,0 +1,28 @@
+module Engine = Dsim.Engine
+
+let deliver_round engine ~at ?(order = fun l -> l) ?(drop = fun _ -> false) () =
+  let pending = Engine.pending engine in
+  let keep, discard = List.partition (fun p -> not (drop p)) pending in
+  List.iter (fun (p : _ Engine.pending) -> Engine.drop_pending engine ~id:p.id) discard;
+  List.iter (fun (p : _ Engine.pending) -> Engine.deliver_pending engine ~id:p.id ~at) (order keep);
+  ignore (Engine.run ~until:at engine)
+
+let pump engine ~delta ~until ?(drop = fun _ -> false) () =
+  (* Track the cursor ourselves: [Engine.now] only advances when events are
+     processed, and an idle boundary must not stall the loop. *)
+  let rec loop cursor =
+    if cursor < until then begin
+      let boundary = min (((cursor / delta) + 1) * delta) until in
+      deliver_round engine ~at:boundary ~drop ();
+      loop boundary
+    end
+  in
+  loop (Engine.now engine)
+
+let favor_sources ~first batch =
+  let favored, rest =
+    List.partition (fun (p : _ Engine.pending) -> first ~dst:p.dst ~src:p.src) batch
+  in
+  (* Per-recipient interleaving is irrelevant across recipients; putting all
+     favored messages first preserves per-recipient priority. *)
+  favored @ rest

@@ -1,0 +1,47 @@
+(** Run-splicing helpers (Appendix B of the paper).
+
+    The lower-bound proofs build runs by interleaving prefixes of two
+    synchronous runs σ0 and σ1 and crashing the processes that could tell
+    them apart. Operationally this amounts to complete control over which
+    pending message is delivered when, and in what per-recipient order —
+    exactly what {!Dsim.Network.Manual} provides. This module packages the
+    two idioms the constructions need:
+
+    - {!deliver_round}: flush the pending pool at a round boundary in a
+      chosen per-recipient order, dropping a chosen subset. Dropping a
+      message sent by a process that crashes at that instant models the
+      proofs' "decide, then crash before the message reaches anyone".
+    - {!pump}: after the adversarial prefix, let the system run normally by
+      emulating synchronous rounds (deliver everything at every boundary)
+      until a horizon — the continuation λ that exists because the protocol
+      is f-resilient. *)
+
+val deliver_round :
+  ('state, 'msg, 'input, 'output) Dsim.Engine.t ->
+  at:Dsim.Time.t ->
+  ?order:('msg Dsim.Engine.pending list -> 'msg Dsim.Engine.pending list) ->
+  ?drop:('msg Dsim.Engine.pending -> bool) ->
+  unit ->
+  unit
+(** Schedule every pending message for delivery at [at] (after removing the
+    [drop] subset), in the order given by [order] (default: send order),
+    then run the engine up to [at] inclusive. Same-instant deliveries are
+    processed in exactly the order produced by [order]. *)
+
+val pump :
+  ('state, 'msg, 'input, 'output) Dsim.Engine.t ->
+  delta:int ->
+  until:Dsim.Time.t ->
+  ?drop:('msg Dsim.Engine.pending -> bool) ->
+  unit ->
+  unit
+(** Emulate a synchronous network from [now] to [until]: at every round
+    boundary deliver everything pending (except [drop]), letting timers
+    fire in between. *)
+
+val favor_sources :
+  first:(dst:Dsim.Pid.t -> src:Dsim.Pid.t -> bool) ->
+  'msg Dsim.Engine.pending list ->
+  'msg Dsim.Engine.pending list
+(** Reorder a pending batch so that, per recipient, messages whose source
+    satisfies [first] come before the others (send order otherwise). *)

@@ -1,0 +1,129 @@
+module Pid = Dsim.Pid
+module Time = Dsim.Time
+module Engine = Dsim.Engine
+module Value = Proto.Value
+module Rgs = Core.Rgs
+
+type result = {
+  n : int;
+  e : int;
+  f : int;
+  mode : Rgs.mode;
+  fast_decider : Pid.t;
+  fast_value : Value.t;
+  recovery_decisions : (Pid.t * Value.t) list;
+  agreement_violated : bool;
+  horizon : Time.t;
+}
+
+let pp_result fmt r =
+  let pp_decision fmt (p, v) = Format.fprintf fmt "%a:%a" Pid.pp p Value.pp v in
+  Format.fprintf fmt
+    "%a mode, n=%d e=%d f=%d: %a fast-decided %a; recovery decided [%a] -> agreement %s"
+    Rgs.pp_mode r.mode r.n r.e r.f Pid.pp r.fast_decider Value.pp r.fast_value
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_decision)
+    r.recovery_decisions
+    (if r.agreement_violated then "VIOLATED" else "preserved")
+
+let is_decide_from src (p : Rgs.msg Engine.pending) =
+  Pid.equal p.src src && match p.msg with Rgs.Decide _ -> true | _ -> false
+
+let finish ~n ~e ~f ~mode ~fast_decider ~fast_value engine =
+  let crashed = Pid.set_of_list (List.map snd (Dsim.Trace.crashes (Engine.trace engine))) in
+  let recovery_decisions =
+    Engine.outputs engine
+    |> List.filter_map (fun (_, p, v) ->
+           if Pid.Set.mem p crashed then None else Some (p, v))
+  in
+  let agreement_violated =
+    List.exists (fun (_, v) -> not (Value.equal v fast_value)) recovery_decisions
+  in
+  {
+    n;
+    e;
+    f;
+    mode;
+    fast_decider;
+    fast_value;
+    recovery_decisions;
+    agreement_violated;
+    horizon = Engine.now engine;
+  }
+
+(* Shared skeleton: run the two adversarial synchronous rounds with a
+   per-recipient source priority, let [fast_decider] decide at 2Δ, crash
+   [crash_set] with the decider's [Decide] broadcast lost, then pump
+   synchronous rounds so the survivors recover on the slow path. *)
+let run_choreography ~mode ~n ~e ~f ~delta ~proposals ~priority ~crash_set ~fast_decider
+    ~fast_value =
+  let automaton = Rgs.make ~mode ~n ~e ~f ~delta in
+  let engine =
+    Engine.create ~automaton ~n ~network:Dsim.Network.Manual ~seed:0
+      ~inputs:(List.map (fun (p, v) -> (Time.zero, p, v)) proposals)
+      ()
+  in
+  ignore (Engine.run ~until:0 engine);
+  (* Round 1 -> boundary Δ: deliver every proposal, favoured sources first
+     per recipient. *)
+  Splice.deliver_round engine ~at:delta ~order:(Splice.favor_sources ~first:priority) ();
+  (* Round 2 -> boundary 2Δ: deliver the 2B votes; the fast decider reaches
+     its quorum exactly now. *)
+  Splice.deliver_round engine ~at:(2 * delta) ();
+  assert (
+    match Rgs.decided_value (Engine.state engine fast_decider) with
+    | Some v -> Value.equal v fast_value
+    | None -> false);
+  (* The decider and its fast voters outside the future recovery quorum
+     crash; the freshly sent Decide messages are lost with them. *)
+  List.iter (fun p -> Engine.schedule_crash engine ~at:((2 * delta) + 1) p) crash_set;
+  ignore (Engine.run ~until:((2 * delta) + 1) engine);
+  (* Continuation λ: emulate a synchronous network; the Ω leader among the
+     survivors drives a slow ballot to completion. *)
+  Splice.pump engine ~delta ~until:(30 * delta) ~drop:(is_decide_from fast_decider) ();
+  finish ~n ~e ~f ~mode ~fast_decider ~fast_value engine
+
+let task_scenario ~n ~e ~f ?(delta = 100) () =
+  if e < 2 || f < 2 || n < e + f + 1 then
+    invalid_arg "Witness.task_scenario: need e >= 2, f >= 2, n >= e+f+1";
+  let a = n - f - e in
+  (* Pids: [0..a-1] vote v inside Q; [a..a+e-1] vote w inside Q;
+     [n-f..n-3] extra v-voters outside Q; pv = n-2; pw = n-1. *)
+  let v = 10 and w = 5 in
+  let pv = n - 2 and pw = n - 1 in
+  let extras = List.init (f - 2) (fun i -> n - f + i) in
+  let a_group = List.init a (fun i -> i) in
+  let b_group = List.init e (fun i -> a + i) in
+  let proposals =
+    List.map (fun p -> (p, 0)) (a_group @ extras)
+    @ List.map (fun p -> (p, 1)) b_group
+    @ [ (pv, v); (pw, w) ]
+  in
+  (* Who hears whom first: Q's w-voters take pw's proposal; everyone else
+     takes pv's. pv itself accepts nothing (every other value is below v). *)
+  let priority ~dst ~src =
+    if List.mem dst b_group then Pid.equal src pw else Pid.equal src pv
+  in
+  run_choreography ~mode:Rgs.Task ~n ~e ~f ~delta ~proposals ~priority
+    ~crash_set:(extras @ [ pv; pw ])
+    ~fast_decider:pv ~fast_value:v
+
+let object_scenario ~n ~e ~f ?(delta = 100) () =
+  if e < 2 || f < 2 || n < e + f then
+    invalid_arg "Witness.object_scenario: need e >= 2, f >= 2, n >= e+f";
+  (* Pids: E0* = [0..a-1] (vote 0), E1* = [a..a+e-2] (vote 1),
+     F = [n-f..n-3] (vote 0), p = n-2 proposes 0, q = n-1 proposes 1.
+     Only p and q invoke propose — the object-only freedom the lower bound
+     exploits. Values chosen so the violating tie-break picks q's value. *)
+  let a = n - e - f + 1 in
+  let p = n - 2 and q = n - 1 in
+  let f_group = List.init (f - 2) (fun i -> n - f + i) in
+  let e0_star = List.init a (fun i -> i) in
+  let e1_star = List.init (e - 1) (fun i -> a + i) in
+  ignore e0_star;
+  let proposals = [ (p, 0); (q, 1) ] in
+  let priority ~dst ~src =
+    if List.mem dst e1_star then Pid.equal src q else Pid.equal src p
+  in
+  run_choreography ~mode:Rgs.Object ~n ~e ~f ~delta ~proposals ~priority
+    ~crash_set:(f_group @ [ p; q ])
+    ~fast_decider:p ~fast_value:0

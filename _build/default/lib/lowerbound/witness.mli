@@ -1,0 +1,56 @@
+(** Tightness witnesses for Theorems 5 and 6 ("only if" directions).
+
+    Each scenario is a concrete adversarial choreography, parametric in
+    [n], that drives the paper's own protocol (Figure 1) through a fast
+    decision followed by [f] crashes and a slow-ballot recovery. Run at the
+    protocol's bound the recovery re-selects the decided value (Lemma 7 /
+    Lemma C.2); run one process short it selects a {e different} value and
+    Agreement is violated — an executable rendering of the Appendix-B
+    indistinguishability arguments.
+
+    {b Task scenario} (Theorem 5, cf. §B.1). With [n] processes, a quorum
+    [Q = n-f] later serves recovery; outside it sit the proposers [pv] (a
+    high value [v]) and [pw] (a lower value [w]) and [f-2] extra voters.
+    [pv] reaps a fast quorum — [n-f-e] votes inside [Q], plus [pw] and the
+    extras outside (in task mode [pw] {e must} vote for [v >= w]) — decides
+    [v] and crashes together with all of [Q]'s outside before anyone hears
+    of it. The [e] remaining members of [Q] voted [w]. At [n = 2e+f] the
+    recovery sees [n-f-e = e] votes for each value, lands on the boundary
+    rule (line 17) and the maximal-value tie-break returns [v]: safe. At
+    [n = 2e+f-1] the count for [w] ([e]) strictly exceeds the threshold
+    [n-f-e = e-1] while [v]'s count sits at the threshold, so line 15
+    forces [w]: agreement broken.
+
+    {b Object scenario} (Theorem 6, §B.2). Quorums [E0 ∋ p] and [E1 ∋ q] of
+    size [n-e] overlap in [F] of size [n-2e]; only [p] and [q] propose
+    (values 0 and 1 — possible for an object, and exactly what the task
+    cannot express). [p] decides 0 on [E0]; [F ∪ {p, q}] crash ([f]
+    processes when [n = 2e+f-2]); the recovery quorum [E0* ∪ E1*] saw
+    [e-1] votes for each value. At [n = 2e+f-1] (the object bound) [E0*]
+    grows to [e > n-f-e] votes and recovery must pick 0: safe. At
+    [n = 2e+f-2] both counts beat the threshold and the tie-break picks 1:
+    agreement broken. *)
+
+type result = {
+  n : int;
+  e : int;
+  f : int;
+  mode : Core.Rgs.mode;
+  fast_decider : Dsim.Pid.t;
+  fast_value : Proto.Value.t;
+  recovery_decisions : (Dsim.Pid.t * Proto.Value.t) list;
+      (** decisions by the surviving processes after the crashes *)
+  agreement_violated : bool;
+  horizon : Dsim.Time.t;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val task_scenario : n:int -> e:int -> f:int -> ?delta:int -> unit -> result
+(** Requires [e >= 2], [f >= 2], [n >= e + f + 1] (so the fast set inside
+    [Q] is non-empty). Meaningful at [n = 2e+f] (safe) and [n = 2e+f-1]
+    (violated), with [2e >= f+2] so that both lie at or above [2f+1]. *)
+
+val object_scenario : n:int -> e:int -> f:int -> ?delta:int -> unit -> result
+(** Requires [e >= 2], [f >= 2], [n >= e + f]. Meaningful at [n = 2e+f-1]
+    (safe) and [n = 2e+f-2] (violated), with [2e >= f+3]. *)

@@ -1,0 +1,1 @@
+lib/proto/ballot.mli: Dsim Format

@@ -1,0 +1,1 @@
+lib/proto/omega.ml: Dsim Format List

@@ -1,0 +1,1 @@
+lib/proto/omega.mli: Dsim Format

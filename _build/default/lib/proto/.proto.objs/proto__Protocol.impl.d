@@ -1,0 +1,1 @@
+lib/proto/protocol.ml: Dsim Format Value

@@ -1,0 +1,1 @@
+lib/proto/protocol.mli: Dsim Format Value

@@ -1,0 +1,1 @@
+lib/proto/util.ml: Dsim Format List

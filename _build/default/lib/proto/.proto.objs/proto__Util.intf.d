@@ -1,0 +1,1 @@
+lib/proto/util.mli: Dsim Format

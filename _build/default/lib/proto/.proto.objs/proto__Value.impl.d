@@ -1,0 +1,1 @@
+lib/proto/value.ml: Format Int

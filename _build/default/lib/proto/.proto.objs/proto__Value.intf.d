@@ -1,0 +1,1 @@
+lib/proto/value.mli: Format

@@ -1,0 +1,1 @@
+lib/proto/votes.ml: Dsim Int List Map Option

@@ -1,0 +1,1 @@
+lib/proto/votes.mli: Dsim Value

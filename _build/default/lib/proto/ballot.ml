@@ -1,0 +1,22 @@
+type t = int
+
+let fast = 0
+
+let is_fast b = b = 0
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let pp fmt b = if b = 0 then Format.pp_print_string fmt "fast" else Format.fprintf fmt "b%d" b
+
+let leader_of ~n b =
+  if b <= 0 then invalid_arg "Ballot.leader_of: the fast ballot has no owner";
+  b mod n
+
+let next_owned ~n ~self ~above =
+  let base = max above 0 in
+  let candidate = ((base / n) * n) + self in
+  let candidate = if candidate > base then candidate else candidate + n in
+  (* pid 0 owns ballots n, 2n, ...; never return the fast ballot *)
+  if candidate = 0 then n else candidate

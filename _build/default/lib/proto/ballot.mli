@@ -1,0 +1,24 @@
+(** Ballots.
+
+    Ballot 0 is the {e fast} ballot; every positive ballot is {e slow} and
+    owned by the process [b mod n] (the paper's "ballot [b] such that
+    [i ≡ b (mod n)]"). *)
+
+type t = int
+
+val fast : t
+(** Ballot 0. *)
+
+val is_fast : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val leader_of : n:int -> t -> Dsim.Pid.t
+(** Owner of a slow ballot. Raises [Invalid_argument] on the fast ballot. *)
+
+val next_owned : n:int -> self:Dsim.Pid.t -> above:t -> t
+(** Smallest slow ballot strictly greater than [above] owned by [self]. *)

@@ -1,0 +1,26 @@
+type formulation = Lamport_fast | Task | Object
+
+let pp_formulation fmt = function
+  | Lamport_fast -> Format.pp_print_string fmt "Lamport-fast"
+  | Task -> Format.pp_print_string fmt "task"
+  | Object -> Format.pp_print_string fmt "object"
+
+let required formulation ~e ~f =
+  if e < 0 || f < e then invalid_arg "Bounds.required: need 0 <= e <= f";
+  let core =
+    match formulation with
+    | Lamport_fast -> (2 * e) + f + 1
+    | Task -> (2 * e) + f
+    | Object -> (2 * e) + f - 1
+  in
+  max core ((2 * f) + 1)
+
+let feasible formulation ~n ~e ~f = n >= required formulation ~e ~f
+
+let fast_quorum ~n ~e = n - e
+
+let classic_quorum ~n ~f = n - f
+
+let recovery_threshold ~n ~e ~f = n - f - e
+
+let epaxos_e ~f = (f + 1 + 1) / 2

@@ -1,0 +1,29 @@
+(** The process-count bounds studied by the paper. *)
+
+type formulation =
+  | Lamport_fast  (** Lamport's definition; matched by Fast Paxos. *)
+  | Task  (** e-two-step consensus task (Definition 4, Theorem 5). *)
+  | Object  (** e-two-step consensus object (Definition A.1, Theorem 6). *)
+
+val pp_formulation : Format.formatter -> formulation -> unit
+
+val required : formulation -> e:int -> f:int -> int
+(** Minimal [n]: [max{2e+f+1, 2f+1}] / [max{2e+f, 2f+1}] /
+    [max{2e+f-1, 2f+1}]. Requires [0 <= e <= f]. *)
+
+val feasible : formulation -> n:int -> e:int -> f:int -> bool
+(** [n >= required]. *)
+
+val fast_quorum : n:int -> e:int -> int
+(** Size of a fast quorum: [n - e]. *)
+
+val classic_quorum : n:int -> f:int -> int
+(** Size of a classic (slow-path) quorum: [n - f]. *)
+
+val recovery_threshold : n:int -> e:int -> f:int -> int
+(** [n - f - e]: the minimum overlap between a fast quorum and the [n - f]
+    replies collected during recovery; the pivot of lines 15–17 of Figure 1. *)
+
+val epaxos_e : f:int -> int
+(** The fast-failure threshold Egalitarian Paxos achieves with [2f+1]
+    processes: [e = ceil((f+1)/2)] (paper §1). *)

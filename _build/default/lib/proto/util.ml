@@ -1,0 +1,8 @@
+let send_to_all ~n m = List.map (fun q -> Dsim.Automaton.Send (q, m)) (Dsim.Pid.all ~n)
+
+let send_others ~n ~self m =
+  List.map (fun q -> Dsim.Automaton.Send (q, m)) (Dsim.Pid.others ~n self)
+
+let pp_opt pp fmt = function
+  | None -> Format.pp_print_string fmt "⊥"
+  | Some x -> pp fmt x

@@ -1,0 +1,13 @@
+(** Helpers shared by protocol implementations. *)
+
+val send_to_all : n:int -> 'msg -> ('msg, 'output) Dsim.Automaton.action list
+(** One [Send] per process, {e including} the sender — the paper's
+    "send to Π". *)
+
+val send_others :
+  n:int -> self:Dsim.Pid.t -> 'msg -> ('msg, 'output) Dsim.Automaton.action list
+(** One [Send] per process except [self] — "send to Π ∖ {p_i}". *)
+
+val pp_opt :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a option -> unit
+(** Prints [None] as ⊥. *)

@@ -1,0 +1,14 @@
+type t = int
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let pp fmt v = Format.fprintf fmt "v%d" v
+
+let geq_bottom v = function None -> true | Some w -> v >= w
+
+let max_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (max a b)

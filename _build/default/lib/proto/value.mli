@@ -1,0 +1,21 @@
+(** Consensus values.
+
+    The paper's protocol relies on a total order over proposals (the fast
+    path accepts a [Propose] only for values [>=] the process's own, and the
+    recovery rule breaks ties by the {e maximal} value), with ⊥ strictly
+    below every value. We represent values as non-negative integers and ⊥ as
+    [None] at the protocol layer. *)
+
+type t = int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val geq_bottom : t -> t option -> bool
+(** [geq_bottom v bot] is [v >= bot] where [None] is ⊥ (below everything). *)
+
+val max_opt : t option -> t option -> t option
+(** Maximum under the ⊥-extended order. *)

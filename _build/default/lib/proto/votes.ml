@@ -1,0 +1,28 @@
+module Vmap = Map.Make (Int)
+
+type t = Dsim.Pid.Set.t Vmap.t
+
+let empty = Vmap.empty
+
+let add v pid t =
+  let set = Option.value ~default:Dsim.Pid.Set.empty (Vmap.find_opt v t) in
+  Vmap.add v (Dsim.Pid.Set.add pid set) t
+
+let supporters v t = Option.value ~default:Dsim.Pid.Set.empty (Vmap.find_opt v t)
+
+let count v t = Dsim.Pid.Set.cardinal (supporters v t)
+
+let tally t = Vmap.fold (fun v set acc -> (v, Dsim.Pid.Set.cardinal set) :: acc) t [] |> List.rev
+
+let values_with_count_at_least k t =
+  List.filter_map (fun (v, c) -> if c >= k then Some v else None) (tally t)
+
+let values_with_count_exactly k t =
+  List.filter_map (fun (v, c) -> if c = k then Some v else None) (tally t)
+
+let max_value_with_count_at_least k t =
+  match List.rev (values_with_count_at_least k t) with [] -> None | v :: _ -> Some v
+
+let total_pids t =
+  Vmap.fold (fun _ set acc -> Dsim.Pid.Set.union set acc) t Dsim.Pid.Set.empty
+  |> Dsim.Pid.Set.cardinal

@@ -1,0 +1,28 @@
+(** Vote bookkeeping: which processes support which value.
+
+    Used by the fast paths (counting [2B] acknowledgements) and by the
+    recovery rules (counting ballot-0 votes reported in [1B] messages). *)
+
+type t
+
+val empty : t
+
+val add : Value.t -> Dsim.Pid.t -> t -> t
+(** Adding the same (value, pid) pair twice is idempotent. *)
+
+val count : Value.t -> t -> int
+
+val supporters : Value.t -> t -> Dsim.Pid.Set.t
+
+val tally : t -> (Value.t * int) list
+(** All values with their counts, values ascending. *)
+
+val values_with_count_at_least : int -> t -> Value.t list
+(** Ascending. With threshold 0 lists every recorded value. *)
+
+val values_with_count_exactly : int -> t -> Value.t list
+
+val max_value_with_count_at_least : int -> t -> Value.t option
+
+val total_pids : t -> int
+(** Number of distinct processes that voted (for any value). *)

@@ -1,0 +1,1 @@
+lib/smr/kv.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/smr/replica.ml: Checker Dsim Format Int List Map Proto

@@ -1,0 +1,1 @@
+lib/smr/replica.mli: Checker Dsim Format Proto

@@ -1,0 +1,35 @@
+type op = { client : int; key : int; value : int }
+
+let pp_op fmt { client; key; value } =
+  Format.fprintf fmt "c%d: put k%d <- %d" client key value
+
+let encode { client; key; value } =
+  if key < 0 || key > 999 || value < 0 || value > 999 || client < 0 || client > 4000 then
+    invalid_arg "Kv.encode: field out of range";
+  (client * 1_000_000) + (key * 1_000) + value
+
+let decode cmd =
+  { client = cmd / 1_000_000; key = cmd / 1_000 mod 1_000; value = cmd mod 1_000 }
+
+type store = (int, int) Hashtbl.t
+
+let empty () = Hashtbl.create 64
+
+let apply store { key; value; _ } = Hashtbl.replace store key value
+
+let get store key = Hashtbl.find_opt store key
+
+let replay log =
+  let store = empty () in
+  List.iter (fun (_, cmd) -> apply store (decode cmd)) log;
+  store
+
+let bindings store =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) store [] |> List.sort compare
+
+let equal_store a b = bindings a = bindings b
+
+let pp_store fmt store =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space
+    (fun fmt (k, v) -> Format.fprintf fmt "k%d=%d" k v)
+    fmt (bindings store)

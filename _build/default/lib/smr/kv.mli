@@ -1,0 +1,33 @@
+(** A replicated key-value store: the application layer over {!Replica}.
+
+    Consensus commands are integers, so KV operations are packed into a
+    [Proto.Value.t] with a fixed-radix codec:
+    [client * 1_000_000 + key * 1_000 + value] encodes
+    "client [client] writes [value] (0..999) to key [key] (0..999)".
+    Distinct clients therefore always produce distinct command words even
+    for identical writes, which keeps SMR reproposals unambiguous. *)
+
+type op = { client : int; key : int; value : int }
+
+val pp_op : Format.formatter -> op -> unit
+
+val encode : op -> Proto.Value.t
+(** Raises [Invalid_argument] if a field is out of range (keys and values
+    0..999, clients 0..4000). *)
+
+val decode : Proto.Value.t -> op
+
+type store
+
+val empty : unit -> store
+
+val apply : store -> op -> unit
+
+val get : store -> int -> int option
+
+val replay : (int * Proto.Value.t) list -> store
+(** Build the store state from an applied (slot, command) log. *)
+
+val equal_store : store -> store -> bool
+
+val pp_store : Format.formatter -> store -> unit

@@ -1,0 +1,217 @@
+module Pid = Dsim.Pid
+module Time = Dsim.Time
+module Automaton = Dsim.Automaton
+module Value = Proto.Value
+module Imap = Map.Make (Int)
+
+type 'pmsg msg = { slot : int; payload : 'pmsg }
+
+let pp_msg pp_payload fmt m = Format.fprintf fmt "[slot %d] %a" m.slot pp_payload m.payload
+
+(* Timers of slot s live in [s * stride, (s+1) * stride); comfortably above
+   the Ω range (1000 + n) used inside each instance. *)
+let timer_stride = 4096
+
+type 'pstate state = {
+  self : Pid.t;
+  n : int;
+  slots : 'pstate Imap.t;
+  decided : Value.t Imap.t;  (* slot -> decided command *)
+  applied_rev : (int * Value.t) list;  (* contiguous prefix, newest first *)
+  next_apply : int;
+  queue : Value.t list;  (* my commands not yet proposed, oldest first *)
+  inflight : (int * Value.t) option;  (* slot where my current command runs *)
+}
+
+let applied s = List.rev s.applied_rev
+
+let decided_slots s = Imap.cardinal s.decided
+
+let make (type pm ps) (module P : Proto.Protocol.S with type msg = pm and type state = ps)
+    ~n ~e ~f ~delta =
+  let inner = P.make ~n ~e ~f ~delta in
+  let wrap_actions slot actions =
+    List.filter_map
+      (fun action ->
+        match action with
+        | Automaton.Send (dst, payload) -> Some (Automaton.Send (dst, { slot; payload }))
+        | Automaton.Broadcast payload -> Some (Automaton.Broadcast { slot; payload })
+        | Automaton.Set_timer { id; after } ->
+            Some (Automaton.Set_timer { id = (slot * timer_stride) + id; after })
+        | Automaton.Cancel_timer id -> Some (Automaton.Cancel_timer ((slot * timer_stride) + id))
+        | Automaton.Output _ -> None (* decisions are intercepted separately below *))
+      actions
+  in
+  (* Run one instance transition, harvesting any decision from its
+     actions. *)
+  let step_instance s slot transition =
+    let pstate, init_actions =
+      match Imap.find_opt slot s.slots with
+      | Some ps -> (ps, [])
+      | None ->
+          (* Lazy instance creation: the slot's init timers and Ω chatter
+             re-arm under the slot's own timer range. *)
+          let ps, actions = inner.init ~self:s.self ~n:s.n in
+          (ps, wrap_actions slot actions)
+    in
+    let pstate', actions = transition pstate in
+    let decision =
+      List.find_map (function Automaton.Output v -> Some v | _ -> None) actions
+    in
+    let s = { s with slots = Imap.add slot pstate' s.slots } in
+    (s, init_actions @ wrap_actions slot actions, decision)
+  in
+  (* Next slot this replica believes free: above everything it has seen. *)
+  let next_free_slot s =
+    let top_decided = match Imap.max_binding_opt s.decided with Some (k, _) -> k + 1 | None -> 0 in
+    let top_active = match Imap.max_binding_opt s.slots with Some (k, _) -> k + 1 | None -> 0 in
+    max top_decided top_active
+  in
+  let propose_in_slot s slot cmd =
+    let s, actions, decision = step_instance s slot (fun ps -> inner.on_input ps cmd) in
+    assert (decision = None);
+    ({ s with inflight = Some (slot, cmd) }, actions)
+  in
+  (* Apply newly contiguous decisions and emit them. *)
+  let rec drain_applies s acc =
+    match Imap.find_opt s.next_apply s.decided with
+    | None -> (s, List.rev acc)
+    | Some cmd ->
+        let s =
+          {
+            s with
+            applied_rev = (s.next_apply, cmd) :: s.applied_rev;
+            next_apply = s.next_apply + 1;
+          }
+        in
+        drain_applies s (Automaton.Output (s.next_apply - 1, cmd) :: acc)
+  in
+  (* A slot decided: record, apply, and repropose our command if it lost. *)
+  let handle_decision s slot cmd =
+    if Imap.mem slot s.decided then (s, [])
+    else begin
+      let s = { s with decided = Imap.add slot cmd s.decided } in
+      let s, apply_actions = drain_applies s [] in
+      match s.inflight with
+      | Some (inslot, mine) when inslot = slot ->
+          if Value.equal mine cmd then begin
+            (* Our command committed; move to the next queued one. *)
+            match s.queue with
+            | [] -> ({ s with inflight = None }, apply_actions)
+            | next :: rest ->
+                let s = { s with queue = rest; inflight = None } in
+                let s, actions = propose_in_slot s (next_free_slot s) next in
+                (s, apply_actions @ actions)
+          end
+          else begin
+            (* Lost the slot: repropose the same command in a fresh slot. *)
+            let s = { s with inflight = None } in
+            let s, actions = propose_in_slot s (next_free_slot s) mine in
+            (s, apply_actions @ actions)
+          end
+      | _ -> (s, apply_actions)
+    end
+  in
+  let init ~self ~n:n' =
+    assert (n = n');
+    ( {
+        self;
+        n;
+        slots = Imap.empty;
+        decided = Imap.empty;
+        applied_rev = [];
+        next_apply = 0;
+        queue = [];
+        inflight = None;
+      },
+      [] )
+  in
+  let on_message s ~src { slot; payload } =
+    let s, actions, decision =
+      step_instance s slot (fun ps -> inner.on_message ps ~src payload)
+    in
+    match decision with
+    | None -> (s, actions)
+    | Some cmd ->
+        let s, more = handle_decision s slot cmd in
+        (s, actions @ more)
+  in
+  let on_input s cmd =
+    match s.inflight with
+    | Some _ -> ({ s with queue = s.queue @ [ cmd ] }, [])
+    | None -> propose_in_slot s (next_free_slot s) cmd
+  in
+  let on_timer s id =
+    let slot = id / timer_stride and inner_id = id mod timer_stride in
+    if not (Imap.mem slot s.slots) then (s, [])
+    else begin
+      let s, actions, decision = step_instance s slot (fun ps -> inner.on_timer ps inner_id) in
+      match decision with
+      | None -> (s, actions)
+      | Some cmd ->
+          let s, more = handle_decision s slot cmd in
+          (s, actions @ more)
+    end
+  in
+  { Automaton.init; on_message; on_input; on_timer }
+
+module Instance = struct
+  type t =
+    | T : {
+        engine : ('ps state, 'pm msg, Value.t, int * Value.t) Dsim.Engine.t;
+        n : int;
+      }
+        -> t
+
+  let create ~protocol ~n ~e ~f ~delta ~net ?(seed = 0) ~commands ?(crashes = []) () =
+    let (module P : Proto.Protocol.S) = protocol in
+    let automaton = make (module P) ~n ~e ~f ~delta in
+    let network : _ Dsim.Network.t =
+      match (net : Checker.Scenario.net) with
+      | Checker.Scenario.Sync order ->
+          let order =
+            match order with
+            | `Arrival -> Dsim.Network.Arrival
+            | `Random -> Dsim.Network.Random_order
+            | `Favor p -> Dsim.Network.Favor p
+          in
+          Dsim.Network.Sync_rounds { delta; order }
+      | Checker.Scenario.Partial { gst; max_pre_gst } ->
+          Dsim.Network.Partial_sync { delta; gst; max_pre_gst }
+      | Checker.Scenario.Uniform { min_delay; max_delay } ->
+          Dsim.Network.Uniform { min_delay; max_delay }
+      | Checker.Scenario.Wan { latency; jitter } -> Dsim.Network.Wan { latency; jitter }
+    in
+    let engine =
+      Dsim.Engine.create ~automaton ~n ~network ~seed ~record_trace:false
+        ~max_steps:20_000_000 ~inputs:commands ~crashes ()
+    in
+    T { engine; n }
+
+  let run ?until (T { engine; _ }) = Dsim.Engine.run ?until engine
+
+  let now (T { engine; _ }) = Dsim.Engine.now engine
+
+  let applied_log (T { engine; _ }) pid = applied (Dsim.Engine.state engine pid)
+
+  let outputs (T { engine; _ }) = Dsim.Engine.outputs engine
+
+  let commit_time t ~proxy ~command =
+    List.find_map
+      (fun (time, pid, (_, cmd)) ->
+        if Pid.equal pid proxy && Value.equal cmd command then Some time else None)
+      (outputs t)
+
+  let converged (T { engine; n }) =
+    let logs = List.map (fun p -> applied (Dsim.Engine.state engine p)) (Pid.all ~n) in
+    let rec prefix_agree a b =
+      match (a, b) with
+      | [], _ | _, [] -> true
+      | x :: xs, y :: ys -> x = y && prefix_agree xs ys
+    in
+    let rec all_pairs = function
+      | [] -> true
+      | l :: rest -> List.for_all (prefix_agree l) rest && all_pairs rest
+    in
+    all_pairs logs
+end

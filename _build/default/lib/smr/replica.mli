@@ -1,0 +1,73 @@
+(** State-machine replication on top of any single-shot consensus protocol.
+
+    This is the deployment the paper's definition is tailored to (§1):
+    clients submit commands to a {e proxy} replica, the proxy proposes them
+    in a sequence of consensus instances (slots), and what matters for
+    end-to-end latency is how fast {e the proxy} decides — the speed of the
+    other replicas is irrelevant to the client.
+
+    Each slot runs an independent instance of the underlying protocol;
+    instance messages and timers are multiplexed by slot. A replica
+    proposes its next queued command in the first slot it believes free;
+    losing a slot to another replica's command simply means reproposing in
+    a later slot. Decisions are applied in slot order and emitted as
+    [(slot, command)] outputs once contiguous.
+
+    Commands are [Proto.Value.t] (integers); {!Kv} provides a command codec
+    and a replicated key-value store. *)
+
+type 'pmsg msg
+
+val pp_msg : (Format.formatter -> 'pmsg -> unit) -> Format.formatter -> 'pmsg msg -> unit
+
+type 'pstate state
+
+val applied : 'pstate state -> (int * Proto.Value.t) list
+(** Commands applied so far, in slot order. *)
+
+val decided_slots : 'pstate state -> int
+(** Number of slots known decided (not necessarily contiguous). *)
+
+val make :
+  (module Proto.Protocol.S with type msg = 'pmsg and type state = 'pstate) ->
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  ('pstate state, 'pmsg msg, Proto.Value.t, int * Proto.Value.t) Dsim.Automaton.t
+
+(** Existentially packaged SMR engine, so callers never name the underlying
+    protocol's state and message types. *)
+module Instance : sig
+  type t
+
+  val create :
+    protocol:Proto.Protocol.t ->
+    n:int ->
+    e:int ->
+    f:int ->
+    delta:int ->
+    net:Checker.Scenario.net ->
+    ?seed:int ->
+    commands:(Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list ->
+    ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
+    unit ->
+    t
+
+  val run : ?until:Dsim.Time.t -> t -> Dsim.Engine.run_result
+
+  val now : t -> Dsim.Time.t
+
+  val applied_log : t -> Dsim.Pid.t -> (int * Proto.Value.t) list
+  (** A replica's applied (slot, command) sequence so far. *)
+
+  val outputs : t -> (Dsim.Time.t * Dsim.Pid.t * (int * Proto.Value.t)) list
+  (** Application events across all replicas, chronological. *)
+
+  val commit_time : t -> proxy:Dsim.Pid.t -> command:Proto.Value.t -> Dsim.Time.t option
+  (** When [proxy] applied [command], if it has. *)
+
+  val converged : t -> bool
+  (** Every pair of replicas' applied logs agree on their common prefix
+      (the fundamental SMR safety property). *)
+end

@@ -1,0 +1,1 @@
+lib/stdext/rng.ml: Array Int64 List

@@ -1,0 +1,25 @@
+(** Mutable binary min-heap keyed by [(priority, sequence)].
+
+    Entries with equal priority are returned in insertion order, which the
+    simulation engine relies on for determinism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> priority:int -> 'a -> unit
+(** Insert an element. Lower priorities pop first; ties pop in insertion
+    order. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum [(priority, element)], or [None] when
+    empty. *)
+
+val peek : 'a t -> (int * 'a) option
+
+val to_list : 'a t -> (int * 'a) list
+(** Snapshot in pop order; does not modify the queue. *)

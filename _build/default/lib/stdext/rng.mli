@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the simulator flows through an explicit
+    [Rng.t] so that runs are replayable from a single integer seed. The
+    generator is mutable but cheap to [split] and [copy], which lets
+    independent components draw from independent streams derived from one
+    master seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] builds a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)
+
+val shuffle_array_in_place : t -> 'a array -> unit

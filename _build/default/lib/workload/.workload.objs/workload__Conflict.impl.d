@@ -1,0 +1,1 @@
+lib/workload/conflict.ml: Dsim Int List Stdext

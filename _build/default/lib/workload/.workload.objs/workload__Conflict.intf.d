@@ -1,0 +1,1 @@
+lib/workload/conflict.mli: Dsim Proto Stdext

@@ -1,0 +1,24 @@
+module Rng = Stdext.Rng
+
+let common_value = 0
+
+let proposals ~rng ~n ~rate =
+  List.init n (fun p ->
+      let deviates = Rng.float rng 1.0 < rate in
+      (* Distinct deviators propose p+1, guaranteeing pairwise-distinct
+         values all above the common one. *)
+      let v = if deviates then p + 1 else common_value in
+      (0, p, v))
+
+let proposer_subset ~rng ~n ~count ~rate =
+  let chosen = List.filteri (fun i _ -> i < count) (Rng.shuffle rng (Dsim.Pid.all ~n)) in
+  List.map
+    (fun p ->
+      let deviates = Rng.float rng 1.0 < rate in
+      let v = if deviates then p + 1 else common_value in
+      (0, p, v))
+    chosen
+
+let is_conflicting proposals =
+  let values = List.sort_uniq Int.compare (List.map (fun (_, _, v) -> v) proposals) in
+  List.length values > 1

@@ -1,0 +1,29 @@
+(** Proposal workload generator with a tunable conflict rate.
+
+    For single-shot consensus, a "conflict" is the simultaneous proposal of
+    different values — the situation that kicks fast protocols off their
+    fast path. [rate = 0.0] makes everyone propose one common value;
+    [rate = 1.0] gives every proposer its own distinct value; in between,
+    each proposer independently deviates from the common value with
+    probability [rate]. *)
+
+val proposals :
+  rng:Stdext.Rng.t ->
+  n:int ->
+  rate:float ->
+  (Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list
+(** One proposal per process at time 0. Distinct deviating proposers get
+    distinct values, and the common value is the smallest, so a deviator
+    always out-bids the crowd (the adversarial case for value-ordered fast
+    paths). *)
+
+val proposer_subset :
+  rng:Stdext.Rng.t ->
+  n:int ->
+  count:int ->
+  rate:float ->
+  (Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list
+(** Object-style workload: only [count] random processes propose. *)
+
+val is_conflicting : (Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list -> bool
+(** True when at least two distinct values are proposed. *)

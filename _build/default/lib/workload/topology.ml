@@ -1,0 +1,68 @@
+type t = { name : string; region_names : string array; matrix : int array array }
+
+let name t = t.name
+
+let regions t = Array.to_list t.region_names
+
+let region_count t = Array.length t.region_names
+
+let region_of_pid t pid = t.region_names.(pid mod region_count t)
+
+let oneway t i j = t.matrix.(i).(j)
+
+let latency_fn t ~src ~dst =
+  let k = region_count t in
+  max 1 t.matrix.(src mod k).(dst mod k)
+
+let max_oneway t =
+  Array.fold_left (fun acc row -> Array.fold_left max acc row) 1 t.matrix
+
+let make name region_names matrix =
+  let k = Array.length region_names in
+  assert (Array.length matrix = k);
+  Array.iter
+    (fun row -> assert (Array.length row = k))
+    matrix;
+  (* Symmetry keeps scenarios easy to reason about. *)
+  Array.iteri (fun i row -> Array.iteri (fun j v -> assert (v = matrix.(j).(i))) row) matrix;
+  { name; region_names; matrix }
+
+let local_cluster =
+  make "local-cluster" [| "dc1" |] [| [| 1 |] |]
+
+let three_az =
+  make "three-az"
+    [| "az-a"; "az-b"; "az-c" |]
+    [| [| 1; 2; 2 |]; [| 2; 1; 2 |]; [| 2; 2; 1 |] |]
+
+(* One-way ms, approximately half of commonly reported inter-region RTTs. *)
+let planet5 =
+  make "planet5"
+    [| "virginia"; "oregon"; "ireland"; "frankfurt"; "tokyo" |]
+    [|
+      [| 1; 35; 40; 45; 75 |];
+      [| 35; 1; 65; 75; 50 |];
+      [| 40; 65; 1; 12; 110 |];
+      [| 45; 75; 12; 1; 115 |];
+      [| 75; 50; 110; 115; 1 |];
+    |]
+
+let planet9 =
+  make "planet9"
+    [|
+      "virginia"; "oregon"; "ireland"; "frankfurt"; "tokyo"; "sao-paulo"; "sydney";
+      "singapore"; "mumbai";
+    |]
+    [|
+      [| 1; 35; 40; 45; 75; 60; 100; 110; 95 |];
+      [| 35; 1; 65; 75; 50; 90; 70; 85; 110 |];
+      [| 40; 65; 1; 12; 110; 95; 135; 90; 60 |];
+      [| 45; 75; 12; 1; 115; 100; 140; 85; 55 |];
+      [| 75; 50; 110; 115; 1; 130; 55; 35; 60 |];
+      [| 60; 90; 95; 100; 130; 1; 160; 165; 150 |];
+      [| 100; 70; 135; 140; 55; 160; 1; 45; 110 |];
+      [| 110; 85; 90; 85; 35; 165; 45; 1; 30 |];
+      [| 95; 110; 60; 55; 60; 150; 110; 30; 1 |];
+    |]
+
+let presets = [ local_cluster; three_az; planet5; planet9 ]

@@ -1,0 +1,40 @@
+(** Synthetic wide-area topologies.
+
+    The paper motivates its bounds by wide-area deployments, "where
+    contacting an additional process may incur a cost of hundreds of
+    milliseconds per command" (§1). These presets give the benchmarks
+    realistic one-way inter-region latencies (milliseconds; roughly half of
+    publicly reported inter-region RTTs). Processes are placed round-robin
+    across regions: pid [i] lives in region [i mod regions]. *)
+
+type t
+
+val name : t -> string
+
+val regions : t -> string list
+
+val region_of_pid : t -> Dsim.Pid.t -> string
+
+val oneway : t -> int -> int -> int
+(** [oneway t i j]: one-way latency in ms between region indices. *)
+
+val latency_fn : t -> src:Dsim.Pid.t -> dst:Dsim.Pid.t -> int
+(** Latency between two processes under round-robin placement. Same-region
+    traffic costs the matrix diagonal (>= 1 ms). *)
+
+val max_oneway : t -> int
+(** The largest entry of the matrix — a sound Δ for the topology. *)
+
+val local_cluster : t
+(** Single datacenter, 1 ms everywhere. *)
+
+val three_az : t
+(** Three availability zones at 2 ms. *)
+
+val planet5 : t
+(** Virginia, Oregon, Ireland, Frankfurt, Tokyo. *)
+
+val planet9 : t
+(** The five above plus São Paulo, Sydney, Singapore, Mumbai. *)
+
+val presets : t list

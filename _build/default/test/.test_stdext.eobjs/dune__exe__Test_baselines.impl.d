@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Checker Dsim List Printf Proto QCheck QCheck_alcotest Stdext

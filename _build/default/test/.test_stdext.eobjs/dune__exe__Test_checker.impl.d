@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Baselines Checker Core Dsim Format

@@ -1,0 +1,1 @@
+test/test_epaxos.ml: Alcotest Dsim Epaxos List Proto QCheck QCheck_alcotest Stdext

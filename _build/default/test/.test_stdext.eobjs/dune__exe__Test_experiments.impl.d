@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Baselines Buffer Checker Core Dsim Epaxos Experiments Format List Printf Proto Stdext String Workload

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Dsim Format List Lowerbound Proto

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Dsim Format List Proto QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rgs.ml: Alcotest Checker Core Dsim Format List Lowerbound Printf Proto QCheck QCheck_alcotest Stdext

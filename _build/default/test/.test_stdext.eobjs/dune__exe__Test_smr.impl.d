@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Baselines Checker Core Dsim List Printf QCheck QCheck_alcotest Smr Stdext

@@ -1,0 +1,1 @@
+test/test_stdext.ml: Alcotest Fun Int64 List Printf QCheck QCheck_alcotest Stdext

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List QCheck QCheck_alcotest Stdext Workload

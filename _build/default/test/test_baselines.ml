@@ -1,0 +1,168 @@
+(* Tests for the baseline protocols: leader-driven Paxos and Fast Paxos. *)
+
+module Pid = Dsim.Pid
+module Paxos = Baselines.Paxos
+module Fast_paxos = Baselines.Fast_paxos
+module Scenario = Checker.Scenario
+module Safety = Checker.Safety
+
+let delta = 100
+
+(* Paxos: the leader proposing decides in two message delays when alive. *)
+let test_paxos_leader_fast () =
+  let n = 3 and e = 0 and f = 1 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 9; 1; 2 ] in
+  let o =
+    Scenario.run Paxos.protocol ~n ~e ~f ~delta ~net:(Scenario.Sync `Arrival) ~proposals
+      ~until:(10 * delta) ()
+  in
+  (match Scenario.decided_value o 0 with
+  | Some (t, v) ->
+      Alcotest.(check int) "leader's own value" 9 v;
+      Alcotest.(check int) "two delays at the leader" (2 * delta) t
+  | None -> Alcotest.fail "leader did not decide");
+  Alcotest.(check bool) "live" true (Safety.live o)
+
+(* Paxos: leader crash costs a timeout + view change — never two-step. *)
+let test_paxos_leader_crash_slow () =
+  let n = 3 and e = 0 and f = 1 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 9; 1; 2 ] in
+  let o =
+    Scenario.run Paxos.protocol ~n ~e ~f ~delta ~net:(Scenario.Sync `Arrival) ~proposals
+      ~crashes:(Scenario.crash_at_start [ 0 ])
+      ~until:(80 * delta) ()
+  in
+  let v = Safety.check o in
+  Alcotest.(check bool) "still live" true (v.validity && v.agreement && v.termination);
+  List.iter
+    (fun (t, _, _) ->
+      Alcotest.(check bool) "no two-step decision after leader crash" true (t > 2 * delta))
+    o.decisions
+
+let test_paxos_non_leader_proposal_reaches_leader () =
+  let n = 5 and e = 0 and f = 2 in
+  (* Only p3 proposes; the leader p0 must decide p3's value. *)
+  let o =
+    Scenario.run Paxos.protocol ~n ~e ~f ~delta ~net:(Scenario.Sync `Arrival)
+      ~proposals:[ (0, 3, 77) ]
+      ~until:(30 * delta) ()
+  in
+  match Scenario.decided_value o 3 with
+  | Some (_, v) -> Alcotest.(check int) "proposer learns its decision" 77 v
+  | None -> Alcotest.fail "proposer never decided"
+
+(* Fast Paxos: with a single proposer, every correct process decides in two
+   message delays even under e crashes (Lamport's stronger property). *)
+let test_fast_paxos_single_proposer_all_fast () =
+  let n = 7 and e = 2 and f = 2 in
+  let crashed = [ 5; 6 ] in
+  let o =
+    Scenario.run Fast_paxos.protocol ~n ~e ~f ~delta ~net:(Scenario.Sync `Arrival)
+      ~proposals:[ (0, 0, 3) ]
+      ~crashes:(Scenario.crash_at_start crashed)
+      ~disable_timers:true ~until:(3 * delta) ()
+  in
+  List.iter
+    (fun p ->
+      match Scenario.decided_value o p with
+      | Some (t, v) ->
+          Alcotest.(check int) "value" 3 v;
+          Alcotest.(check bool) "two steps at every process" true (t <= 2 * delta)
+      | None -> Alcotest.failf "p%d did not decide" p)
+    (List.filter (fun p -> not (List.mem p crashed)) (Pid.all ~n))
+
+(* Fast Paxos collision: conflicting proposals split the fast quorum and the
+   coordinator must recover on the slow path. *)
+let test_fast_paxos_collision_recovery () =
+  let n = 7 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4; 5; 6 ] in
+  let o =
+    Scenario.run Fast_paxos.protocol ~n ~e ~f ~delta ~net:(Scenario.Sync `Random)
+      ~proposals ~seed:17 ~until:(60 * delta) ()
+  in
+  Alcotest.(check bool) "live after collision" true (Safety.live o)
+
+let test_fast_paxos_first_vote_not_value_ordered () =
+  (* Unlike the paper's protocol, a Fast Paxos acceptor votes for the first
+     proposal it receives even when a higher one exists: favoring the
+     lowest proposer makes the lowest value win. *)
+  let n = 7 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4; 5; 6 ] in
+  let o =
+    Scenario.run Fast_paxos.protocol ~n ~e ~f ~delta ~net:(Scenario.Sync (`Favor 0))
+      ~proposals ~disable_timers:true ~until:(3 * delta) ()
+  in
+  match o.decisions with
+  | (_, _, v) :: _ -> Alcotest.(check int) "lowest value wins" 0 v
+  | [] -> Alcotest.fail "no fast decision"
+
+let agreement_property protocol ~n ~e ~f =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s n=%d e=%d f=%d: safe under chaos" (Proto.Protocol.name protocol)
+         n e f)
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Stdext.Rng.create ~seed in
+      let proposals =
+        Scenario.all_proposals_at_zero ~n (List.init n (fun _ -> Stdext.Rng.int rng 4))
+      in
+      let count = Stdext.Rng.int rng (f + 1) in
+      let crashes =
+        Stdext.Rng.shuffle rng (Pid.all ~n)
+        |> List.filteri (fun i _ -> i < count)
+        |> List.map (fun p -> (Stdext.Rng.int rng (10 * delta), p))
+      in
+      let o =
+        Scenario.run protocol ~n ~e ~f ~delta
+          ~net:(Scenario.Partial { gst = Stdext.Rng.int rng (20 * delta); max_pre_gst = 8 * delta })
+          ~proposals ~crashes ~seed ~until:(60 * delta) ()
+      in
+      Safety.safe o)
+
+let liveness_property protocol ~n ~e ~f =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s n=%d e=%d f=%d: live after GST" (Proto.Protocol.name protocol) n
+         e f)
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Stdext.Rng.create ~seed in
+      let proposals =
+        Scenario.all_proposals_at_zero ~n (List.init n (fun _ -> Stdext.Rng.int rng 4))
+      in
+      let count = Stdext.Rng.int rng (f + 1) in
+      let crashes =
+        Stdext.Rng.shuffle rng (Pid.all ~n)
+        |> List.filteri (fun i _ -> i < count)
+        |> List.map (fun p -> (Stdext.Rng.int rng (5 * delta), p))
+      in
+      let o =
+        Scenario.run protocol ~n ~e ~f ~delta
+          ~net:(Scenario.Partial { gst = 10 * delta; max_pre_gst = 5 * delta })
+          ~proposals ~crashes ~seed ~until:(150 * delta) ()
+      in
+      Safety.live o)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "paxos",
+        [
+          Alcotest.test_case "leader decides fast" `Quick test_paxos_leader_fast;
+          Alcotest.test_case "leader crash is slow" `Quick test_paxos_leader_crash_slow;
+          Alcotest.test_case "non-leader proposal" `Quick test_paxos_non_leader_proposal_reaches_leader;
+          QCheck_alcotest.to_alcotest (agreement_property Paxos.protocol ~n:5 ~e:0 ~f:2);
+          QCheck_alcotest.to_alcotest (liveness_property Paxos.protocol ~n:5 ~e:0 ~f:2);
+        ] );
+      ( "fast paxos",
+        [
+          Alcotest.test_case "single proposer: all fast" `Quick test_fast_paxos_single_proposer_all_fast;
+          Alcotest.test_case "collision recovery" `Quick test_fast_paxos_collision_recovery;
+          Alcotest.test_case "first-vote semantics" `Quick test_fast_paxos_first_vote_not_value_ordered;
+          QCheck_alcotest.to_alcotest (agreement_property Fast_paxos.protocol ~n:7 ~e:2 ~f:2);
+          QCheck_alcotest.to_alcotest (liveness_property Fast_paxos.protocol ~n:7 ~e:2 ~f:2);
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for the simulation substrate: virtual time, the automaton/action
+   layer, the network models, and the engine's event semantics (event
+   ordering at equal instants, crashes, timers, manual scheduling,
+   determinism). *)
+
+module Pid = Dsim.Pid
+module Time = Dsim.Time
+module Automaton = Dsim.Automaton
+module Network = Dsim.Network
+module Engine = Dsim.Engine
+module Trace = Dsim.Trace
+
+(* A tiny echo protocol: on input [v], broadcast it; on receiving a value,
+   output (src, v). Lets us observe deliveries as outputs. *)
+type echo_state = { self : Pid.t }
+
+let echo : (echo_state, int, int, Pid.t * int) Automaton.t =
+  {
+    init = (fun ~self ~n:_ -> ({ self }, []));
+    on_message = (fun s ~src v -> (s, [ Automaton.Output (src, v) ]));
+    on_input = (fun s v -> (s, [ Automaton.Broadcast v ]));
+    on_timer = Automaton.no_timer;
+  }
+
+let sync_net = Network.Sync_rounds { delta = 10; order = Network.Arrival }
+
+let test_time_rounds () =
+  Alcotest.(check int) "t=0 is round 1" 1 (Time.round_of ~delta:10 0);
+  Alcotest.(check int) "t=9 is round 1" 1 (Time.round_of ~delta:10 9);
+  Alcotest.(check int) "t=10 is round 2" 2 (Time.round_of ~delta:10 10);
+  Alcotest.(check int) "round 3 starts at 20" 20 (Time.round_start ~delta:10 3)
+
+let test_pid_helpers () =
+  Alcotest.(check (list int)) "all" [ 0; 1; 2 ] (Pid.all ~n:3);
+  Alcotest.(check (list int)) "others" [ 0; 2 ] (Pid.others ~n:3 1)
+
+let test_sync_delivery_at_boundary () =
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:sync_net ~inputs:[ (0, 0, 42) ] ()
+  in
+  ignore (Engine.run engine);
+  let outputs = Engine.outputs engine in
+  Alcotest.(check int) "both peers deliver" 2 (List.length outputs);
+  List.iter (fun (t, _, _) -> Alcotest.(check int) "at boundary" 10 t) outputs
+
+let test_sync_mid_round_send () =
+  (* A message sent at t=3 (mid round 1) is still delivered at t=10. *)
+  let engine =
+    Engine.create ~automaton:echo ~n:2 ~network:sync_net ~inputs:[ (3, 0, 1) ] ()
+  in
+  ignore (Engine.run engine);
+  match Engine.outputs engine with
+  | [ (t, p, (src, v)) ] ->
+      Alcotest.(check int) "boundary" 10 t;
+      Alcotest.(check int) "recipient" 1 p;
+      Alcotest.(check int) "source" 0 src;
+      Alcotest.(check int) "payload" 1 v
+  | other -> Alcotest.failf "expected one delivery, got %d" (List.length other)
+
+let test_crash_at_start_takes_no_step () =
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:sync_net
+      ~inputs:[ (0, 0, 7) ]
+      ~crashes:[ (0, 0) ] ()
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check int) "crashed proposer sends nothing" 0 (List.length (Engine.outputs engine));
+  Alcotest.(check bool) "flag set" true (Engine.crashed engine 0);
+  Alcotest.(check (list int)) "correct pids" [ 1; 2 ] (Engine.correct_pids engine)
+
+let test_crash_before_delivery () =
+  (* p1 crashes at the delivery boundary: crashes process first, so the
+     message is dropped. *)
+  let engine =
+    Engine.create ~automaton:echo ~n:2 ~network:sync_net
+      ~inputs:[ (0, 0, 7) ]
+      ~crashes:[ (10, 1) ] ()
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check int) "no delivery to crashed" 0 (List.length (Engine.outputs engine))
+
+let test_favor_order () =
+  (* Three proposers broadcast at t=0; with Favor 2 every recipient handles
+     p2's message first. *)
+  let first_received = Hashtbl.create 4 in
+  let recorder : (echo_state, int, int, Pid.t * int) Automaton.t =
+    {
+      echo with
+      on_message =
+        (fun s ~src v ->
+          if not (Hashtbl.mem first_received s.self) then
+            Hashtbl.replace first_received s.self src;
+          (s, [ Automaton.Output (src, v) ]));
+    }
+  in
+  let engine =
+    Engine.create ~automaton:recorder ~n:3
+      ~network:(Network.Sync_rounds { delta = 10; order = Network.Favor 2 })
+      ~inputs:[ (0, 0, 100); (0, 1, 101); (0, 2, 102) ]
+      ()
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check int) "p0 heard p2 first" 2 (Hashtbl.find first_received 0);
+  Alcotest.(check int) "p1 heard p2 first" 2 (Hashtbl.find first_received 1)
+
+let test_timer_fires_and_cancel () =
+  let fired = ref [] in
+  let auto : (unit, int, int, unit) Automaton.t =
+    {
+      init =
+        (fun ~self ~n:_ ->
+          if Pid.equal self 0 then
+            ( (),
+              [
+                Automaton.Set_timer { id = 1; after = 5 };
+                Automaton.Set_timer { id = 2; after = 7 };
+                Automaton.Cancel_timer 2;
+              ] )
+          else ((), []));
+      on_message = (fun s ~src:_ _ -> (s, []));
+      on_input = Automaton.no_input;
+      on_timer =
+        (fun s id ->
+          fired := id :: !fired;
+          (s, []));
+    }
+  in
+  let engine = Engine.create ~automaton:auto ~n:2 ~network:sync_net () in
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "only timer 1 fired" [ 1 ] !fired
+
+let test_timer_rearm_replaces () =
+  let fired = ref 0 in
+  let auto : (unit, int, int, unit) Automaton.t =
+    {
+      init =
+        (fun ~self:_ ~n:_ ->
+          ( (),
+            [
+              Automaton.Set_timer { id = 1; after = 5 };
+              Automaton.Set_timer { id = 1; after = 9 };
+            ] ));
+      on_message = (fun s ~src:_ _ -> (s, []));
+      on_input = Automaton.no_input;
+      on_timer =
+        (fun s _ ->
+          incr fired;
+          (s, []));
+    }
+  in
+  let engine = Engine.create ~automaton:auto ~n:1 ~network:sync_net () in
+  ignore (Engine.run engine);
+  Alcotest.(check int) "re-armed timer fires once" 1 !fired
+
+let test_run_until_resumable () =
+  let engine =
+    Engine.create ~automaton:echo ~n:2 ~network:sync_net
+      ~inputs:[ (0, 0, 1); (25, 0, 2) ]
+      ()
+  in
+  let r1 = Engine.run ~until:15 engine in
+  Alcotest.(check bool) "stopped early" true (r1 = Engine.Reached_until);
+  Alcotest.(check int) "one delivery so far" 1 (List.length (Engine.outputs engine));
+  let r2 = Engine.run engine in
+  Alcotest.(check bool) "drained" true (r2 = Engine.Quiescent);
+  Alcotest.(check int) "second delivery" 2 (List.length (Engine.outputs engine))
+
+let test_partial_sync_bounds () =
+  (* After GST every delay is within (0, delta]; before GST it is bounded
+     by gst + delta. *)
+  let delta = 10 and gst = 50 in
+  let engine =
+    Engine.create ~automaton:echo ~n:2 ~seed:11
+      ~network:(Network.Partial_sync { delta; gst; max_pre_gst = 200 })
+      ~inputs:(List.init 20 (fun i -> (i * 7, 0, i)))
+      ()
+  in
+  ignore (Engine.run engine);
+  let trace = Engine.trace engine in
+  List.iter
+    (function
+      | Trace.Delivered { time; sent_at; _ } ->
+          Alcotest.(check bool) "causal" true (time > sent_at);
+          let bound = if sent_at >= gst then sent_at + delta else gst + delta in
+          Alcotest.(check bool) "within bound" true (time <= bound)
+      | _ -> ())
+    trace
+
+let test_wan_latency () =
+  let latency ~src ~dst = if src = dst then 1 else 30 in
+  let engine =
+    Engine.create ~automaton:echo ~n:2
+      ~network:(Network.Wan { latency; jitter = 0 })
+      ~inputs:[ (0, 0, 5) ]
+      ()
+  in
+  ignore (Engine.run engine);
+  match Engine.outputs engine with
+  | [ (t, _, _) ] -> Alcotest.(check int) "matrix delay" 30 t
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_manual_pending_and_deliver () =
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:Network.Manual ~inputs:[ (0, 0, 9) ] ()
+  in
+  ignore (Engine.run engine);
+  let pending = Engine.pending engine in
+  Alcotest.(check int) "two pending broadcasts" 2 (List.length pending);
+  Alcotest.(check int) "no outputs yet" 0 (List.length (Engine.outputs engine));
+  (match pending with
+  | [ a; b ] ->
+      Engine.deliver_pending engine ~id:a.id ~at:5;
+      Engine.drop_pending engine ~id:b.id
+  | _ -> Alcotest.fail "pending shape");
+  ignore (Engine.run engine);
+  Alcotest.(check int) "exactly one delivered" 1 (List.length (Engine.outputs engine));
+  Alcotest.(check int) "pool drained" 0 (List.length (Engine.pending engine))
+
+let test_determinism () =
+  let run () =
+    let engine =
+      Engine.create ~automaton:echo ~n:4 ~seed:99
+        ~network:(Network.Uniform { min_delay = 1; max_delay = 50 })
+        ~inputs:[ (0, 0, 1); (0, 1, 2); (3, 2, 3) ]
+        ()
+    in
+    ignore (Engine.run engine);
+    Engine.outputs engine
+  in
+  Alcotest.(check bool) "identical runs" true (run () = run ())
+
+let test_step_budget () =
+  (* A self-perpetuating timer must be stopped by the step budget. *)
+  let auto : (unit, int, int, unit) Automaton.t =
+    {
+      init = (fun ~self:_ ~n:_ -> ((), [ Automaton.Set_timer { id = 1; after = 1 } ]));
+      on_message = (fun s ~src:_ _ -> (s, []));
+      on_input = Automaton.no_input;
+      on_timer = (fun s _ -> (s, [ Automaton.Set_timer { id = 1; after = 1 } ]));
+    }
+  in
+  let engine = Engine.create ~automaton:auto ~n:1 ~network:sync_net ~max_steps:100 () in
+  Alcotest.(check bool) "budget exhausts" true (Engine.run engine = Engine.Step_budget_exhausted)
+
+let test_trace_contents () =
+  let engine =
+    Engine.create ~automaton:echo ~n:2 ~network:sync_net ~inputs:[ (0, 0, 3) ]
+      ~crashes:[ (20, 1) ] ()
+  in
+  ignore (Engine.run engine);
+  let trace = Engine.trace engine in
+  Alcotest.(check int) "one send" 1 (Trace.message_count trace);
+  Alcotest.(check int) "one input" 1 (List.length (Trace.inputs trace));
+  Alcotest.(check (list (pair int int))) "crash recorded" [ (20, 1) ] (Trace.crashes trace);
+  Alcotest.(check bool) "crashed set" true (Pid.Set.mem 1 (Trace.crashed_set trace));
+  match Trace.first_output trace with
+  | Some (10, 1, (0, 3)) -> ()
+  | _ -> Alcotest.fail "unexpected first output"
+
+let () =
+  Alcotest.run "dsim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "rounds" `Quick test_time_rounds;
+          Alcotest.test_case "pids" `Quick test_pid_helpers;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sync delivery at boundary" `Quick test_sync_delivery_at_boundary;
+          Alcotest.test_case "mid-round send" `Quick test_sync_mid_round_send;
+          Alcotest.test_case "crash at start" `Quick test_crash_at_start_takes_no_step;
+          Alcotest.test_case "crash before delivery" `Quick test_crash_before_delivery;
+          Alcotest.test_case "favor order" `Quick test_favor_order;
+          Alcotest.test_case "timer fire and cancel" `Quick test_timer_fires_and_cancel;
+          Alcotest.test_case "timer re-arm" `Quick test_timer_rearm_replaces;
+          Alcotest.test_case "run until / resume" `Quick test_run_until_resumable;
+          Alcotest.test_case "step budget" `Quick test_step_budget;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "networks",
+        [
+          Alcotest.test_case "partial synchrony bounds" `Quick test_partial_sync_bounds;
+          Alcotest.test_case "wan matrix" `Quick test_wan_latency;
+          Alcotest.test_case "manual pending pool" `Quick test_manual_pending_and_deliver;
+        ] );
+      ("trace", [ Alcotest.test_case "contents" `Quick test_trace_contents ]);
+    ]

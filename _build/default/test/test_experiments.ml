@@ -1,0 +1,173 @@
+(* Regression tests for the evaluation harness itself: each experiment's
+   key invariant is re-derived programmatically (small sample sizes), so a
+   change that silently breaks an experiment's conclusion fails here, not
+   just in a human reading of bench output. *)
+
+module Pid = Dsim.Pid
+module Bounds = Proto.Bounds
+module Scenario = Checker.Scenario
+module Rng = Stdext.Rng
+
+let delta = 100
+
+(* T1: the headline savings at (2,2). *)
+let test_bounds_savings () =
+  let e = 2 and f = 2 in
+  Alcotest.(check int) "lamport" 7 (Bounds.required Bounds.Lamport_fast ~e ~f);
+  Alcotest.(check int) "task" 6 (Bounds.required Bounds.Task ~e ~f);
+  Alcotest.(check int) "object" 5 (Bounds.required Bounds.Object ~e ~f)
+
+(* F1 invariant: at its minimal n, the object protocol's solo proxy decides
+   two-step for every crash count <= e and never beyond. *)
+let test_fast_rate_cliff () =
+  let e = 2 and f = 2 in
+  let n = Bounds.required Bounds.Object ~e ~f in
+  List.iter
+    (fun crashes ->
+      let expected_fast = crashes <= e in
+      let all_ok = ref true in
+      for seed = 1 to 30 do
+        let rng = Rng.create ~seed in
+        let proxy = Rng.int rng n in
+        let crashed =
+          Rng.shuffle rng (List.filter (fun p -> p <> proxy) (Pid.all ~n))
+          |> List.filteri (fun i _ -> i < crashes)
+        in
+        let o =
+          Scenario.run Core.Rgs.obj ~n ~e ~f ~delta ~net:(Scenario.Sync `Random)
+            ~proposals:[ (0, proxy, 5) ]
+            ~crashes:(Scenario.crash_at_start crashed)
+            ~seed ~disable_timers:true ~until:((2 * delta) + 1) ()
+        in
+        let fast =
+          match Scenario.decided_value o proxy with
+          | Some (t, _) -> t <= 2 * delta
+          | None -> false
+        in
+        if fast <> expected_fast then all_ok := false
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "cliff at e: %d crashes -> fast=%b" crashes expected_fast)
+        true !all_ok)
+    [ 0; 1; 2; 3 ]
+
+(* F2 invariant: under two conflicting proposals, the object protocol's
+   value-ordered fast path still yields a two-step decision for the higher
+   proposer in the favourable order, while Fast Paxos cannot decide fast
+   once its acceptors split. *)
+let test_conflict_behaviour () =
+  let e = 2 and f = 2 in
+  let run protocol n order =
+    Scenario.run protocol ~n ~e ~f ~delta ~net:(Scenario.Sync order)
+      ~proposals:[ (0, 1, 5); (0, 2, 7) ]
+      ~disable_timers:true ~until:((2 * delta) + 1) ()
+  in
+  let o = run Core.Rgs.obj 5 (`Favor 2) in
+  (match Scenario.decided_value o 2 with
+  | Some (t, v) ->
+      Alcotest.(check int) "higher value wins fast" 7 v;
+      Alcotest.(check int) "two steps" (2 * delta) t
+  | None -> Alcotest.fail "rgs-object: higher proposer should decide fast");
+  (* Fast Paxos: make the acceptors split votes 3/4 across the two values
+     by favouring p1 (value 5): 5 gets most votes but p2 and p1 vote for
+     what arrives first; with Favor 1 everyone votes 5... that IS a fast
+     decision. Use an adversarial random order that splits instead. *)
+  let split_found = ref false in
+  for seed = 1 to 20 do
+    let o =
+      Scenario.run Baselines.Fast_paxos.protocol ~n:7 ~e ~f ~delta
+        ~net:(Scenario.Sync `Random)
+        ~proposals:[ (0, 1, 5); (0, 2, 7) ]
+        ~seed ~disable_timers:true ~until:((2 * delta) + 1) ()
+    in
+    if o.decisions = [] then split_found := true
+  done;
+  Alcotest.(check bool) "fast paxos: some split prevents any fast decision" true
+    !split_found
+
+(* F3 invariant: on planet5, the object protocol's proxy latency is never
+   worse than Fast Paxos's from the same region (it contacts a subset-size
+   quorum of a subset-size cluster). *)
+let test_wan_dominance () =
+  let e = 2 and f = 2 in
+  let topo = Workload.Topology.planet5 in
+  let wan_delta = Workload.Topology.max_oneway topo + 10 in
+  let latency protocol n proxy =
+    let o =
+      Scenario.run protocol ~n ~e ~f ~delta:wan_delta
+        ~net:(Scenario.Wan { latency = Workload.Topology.latency_fn topo; jitter = 0 })
+        ~proposals:[ (0, proxy, 5) ]
+        ~seed:1 ~until:(40 * wan_delta) ()
+    in
+    match Scenario.decided_value o proxy with
+    | Some (t, _) -> t
+    | None -> max_int
+  in
+  List.iter
+    (fun proxy ->
+      let rgs = latency Core.Rgs.obj 5 proxy in
+      let fp = latency Baselines.Fast_paxos.protocol 7 proxy in
+      Alcotest.(check bool)
+        (Printf.sprintf "region %d: rgs (%d ms) <= fast-paxos (%d ms)" proxy rgs fp)
+        true (rgs <= fp))
+    [ 0; 1; 2; 3; 4 ]
+
+(* F5 invariant: EPaxos commits in two delays at 2f+1 with e crashes and no
+   interference. *)
+let test_epaxos_regime () =
+  List.iter
+    (fun f ->
+      let n = (2 * f) + 1 in
+      let e = Bounds.epaxos_e ~f in
+      let automaton = Epaxos.make ~n ~f ~delta in
+      let crashes = List.init e (fun i -> (0, n - 1 - i)) in
+      let engine =
+        Dsim.Engine.create ~automaton ~n
+          ~network:(Dsim.Network.Sync_rounds { delta; order = Dsim.Network.Arrival })
+          ~inputs:[ (0, 0, { Epaxos.Cmd.origin = 0; key = 1; payload = 9 }) ]
+          ~crashes ()
+      in
+      ignore (Dsim.Engine.run ~until:(10 * delta) engine);
+      let commit =
+        List.find_map
+          (fun (t, p, o) ->
+            match o with Epaxos.Committed _ when p = 0 -> Some t | _ -> None)
+          (Dsim.Engine.outputs engine)
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "f=%d: two-delay commit at n=2f+1 under e=%d crashes" f e)
+        (Some (2 * delta)) commit)
+    [ 1; 2; 3 ]
+
+(* The experiment drivers run end-to-end (catches crashes/format bugs). *)
+let test_tables_run () =
+  let buffer = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buffer in
+  Experiments.t1_bounds_table fmt;
+  Experiments.t3_tightness_witnesses fmt;
+  Experiments.t4_recovery_audit fmt;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buffer in
+  let contains_unexpected =
+    let needle = "UNEXPECTED" in
+    let nl = String.length needle and sl = String.length s in
+    let rec scan i = i + nl <= sl && (String.sub s i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "output produced" true (String.length s > 0);
+  Alcotest.(check bool) "every row matched its proved expectation" false
+    contains_unexpected
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "T1 savings" `Quick test_bounds_savings;
+          Alcotest.test_case "F1 crash cliff" `Quick test_fast_rate_cliff;
+          Alcotest.test_case "F2 conflict behaviour" `Quick test_conflict_behaviour;
+          Alcotest.test_case "F3 WAN dominance" `Quick test_wan_dominance;
+          Alcotest.test_case "F5 EPaxos regime" `Quick test_epaxos_regime;
+        ] );
+      ("drivers", [ Alcotest.test_case "tables run clean" `Quick test_tables_run ]);
+    ]

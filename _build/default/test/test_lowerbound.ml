@@ -1,0 +1,128 @@
+(* Tests for the lower-bound machinery: the splice helpers and the
+   executable tightness witnesses of Theorems 5 and 6. *)
+
+module Pid = Dsim.Pid
+module Engine = Dsim.Engine
+module Automaton = Dsim.Automaton
+module Witness = Lowerbound.Witness
+module Splice = Lowerbound.Splice
+
+(* Echo protocol for exercising the splice helpers directly. *)
+type echo_state = { self : Pid.t }
+
+let echo : (echo_state, int, int, Pid.t * int) Automaton.t =
+  {
+    init = (fun ~self ~n:_ -> ({ self }, []));
+    on_message = (fun s ~src v -> (s, [ Automaton.Output (src, v) ]));
+    on_input = (fun s v -> (s, [ Automaton.Broadcast v ]));
+    on_timer = Automaton.no_timer;
+  }
+
+let test_deliver_round_order_and_drop () =
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:Dsim.Network.Manual
+      ~inputs:[ (0, 0, 1); (0, 1, 2) ]
+      ()
+  in
+  ignore (Engine.run ~until:0 engine);
+  (* 4 pending: p0->1, p0->2, p1->0, p1->2. Drop everything from p1 and
+     deliver the rest reversed. *)
+  Splice.deliver_round engine ~at:10
+    ~order:(fun l -> List.rev l)
+    ~drop:(fun p -> Pid.equal p.src 1)
+    ();
+  let outputs = Engine.outputs engine in
+  Alcotest.(check int) "two deliveries" 2 (List.length outputs);
+  List.iter (fun (_, _, (src, _)) -> Alcotest.(check int) "only p0's" 0 src) outputs;
+  Alcotest.(check int) "pool drained" 0 (List.length (Engine.pending engine))
+
+let test_pump_advances_rounds () =
+  let engine =
+    Engine.create ~automaton:echo ~n:2 ~network:Dsim.Network.Manual ~inputs:[ (0, 0, 7) ] ()
+  in
+  ignore (Engine.run ~until:0 engine);
+  Splice.pump engine ~delta:10 ~until:50 ();
+  Alcotest.(check int) "message pumped" 1 (List.length (Engine.outputs engine));
+  Alcotest.(check bool) "time advanced" true (Engine.now engine <= 50)
+
+let test_favor_sources () =
+  let mk id src dst = { Engine.id; src; dst; msg = 0; sent_at = 0 } in
+  let batch = [ mk 0 1 5; mk 1 2 5; mk 2 1 6 ] in
+  let ordered = Splice.favor_sources ~first:(fun ~dst:_ ~src -> src = 2) batch in
+  match ordered with
+  | [ a; b; c ] ->
+      Alcotest.(check int) "favored first" 1 a.Engine.id;
+      Alcotest.(check (list int)) "rest in send order" [ 0; 2 ] [ b.Engine.id; c.Engine.id ]
+  | _ -> Alcotest.fail "length"
+
+(* Theorem 5 tightness: the task protocol is safe at n = 2e+f and violable
+   at n = 2e+f-1, across several (e, f) in the fast-path-limited regime. *)
+let test_task_tightness () =
+  List.iter
+    (fun (e, f) ->
+      let bound = Proto.Bounds.required Proto.Bounds.Task ~e ~f in
+      let safe = Witness.task_scenario ~n:bound ~e ~f () in
+      Alcotest.(check bool)
+        (Format.asprintf "safe at bound: %a" Witness.pp_result safe)
+        false safe.agreement_violated;
+      Alcotest.(check bool) "fast decision recovered" true
+        (List.for_all (fun (_, v) -> v = safe.fast_value) safe.recovery_decisions
+        && safe.recovery_decisions <> []);
+      let broken = Witness.task_scenario ~n:(bound - 1) ~e ~f () in
+      Alcotest.(check bool)
+        (Format.asprintf "violated below bound: %a" Witness.pp_result broken)
+        true broken.agreement_violated)
+    [ (2, 2); (3, 3); (3, 4); (4, 4); (4, 5) ]
+
+(* Theorem 6 tightness for the object protocol. *)
+let test_object_tightness () =
+  List.iter
+    (fun (e, f) ->
+      let bound = Proto.Bounds.required Proto.Bounds.Object ~e ~f in
+      let safe = Witness.object_scenario ~n:bound ~e ~f () in
+      Alcotest.(check bool)
+        (Format.asprintf "safe at bound: %a" Witness.pp_result safe)
+        false safe.agreement_violated;
+      let broken = Witness.object_scenario ~n:(bound - 1) ~e ~f () in
+      Alcotest.(check bool)
+        (Format.asprintf "violated below bound: %a" Witness.pp_result broken)
+        true broken.agreement_violated)
+    [ (3, 3); (4, 4); (4, 5) ]
+
+(* The object protocol at its bound survives the *task* witness shape too:
+   the red lines prevent the vote layout that kills the task protocol one
+   process below ITS bound. Concretely, at n = 2e+f-1 the object scenario
+   stays safe while the task protocol with the same n falls. *)
+let test_object_beats_task_at_task_minus_one () =
+  let e = 2 and f = 2 in
+  let n = (2 * e) + f - 1 in
+  let task_result = Witness.task_scenario ~n ~e ~f () in
+  Alcotest.(check bool) "task protocol violated at 2e+f-1" true task_result.agreement_violated;
+  let obj_result = Witness.object_scenario ~n ~e ~f () in
+  Alcotest.(check bool) "object protocol safe at 2e+f-1" false obj_result.agreement_violated
+
+let test_witness_validation () =
+  Alcotest.check_raises "task preconditions"
+    (Invalid_argument "Witness.task_scenario: need e >= 2, f >= 2, n >= e+f+1") (fun () ->
+      ignore (Witness.task_scenario ~n:3 ~e:1 ~f:1 ()));
+  Alcotest.check_raises "object preconditions"
+    (Invalid_argument "Witness.object_scenario: need e >= 2, f >= 2, n >= e+f") (fun () ->
+      ignore (Witness.object_scenario ~n:2 ~e:1 ~f:1 ()))
+
+let () =
+  Alcotest.run "lowerbound"
+    [
+      ( "splice",
+        [
+          Alcotest.test_case "deliver_round order/drop" `Quick test_deliver_round_order_and_drop;
+          Alcotest.test_case "pump" `Quick test_pump_advances_rounds;
+          Alcotest.test_case "favor_sources" `Quick test_favor_sources;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "task tightness (Thm 5)" `Quick test_task_tightness;
+          Alcotest.test_case "object tightness (Thm 6)" `Quick test_object_tightness;
+          Alcotest.test_case "object survives task's killer" `Quick test_object_beats_task_at_task_minus_one;
+          Alcotest.test_case "input validation" `Quick test_witness_validation;
+        ] );
+    ]

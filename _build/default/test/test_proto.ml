@@ -1,0 +1,205 @@
+(* Tests for the protocol substrate: values, ballots, the bound formulas of
+   the paper, vote tallies, and the Ω leader-election component. *)
+
+module Value = Proto.Value
+module Ballot = Proto.Ballot
+module Bounds = Proto.Bounds
+module Votes = Proto.Votes
+module Omega = Proto.Omega
+module Automaton = Dsim.Automaton
+
+let test_value_order () =
+  Alcotest.(check bool) "v >= bottom" true (Value.geq_bottom 0 None);
+  Alcotest.(check bool) "5 >= 3" true (Value.geq_bottom 5 (Some 3));
+  Alcotest.(check bool) "2 < 3" false (Value.geq_bottom 2 (Some 3));
+  Alcotest.(check (option int)) "max with bottom" (Some 4) (Value.max_opt None (Some 4));
+  Alcotest.(check (option int)) "max" (Some 7) (Value.max_opt (Some 7) (Some 4))
+
+let test_ballot_ownership () =
+  let n = 5 in
+  Alcotest.(check bool) "0 is fast" true (Ballot.is_fast Ballot.fast);
+  Alcotest.(check int) "b7 owner" 2 (Ballot.leader_of ~n 7);
+  Alcotest.check_raises "fast ballot has no owner"
+    (Invalid_argument "Ballot.leader_of: the fast ballot has no owner") (fun () ->
+      ignore (Ballot.leader_of ~n 0))
+
+let test_ballot_next_owned () =
+  let n = 5 in
+  List.iter
+    (fun self ->
+      List.iter
+        (fun above ->
+          let b = Ballot.next_owned ~n ~self ~above in
+          Alcotest.(check bool) "strictly above" true (b > above);
+          Alcotest.(check bool) "positive" true (b > 0);
+          Alcotest.(check int) "owned" self (Ballot.leader_of ~n b);
+          (* minimality: no smaller owned ballot in between *)
+          let smaller_owned = ref false in
+          for c = above + 1 to b - 1 do
+            if c > 0 && Ballot.leader_of ~n c = self then smaller_owned := true
+          done;
+          Alcotest.(check bool) "minimal" false !smaller_owned)
+        [ 0; 1; 4; 5; 17 ])
+    (Dsim.Pid.all ~n)
+
+(* The paper's headline table: bounds for the three formulations. *)
+let test_bounds_table () =
+  let check form e f expected =
+    Alcotest.(check int)
+      (Format.asprintf "%a e=%d f=%d" Bounds.pp_formulation form e f)
+      expected
+      (Bounds.required form ~e ~f)
+  in
+  (* e = f = 1 *)
+  check Bounds.Lamport_fast 1 1 4;
+  check Bounds.Task 1 1 3;
+  check Bounds.Object 1 1 3;
+  (* e = 1, f = 2: 2f+1 dominates the task/object core *)
+  check Bounds.Lamport_fast 1 2 5;
+  check Bounds.Task 1 2 5;
+  check Bounds.Object 1 2 5;
+  (* e = f = 2 *)
+  check Bounds.Lamport_fast 2 2 7;
+  check Bounds.Task 2 2 6;
+  check Bounds.Object 2 2 5;
+  (* e = 2, f = 3: EPaxos's sweet spot (e = ceil((f+1)/2), n = 2f+1) *)
+  check Bounds.Object 2 3 7;
+  Alcotest.(check int) "epaxos e for f=3" 2 (Bounds.epaxos_e ~f:3);
+  Alcotest.(check int) "epaxos e for f=2" 2 (Bounds.epaxos_e ~f:2);
+  Alcotest.(check int) "epaxos e for f=1" 1 (Bounds.epaxos_e ~f:1)
+
+(* §1 of the paper: with e = ceil((f+1)/2), EPaxos-style protocols use
+   2f+1 processes while Lamport's bound demands strictly more; for even f
+   the gap is exactly two processes (2f+3 = 2e+f+1). *)
+let test_epaxos_conundrum () =
+  List.iter
+    (fun f ->
+      let e = Bounds.epaxos_e ~f in
+      Alcotest.(check int) "object bound = 2f+1" ((2 * f) + 1) (Bounds.required Bounds.Object ~e ~f);
+      Alcotest.(check bool)
+        "Lamport bound exceeds 2f+1" true
+        (Bounds.required Bounds.Lamport_fast ~e ~f > (2 * f) + 1))
+    [ 1; 2; 3; 4; 5; 6; 7 ];
+  List.iter
+    (fun f ->
+      let e = Bounds.epaxos_e ~f in
+      Alcotest.(check int)
+        "even f: Lamport bound = 2f+3"
+        ((2 * f) + 3)
+        (Bounds.required Bounds.Lamport_fast ~e ~f))
+    [ 2; 4; 6 ]
+
+let bounds_monotone =
+  QCheck.Test.make ~name:"bounds: object <= task <= lamport, all >= 2f+1" ~count:200
+    QCheck.(pair (int_range 0 10) (int_range 0 10))
+    (fun (e, d) ->
+      let f = e + d in
+      let lam = Bounds.required Bounds.Lamport_fast ~e ~f in
+      let task = Bounds.required Bounds.Task ~e ~f in
+      let obj = Bounds.required Bounds.Object ~e ~f in
+      obj <= task && task <= lam && obj >= (2 * f) + 1)
+
+(* Quorum-intersection arithmetic behind the protocol: any fast quorum and
+   any recovery quorum overlap in >= recovery_threshold processes. *)
+let quorum_overlap =
+  QCheck.Test.make ~name:"fast/classic quorum overlap >= n-f-e" ~count:500
+    QCheck.(triple (int_range 0 5) (int_range 0 5) (int_range 0 20))
+    (fun (e, d, extra) ->
+      let f = e + d in
+      let n = Bounds.required Bounds.Task ~e ~f + extra in
+      let fast = Bounds.fast_quorum ~n ~e and classic = Bounds.classic_quorum ~n ~f in
+      (* worst-case overlap by inclusion-exclusion *)
+      fast + classic - n >= Bounds.recovery_threshold ~n ~e ~f
+      && Bounds.recovery_threshold ~n ~e ~f >= 1)
+
+let test_votes () =
+  let v =
+    Votes.empty |> Votes.add 1 0 |> Votes.add 1 1 |> Votes.add 2 2 |> Votes.add 1 0
+    (* duplicate *)
+  in
+  Alcotest.(check int) "count 1" 2 (Votes.count 1 v);
+  Alcotest.(check int) "count 2" 1 (Votes.count 2 v);
+  Alcotest.(check int) "count absent" 0 (Votes.count 9 v);
+  Alcotest.(check (list (pair int int))) "tally" [ (1, 2); (2, 1) ] (Votes.tally v);
+  Alcotest.(check (list int)) "at least 2" [ 1 ] (Votes.values_with_count_at_least 2 v);
+  Alcotest.(check (list int)) "exactly 1" [ 2 ] (Votes.values_with_count_exactly 1 v);
+  Alcotest.(check (option int)) "max >= 1" (Some 2) (Votes.max_value_with_count_at_least 1 v);
+  Alcotest.(check int) "distinct voters" 3 (Votes.total_pids v)
+
+(* Ω as a component: run it standalone in the engine and check convergence
+   after crashes. *)
+type omega_state = Omega.state
+
+let omega_auto ~delta : (omega_state, Omega.msg, int, unit) Automaton.t =
+  {
+    init = (fun ~self ~n -> Omega.init ~self ~n ~delta ());
+    on_message = (fun s ~src m -> Omega.on_message s ~src m);
+    on_input = Automaton.no_input;
+    on_timer = (fun s id -> if Omega.owns_timer s id then Omega.on_timer s id else (s, []));
+  }
+
+let test_omega_initial_leader () =
+  let delta = 10 in
+  let engine =
+    Dsim.Engine.create ~automaton:(omega_auto ~delta) ~n:4
+      ~network:(Dsim.Network.Sync_rounds { delta; order = Dsim.Network.Arrival })
+      ()
+  in
+  ignore (Dsim.Engine.run ~until:15 engine);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "p0 leads initially" 0 (Omega.leader (Dsim.Engine.state engine p)))
+    (Dsim.Pid.all ~n:4)
+
+let test_omega_crash_failover () =
+  let delta = 10 in
+  let engine =
+    Dsim.Engine.create ~automaton:(omega_auto ~delta) ~n:4
+      ~network:(Dsim.Network.Sync_rounds { delta; order = Dsim.Network.Arrival })
+      ~crashes:[ (0, 0); (0, 1) ] ()
+  in
+  ignore (Dsim.Engine.run ~until:(20 * delta) engine);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        "leader is lowest correct" 2
+        (Omega.leader (Dsim.Engine.state engine p)))
+    [ 2; 3 ]
+
+let test_omega_no_false_suspicion_when_synchronous () =
+  let delta = 10 in
+  let engine =
+    Dsim.Engine.create ~automaton:(omega_auto ~delta) ~n:3
+      ~network:(Dsim.Network.Sync_rounds { delta; order = Dsim.Network.Arrival })
+      ()
+  in
+  ignore (Dsim.Engine.run ~until:(50 * delta) engine);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "still p0" 0 (Omega.leader (Dsim.Engine.state engine p)))
+    (Dsim.Pid.all ~n:3)
+
+let () =
+  Alcotest.run "proto"
+    [
+      ("value", [ Alcotest.test_case "ordering" `Quick test_value_order ]);
+      ( "ballot",
+        [
+          Alcotest.test_case "ownership" `Quick test_ballot_ownership;
+          Alcotest.test_case "next owned" `Quick test_ballot_next_owned;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "table" `Quick test_bounds_table;
+          Alcotest.test_case "epaxos conundrum" `Quick test_epaxos_conundrum;
+          QCheck_alcotest.to_alcotest bounds_monotone;
+          QCheck_alcotest.to_alcotest quorum_overlap;
+        ] );
+      ("votes", [ Alcotest.test_case "tallies" `Quick test_votes ]);
+      ( "omega",
+        [
+          Alcotest.test_case "initial leader" `Quick test_omega_initial_leader;
+          Alcotest.test_case "crash failover" `Quick test_omega_crash_failover;
+          Alcotest.test_case "synchronous stability" `Quick test_omega_no_false_suspicion_when_synchronous;
+        ] );
+    ]

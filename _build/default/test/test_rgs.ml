@@ -1,0 +1,373 @@
+(* Tests for the paper's protocol (Figure 1), task and object modes: fast
+   path timing and preconditions, slow-path recovery, the red-line
+   differences, and randomized safety/liveness properties. *)
+
+module Pid = Dsim.Pid
+module Value = Proto.Value
+module Rgs = Core.Rgs
+module Scenario = Checker.Scenario
+module Safety = Checker.Safety
+
+let delta = 100
+
+let sync_run ?(order = `Arrival) ?(crashes = []) ?(timers = false) ~n ~e ~f ~until proposals
+    protocol =
+  Scenario.run protocol ~n ~e ~f ~delta ~net:(Scenario.Sync order) ~proposals
+    ~crashes:(Scenario.crash_at_start crashes) ~disable_timers:(not timers) ~until ()
+
+(* Fast path: the highest proposer, heard first everywhere, decides at
+   exactly 2Δ; the others follow one round later via Decide. *)
+let test_fast_path_two_steps () =
+  let n = 5 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4 ] in
+  let o =
+    sync_run ~order:(`Favor 4) ~n ~e ~f ~until:(3 * delta) proposals Rgs.task
+  in
+  (match Scenario.decided_value o 4 with
+  | Some (t, v) ->
+      Alcotest.(check int) "decides the highest value" 4 v;
+      Alcotest.(check int) "in exactly two message delays" (2 * delta) t
+  | None -> Alcotest.fail "favored proposer did not decide");
+  List.iter
+    (fun p ->
+      match Scenario.decided_value o p with
+      | Some (t, v) ->
+          Alcotest.(check int) "same value" 4 v;
+          Alcotest.(check int) "one round later" (3 * delta) t
+      | None -> Alcotest.failf "p%d did not decide" p)
+    [ 0; 1; 2; 3 ]
+
+let test_fast_path_under_e_crashes () =
+  let n = 5 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4 ] in
+  let o =
+    sync_run ~order:(`Favor 4) ~crashes:[ 0; 1 ] ~n ~e ~f ~until:(3 * delta) proposals
+      Rgs.task
+  in
+  (match Scenario.decided_value o 4 with
+  | Some (t, _) -> Alcotest.(check int) "still two steps with e crashes" (2 * delta) t
+  | None -> Alcotest.fail "no fast decision under e crashes");
+  Alcotest.(check bool) "safe" true (Safety.safe o)
+
+let test_no_fast_path_beyond_e_crashes () =
+  let n = 5 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4 ] in
+  (* e+1 = 3 crashes: with timers off nobody can reach n-e = 3 votes. *)
+  let o =
+    sync_run ~order:(`Favor 4) ~crashes:[ 0; 1; 2 ] ~n ~e ~f ~until:(4 * delta) proposals
+      Rgs.task
+  in
+  Alcotest.(check int) "no decision" 0 (List.length o.decisions)
+
+(* Line 5: a process only votes for proposals >= its own, so a low value
+   heard first cannot displace a higher proposal. *)
+let test_value_ordering_acceptance () =
+  let n = 3 and e = 1 and f = 1 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2 ] in
+  let o = sync_run ~order:(`Favor 0) ~n ~e ~f ~until:(3 * delta) proposals Rgs.task in
+  (match Scenario.decided_value o 0 with
+  | Some (_, v) -> Alcotest.(check bool) "p0 cannot decide its own 0" true (v <> 0)
+  | None -> ());
+  Alcotest.(check bool) "safe" true (Safety.safe o)
+
+let test_same_value_everyone_fast () =
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 7; 7; 7; 7; 7; 7 ] in
+  List.iter
+    (fun p ->
+      let o = sync_run ~order:(`Favor p) ~n ~e ~f ~until:(2 * delta) proposals Rgs.task in
+      match Scenario.decided_value o p with
+      | Some (t, v) ->
+          Alcotest.(check int) "value" 7 v;
+          Alcotest.(check int) "two steps" (2 * delta) t
+      | None -> Alcotest.failf "p%d not two-step on unanimous config" p)
+    (Pid.all ~n)
+
+(* Slow path: initial leader p0 crashed, conflicting proposals, fast path
+   fails; the protocol must still terminate under partial synchrony. *)
+let test_slow_path_termination () =
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let o =
+    Scenario.run Rgs.task ~n ~e ~f ~delta
+      ~net:(Scenario.Partial { gst = 6 * delta; max_pre_gst = 4 * delta })
+      ~proposals
+      ~crashes:[ (0, 0); (delta / 2, 1) ]
+      ~seed:3 ~until:(80 * delta) ()
+  in
+  let v = Safety.check o in
+  Alcotest.(check bool) ("live: " ^ Format.asprintf "%a" Safety.pp_verdict v) true
+    (v.validity && v.agreement && v.termination)
+
+let test_slow_path_preserves_fast_decision () =
+  (* The favored proposer decides fast at 2Δ and crashes immediately; even
+     if its Decide broadcast races with a recovery ballot, everyone must
+     settle on the same value. *)
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4; 5 ] in
+  let o =
+    Scenario.run Rgs.task ~n ~e ~f ~delta ~net:(Scenario.Sync (`Favor 5)) ~proposals
+      ~crashes:[ ((2 * delta) + 1, 5) ]
+      ~until:(40 * delta) ()
+  in
+  let v = Safety.check o in
+  Alcotest.(check bool) "agreement including the crashed decider" true v.agreement;
+  (match Scenario.decided_value o 5 with
+  | Some (_, value) -> Alcotest.(check int) "fast decision was 5" 5 value
+  | None -> Alcotest.fail "p5 should have decided before crashing");
+  Alcotest.(check bool) "validity" true v.validity
+
+(* Object mode red line: a process that proposed v refuses to vote for any
+   other value. *)
+let test_object_refuses_other_values () =
+  let n = 5 and e = 2 and f = 2 in
+  (* p3 proposes 9, p4 proposes 1. Favoring p4's proposal, the three
+     non-proposers vote 1 and p4 decides fast; p3 refuses to vote 1. *)
+  let proposals = [ (0, 3, 9); (0, 4, 1) ] in
+  let o =
+    Scenario.run Rgs.obj ~n ~e ~f ~delta ~net:(Scenario.Sync (`Favor 4)) ~proposals
+      ~disable_timers:true ~until:(3 * delta) ()
+  in
+  (match Scenario.decided_value o 4 with
+  | Some (t, v) ->
+      Alcotest.(check int) "p4 decides its own value" 1 v;
+      Alcotest.(check int) "two steps" (2 * delta) t
+  | None -> Alcotest.fail "p4 should decide (votes from 3 non-proposers + itself)");
+  Alcotest.(check bool) "safe" true (Safety.safe o)
+
+let test_object_task_divergence_on_vote () =
+  (* Same two-proposer configuration; in task mode the lower proposer DOES
+     vote for the higher value; in object mode it refuses, but the higher
+     proposer still completes its quorum via the non-proposers. *)
+  let n = 5 and e = 2 and f = 2 in
+  let proposals = [ (0, 3, 9); (0, 4, 1) ] in
+  let run protocol =
+    Scenario.run protocol ~n ~e ~f ~delta ~net:(Scenario.Sync (`Favor 3)) ~proposals
+      ~disable_timers:true ~until:(3 * delta) ()
+  in
+  let task_o = run Rgs.task in
+  (match Scenario.decided_value task_o 3 with
+  | Some (_, v) -> Alcotest.(check int) "task: 9 wins" 9 v
+  | None -> Alcotest.fail "task mode: p3 should decide");
+  let obj_o = run Rgs.obj in
+  match Scenario.decided_value obj_o 3 with
+  | Some (t, v) ->
+      Alcotest.(check int) "object: still 9" 9 v;
+      Alcotest.(check int) "object: two steps" (2 * delta) t
+  | None -> Alcotest.fail "object mode: p3 should still decide via non-proposers"
+
+let test_object_single_proposer_everywhere () =
+  (* Definition A.1 item 1 at the object bound n = 2e+f-1 = 5. *)
+  let n = 5 and e = 2 and f = 2 in
+  List.iter
+    (fun p ->
+      let crashed = List.filteri (fun i _ -> i < e) (Pid.others ~n p) in
+      let o =
+        Scenario.run Rgs.obj ~n ~e ~f ~delta ~net:(Scenario.Sync `Arrival)
+          ~proposals:[ (0, p, 42) ]
+          ~crashes:(Scenario.crash_at_start crashed)
+          ~disable_timers:true ~until:(3 * delta) ()
+      in
+      match Scenario.decided_value o p with
+      | Some (t, v) ->
+          Alcotest.(check int) "own value" 42 v;
+          Alcotest.(check bool) "two steps" true (t <= 2 * delta)
+      | None -> Alcotest.failf "solo proposer p%d undecided" p)
+    (Pid.all ~n)
+
+let test_object_late_proposal () =
+  (* A propose() call long after startup still gets decided. *)
+  let n = 5 and e = 2 and f = 2 in
+  let o =
+    Scenario.run Rgs.obj ~n ~e ~f ~delta
+      ~net:(Scenario.Partial { gst = delta; max_pre_gst = delta })
+      ~proposals:[ (7 * delta, 2, 13) ]
+      ~seed:5 ~until:(60 * delta) ()
+  in
+  match Scenario.decided_value o 2 with
+  | Some (_, v) -> Alcotest.(check int) "late proposal decided" 13 v
+  | None -> Alcotest.fail "late proposal never decided"
+
+let test_message_complexity_fast_path () =
+  let n = 5 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4 ] in
+  let o = sync_run ~order:(`Favor 4) ~n ~e ~f ~until:(4 * delta) proposals Rgs.task in
+  Alcotest.(check bool)
+    (Printf.sprintf "message count %d below 3n^2" o.messages)
+    true
+    (o.messages <= 3 * n * n)
+
+
+(* Edge cases driven through the manual network: stale and duplicate
+   messages, ballot monotonicity, decide idempotence. *)
+
+let test_stale_and_duplicate_messages () =
+  let n = 5 and e = 2 and f = 2 in
+  let automaton = Core.Rgs.make ~mode:Core.Rgs.Task ~n ~e ~f ~delta in
+  let engine =
+    Dsim.Engine.create ~automaton ~n ~network:Dsim.Network.Manual
+      ~inputs:(List.mapi (fun i v -> (0, i, v)) [ 0; 1; 2; 3; 4 ])
+      ()
+  in
+  ignore (Dsim.Engine.run ~until:0 engine);
+  (* Round 1: deliver p4's proposal first everywhere. *)
+  Lowerbound.Splice.deliver_round engine ~at:delta
+    ~order:(Lowerbound.Splice.favor_sources ~first:(fun ~dst:_ ~src -> src = 4))
+    ();
+  (* Round 2: votes reach p4; it decides. *)
+  Lowerbound.Splice.deliver_round engine ~at:(2 * delta) ();
+  (match Core.Rgs.decided_value (Dsim.Engine.state engine 4) with
+  | Some 4 -> ()
+  | _ -> Alcotest.fail "p4 should have decided 4");
+  (* After the decision, the remaining pending traffic (stale proposals,
+     votes, duplicate Decides) must neither change the decision nor crash
+     anything. *)
+  Lowerbound.Splice.pump engine ~delta ~until:(10 * delta) ();
+  List.iter
+    (fun p ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "p%d settled on 4" p)
+        (Some 4)
+        (Core.Rgs.decided_value (Dsim.Engine.state engine p)))
+    (Pid.all ~n);
+  (* Exactly one Output per process. *)
+  let outputs = Dsim.Engine.outputs engine in
+  let per_pid p = List.length (List.filter (fun (_, q, _) -> q = p) outputs) in
+  List.iter
+    (fun p -> Alcotest.(check int) "single decision output" 1 (per_pid p))
+    (Pid.all ~n)
+
+let test_ballot_monotonicity () =
+  (* Drive two competing slow ballots; the state's current ballot must only
+     grow, and the vote must follow the highest ballot. *)
+  let n = 5 and e = 2 and f = 2 in
+  let o =
+    Scenario.run Rgs.task ~n ~e ~f ~delta
+      ~net:(Scenario.Partial { gst = 8 * delta; max_pre_gst = 6 * delta })
+      ~proposals:(Scenario.all_proposals_at_zero ~n [ 4; 3; 2; 1; 0 ])
+      ~crashes:[ (0, 0) ]
+      ~seed:13 ~until:(100 * delta) ()
+  in
+  Alcotest.(check bool) "safe under competing ballots" true (Safety.safe o);
+  Alcotest.(check bool) "live" true (Safety.live o)
+
+let test_all_crash_except_quorum_boundary () =
+  (* Exactly f crashes: the slow path still terminates with n-f survivors. *)
+  let n = 5 and e = 2 and f = 2 in
+  let o =
+    Scenario.run Rgs.task ~n ~e ~f ~delta
+      ~net:(Scenario.Partial { gst = 3 * delta; max_pre_gst = 2 * delta })
+      ~proposals:(Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4 ])
+      ~crashes:[ (0, 3); (delta, 4) ]
+      ~seed:2 ~until:(100 * delta) ()
+  in
+  let v = Safety.check o in
+  Alcotest.(check bool) "live at the resilience boundary" true
+    (v.validity && v.agreement && v.termination)
+
+let test_decided_value_reported_in_recovery () =
+  (* A decided process reports its decision in 1B (line 13): even when the
+     recovery leader's quorum contains the decider, the decided value is
+     selected. Favor p4 so it decides fast, keep everyone alive, timers on:
+     p0 starts a ballot at 2 delta and must adopt 4. *)
+  let n = 6 and e = 2 and f = 2 in
+  let o =
+    Scenario.run Rgs.task ~n ~e ~f ~delta ~net:(Scenario.Sync (`Favor 5))
+      ~proposals:(Scenario.all_proposals_at_zero ~n [ 0; 1; 2; 3; 4; 5 ])
+      ~until:(30 * delta) ()
+  in
+  let v = Safety.check o in
+  Alcotest.(check bool) "agreement across fast path and recovery" true v.agreement;
+  Alcotest.(check (list int)) "all decide the fast value" [ 5 ] v.distinct_decisions
+
+(* Randomized properties. *)
+
+let random_crash_schedule rng ~n ~f ~horizon =
+  let count = Stdext.Rng.int rng (f + 1) in
+  let pids = Stdext.Rng.shuffle rng (Pid.all ~n) in
+  List.filteri (fun i _ -> i < count) pids
+  |> List.map (fun p -> (Stdext.Rng.int rng horizon, p))
+
+let agreement_under_chaos protocol ~n ~e ~f =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s n=%d e=%d f=%d: safe under random asynchrony + crashes"
+         (Proto.Protocol.name protocol) n e f)
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Stdext.Rng.create ~seed in
+      let horizon = 60 * delta in
+      let proposals =
+        Scenario.all_proposals_at_zero ~n (List.init n (fun _ -> Stdext.Rng.int rng 4))
+      in
+      let crashes = random_crash_schedule rng ~n ~f ~horizon:(10 * delta) in
+      let gst = Stdext.Rng.int rng (20 * delta) in
+      let o =
+        Scenario.run protocol ~n ~e ~f ~delta
+          ~net:(Scenario.Partial { gst; max_pre_gst = 8 * delta })
+          ~proposals ~crashes ~seed ~until:horizon ()
+      in
+      Safety.safe o)
+
+let termination_after_gst protocol ~n ~e ~f =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s n=%d e=%d f=%d: live after GST" (Proto.Protocol.name protocol) n
+         e f)
+    ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Stdext.Rng.create ~seed in
+      let proposals =
+        Scenario.all_proposals_at_zero ~n (List.init n (fun _ -> Stdext.Rng.int rng 4))
+      in
+      let crashes = random_crash_schedule rng ~n ~f ~horizon:(5 * delta) in
+      let o =
+        Scenario.run protocol ~n ~e ~f ~delta
+          ~net:(Scenario.Partial { gst = 10 * delta; max_pre_gst = 5 * delta })
+          ~proposals ~crashes ~seed ~until:(150 * delta) ()
+      in
+      Safety.live o)
+
+let () =
+  Alcotest.run "rgs"
+    [
+      ( "fast path",
+        [
+          Alcotest.test_case "two-step decision" `Quick test_fast_path_two_steps;
+          Alcotest.test_case "under e crashes" `Quick test_fast_path_under_e_crashes;
+          Alcotest.test_case "beyond e crashes" `Quick test_no_fast_path_beyond_e_crashes;
+          Alcotest.test_case "value-ordered acceptance" `Quick test_value_ordering_acceptance;
+          Alcotest.test_case "unanimous: everyone fast" `Quick test_same_value_everyone_fast;
+          Alcotest.test_case "message complexity" `Quick test_message_complexity_fast_path;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "stale/duplicate messages" `Quick test_stale_and_duplicate_messages;
+          Alcotest.test_case "ballot monotonicity" `Quick test_ballot_monotonicity;
+          Alcotest.test_case "resilience boundary" `Quick test_all_crash_except_quorum_boundary;
+          Alcotest.test_case "decided value in 1B" `Quick test_decided_value_reported_in_recovery;
+        ] );
+      ( "slow path",
+        [
+          Alcotest.test_case "termination after leader crash" `Quick test_slow_path_termination;
+          Alcotest.test_case "fast decision preserved" `Quick test_slow_path_preserves_fast_decision;
+        ] );
+      ( "object mode",
+        [
+          Alcotest.test_case "refuses other values" `Quick test_object_refuses_other_values;
+          Alcotest.test_case "task/object divergence" `Quick test_object_task_divergence_on_vote;
+          Alcotest.test_case "single proposer" `Quick test_object_single_proposer_everywhere;
+          Alcotest.test_case "late proposal" `Quick test_object_late_proposal;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest (agreement_under_chaos Rgs.task ~n:6 ~e:2 ~f:2);
+          QCheck_alcotest.to_alcotest (agreement_under_chaos Rgs.task ~n:3 ~e:1 ~f:1);
+          QCheck_alcotest.to_alcotest (agreement_under_chaos Rgs.obj ~n:5 ~e:2 ~f:2);
+          QCheck_alcotest.to_alcotest (agreement_under_chaos Rgs.task ~n:7 ~e:2 ~f:2);
+          QCheck_alcotest.to_alcotest (termination_after_gst Rgs.task ~n:6 ~e:2 ~f:2);
+          QCheck_alcotest.to_alcotest (termination_after_gst Rgs.obj ~n:5 ~e:2 ~f:2);
+        ] );
+    ]

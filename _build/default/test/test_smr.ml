@@ -1,0 +1,152 @@
+(* Tests for the SMR layer and the replicated KV store: log convergence,
+   command retry after lost slots, crash tolerance, and the codec. *)
+
+module Pid = Dsim.Pid
+module Instance = Smr.Replica.Instance
+module Kv = Smr.Kv
+
+let delta = 100
+
+let cmd c k v = Kv.encode { Kv.client = c; key = k; value = v }
+
+let test_kv_codec_roundtrip () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "roundtrip" true (Kv.decode (Kv.encode op) = op))
+    [
+      { Kv.client = 0; key = 0; value = 0 };
+      { Kv.client = 3; key = 999; value = 999 };
+      { Kv.client = 4000; key = 17; value = 3 };
+    ];
+  Alcotest.check_raises "range check" (Invalid_argument "Kv.encode: field out of range")
+    (fun () -> ignore (Kv.encode { Kv.client = 0; key = 1000; value = 0 }))
+
+let kv_codec_property =
+  QCheck.Test.make ~name:"kv codec is injective" ~count:300
+    QCheck.(triple (int_bound 4000) (int_bound 999) (int_bound 999))
+    (fun (client, key, value) ->
+      Kv.decode (Kv.encode { Kv.client; key; value }) = { Kv.client; key; value })
+
+let test_kv_store_apply () =
+  let store = Kv.empty () in
+  Kv.apply store { Kv.client = 0; key = 1; value = 10 };
+  Kv.apply store { Kv.client = 1; key = 1; value = 20 };
+  Kv.apply store { Kv.client = 0; key = 2; value = 30 };
+  Alcotest.(check (option int)) "last write wins" (Some 20) (Kv.get store 1);
+  Alcotest.(check (option int)) "other key" (Some 30) (Kv.get store 2);
+  Alcotest.(check (option int)) "missing" None (Kv.get store 9)
+
+let run_instance ?(crashes = []) ?(seed = 0) ~protocol ~n ~e ~f ~commands ~until () =
+  let t =
+    Instance.create ~protocol ~n ~e ~f ~delta
+      ~net:(Checker.Scenario.Partial { gst = 3 * delta; max_pre_gst = 2 * delta })
+      ~seed ~commands ~crashes ()
+  in
+  ignore (Instance.run ~until t);
+  t
+
+let test_commands_commit_and_converge () =
+  let n = 5 and e = 2 and f = 2 in
+  let commands =
+    [ (0, 0, cmd 0 1 11); (0, 2, cmd 1 2 22); (50, 4, cmd 2 3 33); (400, 1, cmd 3 1 44) ]
+  in
+  let t =
+    run_instance ~protocol:Core.Rgs.task ~n ~e ~f ~commands ~until:(100 * delta) ()
+  in
+  Alcotest.(check bool) "logs converge" true (Instance.converged t);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%d applied everything" p)
+        4
+        (List.length (Instance.applied_log t p)))
+    (Pid.all ~n)
+
+let test_conflicting_slot_reproposal () =
+  (* Two proxies submit simultaneously: both commands must eventually
+     commit, one of them after losing slot 0 and reproposing. *)
+  let n = 5 and e = 2 and f = 2 in
+  let commands = [ (0, 0, cmd 0 1 11); (0, 4, cmd 1 2 22) ] in
+  let t =
+    run_instance ~protocol:Core.Rgs.obj ~n ~e ~f ~commands ~until:(150 * delta) ()
+  in
+  Alcotest.(check bool) "converged" true (Instance.converged t);
+  let log = Instance.applied_log t 2 in
+  Alcotest.(check int) "both commands applied" 2 (List.length log);
+  let applied = List.map snd log |> List.sort compare in
+  Alcotest.(check (list int)) "exactly the two commands" [ cmd 0 1 11; cmd 1 2 22 ] applied
+
+let test_replica_crash_mid_stream () =
+  let n = 5 and e = 2 and f = 2 in
+  let commands = List.init 5 (fun i -> (i * 2 * delta, i mod 3, cmd i (i + 1) (i + 1))) in
+  let t =
+    run_instance ~protocol:Core.Rgs.task ~n ~e ~f ~commands
+      ~crashes:[ (5 * delta, 4) ]
+      ~until:(200 * delta) ()
+  in
+  Alcotest.(check bool) "converged despite crash" true (Instance.converged t);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%d applied all 5" p)
+        5
+        (List.length (Instance.applied_log t p)))
+    [ 0; 1; 2; 3 ]
+
+let test_kv_replay_agreement () =
+  let n = 5 and e = 2 and f = 2 in
+  let commands = [ (0, 0, cmd 0 1 11); (0, 1, cmd 1 1 22); (100, 2, cmd 2 1 33) ] in
+  let t =
+    run_instance ~protocol:Core.Rgs.obj ~n ~e ~f ~commands ~until:(150 * delta) ()
+  in
+  let stores = List.map (fun p -> Kv.replay (Instance.applied_log t p)) (Pid.all ~n) in
+  match stores with
+  | first :: rest ->
+      List.iter
+        (fun s -> Alcotest.(check bool) "same final store" true (Kv.equal_store first s))
+        rest
+  | [] -> Alcotest.fail "no stores"
+
+let smr_convergence_property protocol name =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "smr over %s: convergence under random workloads" name)
+    ~count:15
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let n = 5 and e = 2 and f = 2 in
+      let rng = Stdext.Rng.create ~seed in
+      let count = 1 + Stdext.Rng.int rng 5 in
+      let commands =
+        List.init count (fun i ->
+            ( Stdext.Rng.int rng (10 * delta),
+              Stdext.Rng.int rng n,
+              cmd i (Stdext.Rng.int rng 10) (i + 1) ))
+      in
+      let crashes =
+        if Stdext.Rng.bool rng then [ (Stdext.Rng.int rng (20 * delta), n - 1) ] else []
+      in
+      let t =
+        run_instance ~protocol ~n ~e ~f ~commands ~crashes ~seed ~until:(250 * delta) ()
+      in
+      Instance.converged t)
+
+let () =
+  Alcotest.run "smr"
+    [
+      ( "kv",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_kv_codec_roundtrip;
+          QCheck_alcotest.to_alcotest kv_codec_property;
+          Alcotest.test_case "store apply" `Quick test_kv_store_apply;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "commit and converge" `Quick test_commands_commit_and_converge;
+          Alcotest.test_case "slot reproposal" `Quick test_conflicting_slot_reproposal;
+          Alcotest.test_case "replica crash" `Quick test_replica_crash_mid_stream;
+          Alcotest.test_case "kv replay agreement" `Quick test_kv_replay_agreement;
+          QCheck_alcotest.to_alcotest (smr_convergence_property Core.Rgs.obj "rgs-object");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property Baselines.Paxos.protocol "paxos");
+        ] );
+    ]

@@ -1,0 +1,163 @@
+(* Unit and property tests for the stdext utilities: the deterministic RNG,
+   the priority queue the engine is built on, and the combinatorics helpers
+   the checkers rely on. *)
+
+module Rng = Stdext.Rng
+module Pqueue = Stdext.Pqueue
+module Combinat = Stdext.Combinat
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_copy_independent () =
+  let a = Rng.create ~seed:7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_invalid () =
+  let rng = Rng.create ~seed:0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick rng ([] : int list)))
+
+let test_shuffle_permutes () =
+  let rng = Rng.create ~seed:5 in
+  let l = List.init 20 Fun.id in
+  let s = Rng.shuffle rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare s)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q ~priority:p v) [ (3, "c"); (1, "a"); (2, "b") ];
+  let drain () = match Pqueue.pop q with Some (_, v) -> v | None -> "!" in
+  let x1 = drain () in
+  let x2 = drain () in
+  let x3 = drain () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ x1; x2; x3 ]
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~priority:7 v) [ 1; 2; 3; 4 ];
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "insertion order at equal priority" [ 1; 2; 3; 4 ] (drain [])
+
+let test_pqueue_to_list_nondestructive () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~priority:v v) [ 5; 1; 3 ];
+  let snapshot = Pqueue.to_list q in
+  Alcotest.(check int) "length preserved" 3 (Pqueue.length q);
+  Alcotest.(check (list (pair int int)))
+    "pop order"
+    [ (1, 1); (3, 3); (5, 5) ]
+    snapshot
+
+let pqueue_heap_property =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing priority order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q ~priority:p i) priorities;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (p, _) -> p >= last && drain p
+      in
+      drain min_int)
+
+let test_subsets_count () =
+  let l = List.init 6 Fun.id in
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "C(6,%d)" k)
+        (Combinat.choose 6 k)
+        (List.length (Combinat.subsets_of_size k l)))
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+
+let test_subsets_distinct_sorted () =
+  let subsets = Combinat.subsets_of_size 3 [ 0; 1; 2; 3; 4 ] in
+  let sorted = List.sort_uniq compare subsets in
+  Alcotest.(check int) "all distinct" (List.length subsets) (List.length sorted);
+  List.iter
+    (fun s -> Alcotest.(check (list int)) "order preserved" (List.sort compare s) s)
+    subsets
+
+let test_permutations () =
+  Alcotest.(check int) "3! perms" 6 (List.length (Combinat.permutations [ 1; 2; 3 ]));
+  Alcotest.(check int)
+    "distinct" 6
+    (List.length (List.sort_uniq compare (Combinat.permutations [ 1; 2; 3 ])));
+  Alcotest.(check (list (list int))) "empty" [ [] ] (Combinat.permutations [])
+
+let test_cartesian () =
+  Alcotest.(check (list (list int)))
+    "2x2 product"
+    [ [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ] ]
+    (Combinat.cartesian [ [ 1; 2 ]; [ 3; 4 ] ]);
+  Alcotest.(check (list (list int))) "nullary product" [ [] ] (Combinat.cartesian []);
+  Alcotest.(check (list (list int))) "empty factor" [] (Combinat.cartesian [ [ 1 ]; [] ])
+
+let test_choose_edges () =
+  Alcotest.(check int) "C(5,-1)" 0 (Combinat.choose 5 (-1));
+  Alcotest.(check int) "C(5,6)" 0 (Combinat.choose 5 6);
+  Alcotest.(check int) "C(0,0)" 1 (Combinat.choose 0 0);
+  Alcotest.(check int) "C(10,5)" 252 (Combinat.choose 10 5)
+
+let () =
+  Alcotest.run "stdext"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy independence" `Quick test_rng_copy_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "invalid arguments" `Quick test_rng_invalid;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "priority order" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo on ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "to_list snapshot" `Quick test_pqueue_to_list_nondestructive;
+          QCheck_alcotest.to_alcotest pqueue_heap_property;
+        ] );
+      ( "combinat",
+        [
+          Alcotest.test_case "subset counts" `Quick test_subsets_count;
+          Alcotest.test_case "subsets distinct" `Quick test_subsets_distinct_sorted;
+          Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "cartesian" `Quick test_cartesian;
+          Alcotest.test_case "choose edge cases" `Quick test_choose_edges;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+(* Tests for the workload generators and WAN topologies. *)
+
+module Rng = Stdext.Rng
+module Topology = Workload.Topology
+module Conflict = Workload.Conflict
+
+let test_topology_presets_sane () =
+  List.iter
+    (fun topo ->
+      let k = List.length (Topology.regions topo) in
+      Alcotest.(check bool) "has regions" true (k >= 1);
+      for i = 0 to k - 1 do
+        for j = 0 to k - 1 do
+          let d = Topology.oneway topo i j in
+          Alcotest.(check bool) "positive" true (d >= 1);
+          Alcotest.(check int) "symmetric" d (Topology.oneway topo j i)
+        done
+      done)
+    Topology.presets
+
+let test_topology_triangle_quality () =
+  (* Not a strict triangle inequality (real networks violate it), but no
+     entry should dwarf the two-hop alternative absurdly: sanity bound. *)
+  let topo = Topology.planet5 in
+  let m = Topology.max_oneway topo in
+  Alcotest.(check bool) "max is tokyo-frankfurt range" true (m >= 100 && m <= 200)
+
+let test_placement_round_robin () =
+  let topo = Topology.planet5 in
+  Alcotest.(check string) "pid 0" "virginia" (Topology.region_of_pid topo 0);
+  Alcotest.(check string) "pid 5 wraps" "virginia" (Topology.region_of_pid topo 5);
+  Alcotest.(check string) "pid 6 wraps" "oregon" (Topology.region_of_pid topo 6)
+
+let test_latency_fn () =
+  let topo = Topology.three_az in
+  Alcotest.(check int) "cross az" 2 (Topology.latency_fn topo ~src:0 ~dst:1);
+  Alcotest.(check int) "same az (wrapped pids)" 1 (Topology.latency_fn topo ~src:0 ~dst:3)
+
+let test_conflict_extremes () =
+  let rng = Rng.create ~seed:1 in
+  let unanimous = Conflict.proposals ~rng ~n:6 ~rate:0.0 in
+  Alcotest.(check bool) "rate 0: no conflict" false (Conflict.is_conflicting unanimous);
+  let all_distinct = Conflict.proposals ~rng ~n:6 ~rate:1.0 in
+  let values = List.map (fun (_, _, v) -> v) all_distinct in
+  Alcotest.(check int) "rate 1: all distinct" 6
+    (List.length (List.sort_uniq compare values))
+
+let conflict_rate_property =
+  QCheck.Test.make ~name:"conflict rate is monotone-ish in expectation" ~count:50
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let count rate =
+        let hits = ref 0 in
+        for _ = 1 to 50 do
+          if Conflict.is_conflicting (Conflict.proposals ~rng ~n:5 ~rate) then incr hits
+        done;
+        !hits
+      in
+      count 0.0 = 0 && count 1.0 = 50)
+
+let test_proposer_subset () =
+  let rng = Rng.create ~seed:3 in
+  let ps = Conflict.proposer_subset ~rng ~n:7 ~count:3 ~rate:0.5 in
+  Alcotest.(check int) "three proposers" 3 (List.length ps);
+  let pids = List.map (fun (_, p, _) -> p) ps in
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare pids))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "presets sane" `Quick test_topology_presets_sane;
+          Alcotest.test_case "planet5 magnitudes" `Quick test_topology_triangle_quality;
+          Alcotest.test_case "round-robin placement" `Quick test_placement_round_robin;
+          Alcotest.test_case "latency function" `Quick test_latency_fn;
+        ] );
+      ( "conflict",
+        [
+          Alcotest.test_case "extremes" `Quick test_conflict_extremes;
+          QCheck_alcotest.to_alcotest conflict_rate_property;
+          Alcotest.test_case "proposer subset" `Quick test_proposer_subset;
+        ] );
+    ]
