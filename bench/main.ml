@@ -4,12 +4,111 @@
      dune exec bench/main.exe              # everything: T1-T4, F1-F4, microbenches
      dune exec bench/main.exe -- t3 f2     # selected experiments
      dune exec bench/main.exe -- bechamel  # microbenchmarks only
+     dune exec bench/main.exe -- explore   # exploration perf suite -> BENCH_explore.json
+     dune exec bench/main.exe -- --domains 4 t2 t3   # parallel sweep grids
 
    Each T/F experiment regenerates one claim of the paper as a table or
    series (see DESIGN.md section 3 and EXPERIMENTS.md). The bechamel suite
-   measures the cost of the building blocks themselves. *)
+   measures the cost of the building blocks themselves; the explore suite
+   times the state-space explorer's replay vs snapshot modes and its
+   multi-domain fan-out, and records the trajectory machine-readably so
+   successive PRs can compare. *)
 
 let fmt = Format.std_formatter
+
+(* -- Exploration performance suite -------------------------------------- *)
+
+type explore_sample = {
+  experiment : string;
+  protocol : string;
+  n : int;
+  mode : string;
+  domains : int;
+  explored : int;
+  wall_ns : int;
+}
+
+let states_per_sec s =
+  if s.wall_ns = 0 then 0.0 else float_of_int s.explored /. (float_of_int s.wall_ns /. 1e9)
+
+(* n=5..7 at fixed rounds: the (e, f) pairs keep n exactly at the task
+   bound 2e+f so the configurations match the T2/T3 grids. *)
+let explore_configs = [ (5, 2, 1); (6, 2, 2); (7, 2, 3) ]
+
+let explore_rounds = 3
+
+let explore_budget = 1_000
+
+let time_explore ~n ~e ~f ~mode ~domains =
+  let proposals =
+    Checker.Scenario.all_proposals_at_zero ~n (List.init n (fun i -> n - 1 - i))
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Checker.Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals
+      ~rounds:explore_rounds ~budget:explore_budget ~mode ~domains
+      ~check:(fun o -> Checker.Safety.safe o)
+      ()
+  in
+  let t1 = Unix.gettimeofday () in
+  if r.Checker.Explore.violations > 0 then
+    failwith "explore bench: unexpected safety violation";
+  {
+    experiment = Printf.sprintf "explore-n%d" n;
+    protocol = "rgs-task";
+    n;
+    mode = (match mode with `Replay -> "replay" | `Snapshot -> "snapshot");
+    domains;
+    explored = r.Checker.Explore.explored;
+    wall_ns = int_of_float ((t1 -. t0) *. 1e9);
+  }
+
+let write_explore_json path samples =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"suite\": \"explore\",\n";
+  out "  \"schema\": [\"experiment\", \"protocol\", \"n\", \"mode\", \"domains\", \"explored\", \"wall_ns\", \"states_per_sec\"],\n";
+  out "  \"rounds\": %d,\n" explore_rounds;
+  out "  \"budget\": %d,\n" explore_budget;
+  out "  \"results\": [\n";
+  List.iteri
+    (fun i s ->
+      out
+        "    {\"experiment\": %S, \"protocol\": %S, \"n\": %d, \"mode\": %S, \"domains\": \
+         %d, \"explored\": %d, \"wall_ns\": %d, \"states_per_sec\": %.1f}%s\n"
+        s.experiment s.protocol s.n s.mode s.domains s.explored s.wall_ns
+        (states_per_sec s)
+        (if i = List.length samples - 1 then "" else ","))
+    samples;
+  out "  ]\n}\n";
+  close_out oc
+
+let run_explore_suite () =
+  Format.fprintf fmt "@.%s@.B2. Exploration: replay vs snapshot, 1/2/4 domains@.%s@."
+    (String.make 78 '-') (String.make 78 '-');
+  Format.fprintf fmt "%-14s %3s %-9s %7s | %8s %12s %12s@." "experiment" "n" "mode"
+    "domains" "explored" "wall-ms" "states/sec";
+  let cases =
+    List.concat_map
+      (fun (n, e, f) ->
+        ((n, e, f), `Replay, 1)
+        :: List.map (fun d -> ((n, e, f), `Snapshot, d)) [ 1; 2; 4 ])
+      explore_configs
+  in
+  let samples =
+    List.map
+      (fun ((n, e, f), mode, domains) ->
+        let s = time_explore ~n ~e ~f ~mode ~domains in
+        Format.fprintf fmt "%-14s %3d %-9s %7d | %8d %12.1f %12.0f@." s.experiment s.n
+          s.mode s.domains s.explored
+          (float_of_int s.wall_ns /. 1e6)
+          (states_per_sec s);
+        s)
+      cases
+  in
+  write_explore_json "BENCH_explore.json" samples;
+  Format.fprintf fmt "(written to BENCH_explore.json)@."
 
 (* -- Bechamel microbenchmarks ------------------------------------------ *)
 
@@ -107,40 +206,58 @@ let run_bechamel () =
 
 let usage () =
   print_endline
-    "usage: main.exe [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|all]...";
+    "usage: main.exe [--domains N] [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|all]...";
   exit 1
 
-let run_experiment = function
+let run_experiment ~domains = function
   | "t1" -> Experiments.t1_bounds_table fmt
-  | "t2" -> Experiments.t2_twostep_verification fmt
-  | "t3" -> Experiments.t3_tightness_witnesses fmt
-  | "t4" -> Experiments.t4_recovery_audit fmt
-  | "f1" -> Experiments.f1_fast_rate_vs_crashes fmt
+  | "t2" -> Experiments.t2_twostep_verification ~domains fmt
+  | "t3" -> Experiments.t3_tightness_witnesses ~domains fmt
+  | "t4" -> Experiments.t4_recovery_audit ~domains fmt
+  | "f1" -> Experiments.f1_fast_rate_vs_crashes ~domains fmt
   | "f2" -> Experiments.f2_latency_vs_conflict fmt
   | "f3" -> Experiments.f3_wan_latency fmt
   | "f4" -> Experiments.f4_smr_throughput fmt
   | "f5" -> Experiments.f5_epaxos_motivation fmt
   | "tables" ->
       Experiments.t1_bounds_table fmt;
-      Experiments.t2_twostep_verification fmt;
-      Experiments.t3_tightness_witnesses fmt;
-      Experiments.t4_recovery_audit fmt
+      Experiments.t2_twostep_verification ~domains fmt;
+      Experiments.t3_tightness_witnesses ~domains fmt;
+      Experiments.t4_recovery_audit ~domains fmt
   | "figures" ->
-      Experiments.f1_fast_rate_vs_crashes fmt;
+      Experiments.f1_fast_rate_vs_crashes ~domains fmt;
       Experiments.f2_latency_vs_conflict fmt;
       Experiments.f3_wan_latency fmt;
       Experiments.f4_smr_throughput fmt;
       Experiments.f5_epaxos_motivation fmt
   | "bechamel" -> run_bechamel ()
+  | "explore" -> run_explore_suite ()
   | "all" ->
-      Experiments.all fmt;
-      run_bechamel ()
+      Experiments.all ~domains fmt;
+      run_bechamel ();
+      run_explore_suite ()
   | arg ->
       Printf.eprintf "unknown experiment %S\n" arg;
       usage ()
 
+(* Extract a leading/interspersed [--domains N] flag; everything else is an
+   experiment name. *)
+let rec parse_args ~domains acc = function
+  | [] -> (domains, List.rev acc)
+  | "--domains" :: value :: rest -> begin
+      match int_of_string_opt value with
+      | Some d when d >= 1 -> parse_args ~domains:d acc rest
+      | _ ->
+          Printf.eprintf "--domains expects a positive integer, got %S\n" value;
+          usage ()
+    end
+  | "--domains" :: [] ->
+      Printf.eprintf "--domains expects a value\n";
+      usage ()
+  | arg :: rest -> parse_args ~domains (arg :: acc) rest
+
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> run_experiment "all"
-  | _ :: args -> List.iter run_experiment args
-  | [] -> usage ()
+  let domains, args = parse_args ~domains:1 [] (List.tl (Array.to_list Sys.argv)) in
+  match args with
+  | [] -> run_experiment ~domains "all"
+  | args -> List.iter (run_experiment ~domains) args

@@ -44,6 +44,15 @@ let n_arg =
 
 let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel sweep grids (T2-T4, F1). The output is \
+           identical for any N; 1 means fully sequential.")
+
 let delta = 100
 
 (* -- bounds ------------------------------------------------------------ *)
@@ -214,25 +223,25 @@ let experiments_cmd =
   let which_arg =
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc:"t1..t4, f1..f4 or all.")
   in
-  let run which =
+  let run domains which =
     let fmt = Format.std_formatter in
     List.iter
       (function
         | "t1" -> Experiments.t1_bounds_table fmt
-        | "t2" -> Experiments.t2_twostep_verification fmt
-        | "t3" -> Experiments.t3_tightness_witnesses fmt
-        | "t4" -> Experiments.t4_recovery_audit fmt
-        | "f1" -> Experiments.f1_fast_rate_vs_crashes fmt
+        | "t2" -> Experiments.t2_twostep_verification ~domains fmt
+        | "t3" -> Experiments.t3_tightness_witnesses ~domains fmt
+        | "t4" -> Experiments.t4_recovery_audit ~domains fmt
+        | "f1" -> Experiments.f1_fast_rate_vs_crashes ~domains fmt
         | "f2" -> Experiments.f2_latency_vs_conflict fmt
         | "f3" -> Experiments.f3_wan_latency fmt
         | "f4" -> Experiments.f4_smr_throughput fmt
         | "f5" -> Experiments.f5_epaxos_motivation fmt
-        | "all" -> Experiments.all fmt
+        | "all" -> Experiments.all ~domains fmt
         | other -> Format.printf "unknown experiment %S@." other)
       which
   in
   Cmd.v (Cmd.info "experiments" ~doc:"Run the evaluation experiments (see EXPERIMENTS.md).")
-    Term.(const run $ which_arg)
+    Term.(const run $ domains_arg $ which_arg)
 
 let () =
   let doc = "Two-step consensus: protocols, checkers and lower-bound witnesses." in

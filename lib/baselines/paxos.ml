@@ -239,7 +239,7 @@ let make ~n ~f ~delta =
     end
     else (s, [])
   in
-  { Automaton.init; on_message; on_input; on_timer }
+  { Automaton.init; on_message; on_input; on_timer; state_copy = Fun.id }
 
 let protocol : Proto.Protocol.t =
   (module struct

@@ -1,6 +1,7 @@
 module Pid = Dsim.Pid
 module Time = Dsim.Time
 module Combinat = Stdext.Combinat
+module Pool = Stdext.Pool
 
 type result = {
   explored : int;
@@ -9,33 +10,58 @@ type result = {
   truncated : bool;
 }
 
+type mode = [ `Replay | `Snapshot ]
+
 (* A path (an [int list list]) prescribes, for each round boundary, the
    exact order in which the pending messages are delivered (as pending
    ids). Pending ids are deterministic for a fixed path, so replaying a
-   path always reconstructs the same run. *)
+   path always reconstructs the same run. In [`Replay] mode every DFS node
+   is materialised by re-executing its whole path from time 0 (O(depth²)
+   engine work along a branch); in [`Snapshot] mode a node keeps its live
+   engine and each child extends an {!Dsim.Engine.clone} by one round
+   (O(depth)). Both modes visit the exact same nodes in the same order.
+
+   A DFS node carries either representation; the engine of a node has
+   processed everything strictly before the coming round boundary, so its
+   pending pool holds exactly that round's messages. *)
+type ('s, 'm) node = Path of int list list | Engine of ('s, 'm, Proto.Value.t, Proto.Value.t) Dsim.Engine.t
+
+(* Per-branch statistics. Violations are recorded by their 0-based run
+   index within the branch so that a budget cut can be re-applied exactly
+   during deterministic merging (see [merge_branches]). *)
+type branch = {
+  b_explored : int;
+  b_violation_indices : int list;  (* ascending *)
+  b_first_violation : Scenario.outcome option;
+  b_truncated : bool;
+}
 
 let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crashes = [])
-    ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true) ~check () =
-  let explored = ref 0 in
-  let violations = ref 0 in
-  let first_violation = ref None in
-  let truncated = ref false in
+    ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true)
+    ?(mode = (`Snapshot : mode)) ?(domains = 1) ~check () =
   let fresh () =
     let automaton = P.make ~n ~e ~f ~delta in
     Dsim.Engine.create ~automaton ~n ~network:Dsim.Network.Manual ~seed:0
       ~disable_timers ~record_trace:true ~inputs:proposals ~crashes ()
   in
-  (* Replay [path]: for round k (1-based), deliver the prescribed pending
-     messages at k*delta, then advance to just before the next boundary. *)
+  let boundary round = round * delta in
+  (* Process everything strictly before [round]'s boundary (init and inputs
+     at the first level, timers in between later). *)
+  let advance engine round = ignore (Dsim.Engine.run ~until:(boundary round - 1) engine) in
+  let deliver engine round ids =
+    List.iter (fun id -> Dsim.Engine.deliver_pending engine ~id ~at:(boundary round)) ids;
+    ignore (Dsim.Engine.run ~until:(boundary round) engine)
+  in
+  (* Replay [path] from scratch, then advance to just before round
+     [length path + 1]'s boundary. *)
   let replay path =
     let engine = fresh () in
-    let deliver_round k ids =
-      let boundary = k * delta in
-      ignore (Dsim.Engine.run ~until:(boundary - 1) engine);
-      List.iter (fun id -> Dsim.Engine.deliver_pending engine ~id ~at:boundary) ids;
-      ignore (Dsim.Engine.run ~until:boundary engine)
-    in
-    List.iteri (fun i ids -> deliver_round (i + 1) ids) path;
+    List.iteri
+      (fun i ids ->
+        advance engine (i + 1);
+        deliver engine (i + 1) ids)
+      path;
+    advance engine (List.length path + 1);
     engine
   in
   let outcome_of engine =
@@ -50,76 +76,178 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
       engine_result = Dsim.Engine.Quiescent;
     }
   in
-  let orders_for_batch ids =
-    if List.length ids <= perm_limit then Combinat.permutations ids
+  (* Enumerate the delivery orders of one round: group the pending pool per
+     correct recipient and take the product of per-recipient orders.
+     Messages to crashed processes are irrelevant and are appended in
+     arrival order. Returns [None] when nothing is pending. *)
+  let round_combos ~truncated engine =
+    let pending = Dsim.Engine.pending engine in
+    if pending = [] then None
     else begin
-      truncated := true;
-      [ ids; List.rev ids ]
-    end
-  in
-  let evaluate engine =
-    incr explored;
-    let outcome = outcome_of engine in
-    if not (check outcome) then begin
-      incr violations;
-      if !first_violation = None then first_violation := Some outcome
-    end
-  in
-  let rec dfs path round =
-    if !explored >= budget then truncated := true
-    else begin
-      let engine = replay path in
-      (* Process everything strictly before the coming boundary (init and
-         inputs at the first level, timers in between later) so the pending
-         pool holds exactly this round's messages. *)
-      ignore (Dsim.Engine.run ~until:((round * delta) - 1) engine);
-      if round > rounds then evaluate engine
-      else begin
-        (* What is pending for the coming boundary? Group per correct
-           recipient; messages to crashed processes are irrelevant and are
-           appended in arrival order. *)
-        let pending = Dsim.Engine.pending engine in
-        if pending = [] then evaluate engine
+      let orders_for_batch ids =
+        if List.length ids <= perm_limit then Combinat.permutations ids
         else begin
-          let to_live, to_crashed =
-            List.partition
-              (fun (p : _ Dsim.Engine.pending) -> not (Dsim.Engine.crashed engine p.dst))
-              pending
-          in
-          let dsts =
-            List.sort_uniq Pid.compare
-              (List.map (fun (p : _ Dsim.Engine.pending) -> p.dst) to_live)
-          in
-          let per_dst_orders =
-            List.map
-              (fun dst ->
-                let ids =
-                  List.filter_map
-                    (fun (p : _ Dsim.Engine.pending) ->
-                      if Pid.equal p.dst dst then Some p.id else None)
-                    to_live
-                in
-                orders_for_batch ids)
-              dsts
-          in
-          let crashed_ids = List.map (fun (p : _ Dsim.Engine.pending) -> p.id) to_crashed in
-          let combos = Combinat.cartesian per_dst_orders in
-          List.iter
-            (fun combo ->
-              if !explored < budget then begin
-                let ids = List.concat combo @ crashed_ids in
-                dfs (path @ [ ids ]) (round + 1)
-              end
-              else truncated := true)
-            combos
+          truncated := true;
+          [ ids; List.rev ids ]
+        end
+      in
+      let to_live, to_crashed =
+        List.partition
+          (fun (p : _ Dsim.Engine.pending) -> not (Dsim.Engine.crashed engine p.dst))
+          pending
+      in
+      let dsts =
+        List.sort_uniq Pid.compare
+          (List.map (fun (p : _ Dsim.Engine.pending) -> p.dst) to_live)
+      in
+      let per_dst_orders =
+        List.map
+          (fun dst ->
+            let ids =
+              List.filter_map
+                (fun (p : _ Dsim.Engine.pending) ->
+                  if Pid.equal p.dst dst then Some p.id else None)
+                to_live
+            in
+            orders_for_batch ids)
+          dsts
+      in
+      let crashed_ids = List.map (fun (p : _ Dsim.Engine.pending) -> p.id) to_crashed in
+      Some
+        (List.map (fun combo -> List.concat combo @ crashed_ids)
+           (Combinat.cartesian per_dst_orders))
+    end
+  in
+  (* Extend a node by delivering [ids] at [round]'s boundary. In snapshot
+     mode the parent engine stays put at its instant; the child is a clone
+     stepped one round further. *)
+  let child_node node engine round ids =
+    match node with
+    | Path path -> Path (path @ [ ids ])
+    | Engine _ ->
+        let c = Dsim.Engine.clone engine in
+        deliver c round ids;
+        advance c (round + 1);
+        Engine c
+  in
+  let root_node () =
+    match mode with
+    | `Replay -> Path []
+    | `Snapshot ->
+        let engine = fresh () in
+        advance engine 1;
+        Engine engine
+  in
+  (* Sequential DFS over the subtree below [node], with a local [budget].
+     The traversal order and the budget cut points are identical to a
+     global sequential exploration restricted to this subtree, which is
+     what makes the parallel merge below exact. *)
+  let explore_subtree ~budget node round =
+    let explored = ref 0 in
+    let violations_rev = ref [] in
+    let first_violation = ref None in
+    let truncated = ref false in
+    let evaluate engine =
+      let index = !explored in
+      incr explored;
+      let outcome = outcome_of engine in
+      if not (check outcome) then begin
+        violations_rev := index :: !violations_rev;
+        if !first_violation = None then first_violation := Some outcome
+      end
+    in
+    let rec dfs node round =
+      if !explored >= budget then truncated := true
+      else begin
+        let engine = match node with Path path -> replay path | Engine e -> e in
+        if round > rounds then evaluate engine
+        else begin
+          match round_combos ~truncated engine with
+          | None -> evaluate engine
+          | Some combos ->
+              List.iter
+                (fun ids ->
+                  if !explored < budget then dfs (child_node node engine round ids) (round + 1)
+                  else truncated := true)
+                combos
         end
       end
-    end
+    in
+    dfs node round;
+    {
+      b_explored = !explored;
+      b_violation_indices = List.rev !violations_rev;
+      b_first_violation = !first_violation;
+      b_truncated = !truncated;
+    }
   in
-  dfs [] 1;
-  {
-    explored = !explored;
-    violations = !violations;
-    first_violation = !first_violation;
-    truncated = !truncated;
-  }
+  let result_of_branch b =
+    {
+      explored = b.b_explored;
+      violations = List.length b.b_violation_indices;
+      first_violation = b.b_first_violation;
+      truncated = b.b_truncated;
+    }
+  in
+  (* Re-impose the global budget on per-branch results, walking branches in
+     DFS order. Branch [i] explored up to the full budget on its own; a
+     sequential exploration would have granted it only what the earlier
+     branches left over, and its first [take] runs are identical in either
+     case — so counts, the canonical first violation and the truncation
+     flag all come out exactly as with [domains = 1], independent of worker
+     scheduling. *)
+  let merge_branches ~root_truncated branches =
+    let remaining = ref budget in
+    let explored = ref 0 in
+    let violations = ref 0 in
+    let first_violation = ref None in
+    let truncated = ref root_truncated in
+    List.iter
+      (fun b ->
+        if !remaining <= 0 then truncated := true
+        else begin
+          let take = min b.b_explored !remaining in
+          explored := !explored + take;
+          remaining := !remaining - take;
+          let counted = List.filter (fun i -> i < take) b.b_violation_indices in
+          violations := !violations + List.length counted;
+          if !first_violation = None && counted <> [] then
+            first_violation := b.b_first_violation;
+          if take < b.b_explored then truncated := true
+          else truncated := !truncated || b.b_truncated
+        end)
+      branches;
+    {
+      explored = !explored;
+      violations = !violations;
+      first_violation = !first_violation;
+      truncated = !truncated;
+    }
+  in
+  if domains <= 1 then result_of_branch (explore_subtree ~budget (root_node ()) 1)
+  else begin
+    (* Fan the top-level branches (the first round's delivery orders) across
+       the pool; each branch is fully independent and deterministic. *)
+    let root_truncated = ref false in
+    let root = root_node () in
+    let root_engine = match root with Path path -> replay path | Engine e -> e in
+    if budget <= 0 then
+      { explored = 0; violations = 0; first_violation = None; truncated = true }
+    else if rounds < 1 then result_of_branch (explore_subtree ~budget root 1)
+    else begin
+      match round_combos ~truncated:root_truncated root_engine with
+      | None -> result_of_branch (explore_subtree ~budget root 1)
+      | Some combos ->
+          let tasks =
+            List.map
+              (fun ids ->
+                (* Materialise the child in the coordinating domain: clones
+                   of the shared root engine must not race with each other. *)
+                let node = child_node root root_engine 1 ids in
+                fun () -> explore_subtree ~budget node 2)
+              combos
+          in
+          let branches = Pool.run ~domains (fun pool -> Pool.map_list pool (fun t -> t ()) tasks) in
+          merge_branches ~root_truncated:!root_truncated branches
+    end
+  end

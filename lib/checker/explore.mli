@@ -3,11 +3,29 @@
     In the E-faulty synchronous model every round-[k] message is delivered
     at the round boundary [k*Δ]; the only scheduling freedom is each
     recipient's delivery order. This module enumerates those orders
-    (depth-first, re-executing the deterministic engine along each path) up
-    to a round horizon and a run budget, and evaluates a property on every
-    complete run. It is the small-scope model checker behind the tightness
-    experiments: at the bound the property holds on every explored schedule,
-    below the bound a violating schedule is found.
+    (depth-first) up to a round horizon and a run budget, and evaluates a
+    property on every complete run. It is the small-scope model checker
+    behind the tightness experiments: at the bound the property holds on
+    every explored schedule, below the bound a violating schedule is found.
+
+    Two execution strategies materialise the same search tree:
+    {ul
+    {- [`Replay] re-executes the deterministic engine from time 0 along
+       each path — O(depth²) engine work per branch, no state copying;}
+    {- [`Snapshot] (the default) extends an {!Dsim.Engine.clone} of the
+       parent node by one round per branch — O(depth) incremental
+       stepping.}}
+    Both visit the exact same runs in the same order and return identical
+    results.
+
+    With [domains > 1] the top-level branches of the search are fanned
+    across a {!Stdext.Pool} of OCaml domains. Results are merged
+    deterministically: explored/violation counts, the (canonical) first
+    violation in DFS order and the truncation flag are identical to a
+    [domains = 1] exploration — including when the run budget cuts the
+    search short — independent of worker scheduling. The [check] predicate
+    then runs concurrently in several domains and must be thread-safe
+    (pure predicates, like all the checkers in this repository, are).
 
     Batches larger than [perm_limit] messages fall back to two
     representative orders (arrival and reversed) to keep the product
@@ -21,6 +39,8 @@ type result = {
   truncated : bool;
 }
 
+type mode = [ `Replay | `Snapshot ]
+
 val synchronous :
   Proto.Protocol.t ->
   n:int ->
@@ -33,8 +53,11 @@ val synchronous :
   ?budget:int ->
   ?perm_limit:int ->
   ?disable_timers:bool ->
+  ?mode:mode ->
+  ?domains:int ->
   check:(Scenario.outcome -> bool) ->
   unit ->
   result
 (** [check] returns [false] on a violating run. [budget] defaults to 20_000
-    runs, [perm_limit] to 4, [disable_timers] to [true]. *)
+    runs, [perm_limit] to 4, [disable_timers] to [true], [mode] to
+    [`Snapshot], [domains] to 1 (sequential). *)

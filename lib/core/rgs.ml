@@ -284,7 +284,7 @@ let make ~mode ~n ~e ~f ~delta =
     end
     else (s, [])
   in
-  { Automaton.init; on_message; on_input; on_timer }
+  { Automaton.init; on_message; on_input; on_timer; state_copy = Fun.id }
 
 let package mode name describe formulation : Proto.Protocol.t =
   let module P = struct

@@ -12,6 +12,7 @@ type ('state, 'msg, 'input, 'output) t = {
   on_message : 'state -> src:Pid.t -> 'msg -> 'state * ('msg, 'output) action list;
   on_input : 'state -> 'input -> 'state * ('msg, 'output) action list;
   on_timer : 'state -> timer_id -> 'state * ('msg, 'output) action list;
+  state_copy : 'state -> 'state;
 }
 
 let no_input state _ = (state, [])

@@ -28,6 +28,12 @@ type ('state, 'msg, 'input, 'output) t = {
   on_message : 'state -> src:Pid.t -> 'msg -> 'state * ('msg, 'output) action list;
   on_input : 'state -> 'input -> 'state * ('msg, 'output) action list;
   on_timer : 'state -> timer_id -> 'state * ('msg, 'output) action list;
+  state_copy : 'state -> 'state;
+      (** Duplicate a process state so that {!Engine.clone} can branch a run
+          without the two copies aliasing. [Fun.id] is correct whenever the
+          state is a pure immutable value — which holds for every protocol
+          in this repository; a protocol that hides mutable structure
+          (hash tables, arrays) inside its state must deep-copy it here. *)
 }
 
 val no_input : 'state -> 'input -> 'state * ('msg, 'output) action list

@@ -79,6 +79,26 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
   List.iter (fun (at, p) -> push_event t ~at (Ev_crash p)) crashes;
   t
 
+(* Branch a run: duplicate every piece of mutable engine state. Immutable
+   payloads (trace entries, queued events, pending records) are shared;
+   process states go through the automaton's [state_copy] hook. *)
+let clone t =
+  {
+    t with
+    rng = Rng.copy t.rng;
+    states = Array.map (Option.map t.automaton.Automaton.state_copy) t.states;
+    crashed_flags = Array.copy t.crashed_flags;
+    queue = Pqueue.copy t.queue;
+    timer_epochs = Hashtbl.copy t.timer_epochs;
+    pending_pool = Hashtbl.copy t.pending_pool;
+  }
+
+type ('state, 'msg, 'input, 'output) snapshot = ('state, 'msg, 'input, 'output) t
+
+let snapshot t = clone t
+
+let restore s = clone s
+
 let now t = t.now
 
 let n t = t.n

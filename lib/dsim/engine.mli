@@ -40,6 +40,31 @@ val run : ?until:Time.t -> ('state, 'msg, 'input, 'output) t -> run_result
     after [until], or the step budget runs out. Can be called repeatedly
     with increasing [until]. *)
 
+(** {2 Snapshots}
+
+    Branching a partially-run simulation without replaying its prefix: the
+    exhaustive checkers extend one cloned engine per explored schedule
+    branch, turning O(depth²) replay into O(depth) incremental stepping. *)
+
+val clone : ('state, 'msg, 'input, 'output) t -> ('state, 'msg, 'input, 'output) t
+(** Independent deep copy of the engine at its current instant: states
+    (via {!Automaton.t}'s [state_copy]), event queue, pending pool, timer
+    epochs, RNG and trace. Stepping either engine never affects the other,
+    and running both identically gives bit-identical results. O(n + queued
+    events + pending messages). *)
+
+type ('state, 'msg, 'input, 'output) snapshot
+(** An immutable capture of an engine, taken with {!snapshot} and
+    re-animated (any number of times) with {!restore}. *)
+
+val snapshot : ('state, 'msg, 'input, 'output) t -> ('state, 'msg, 'input, 'output) snapshot
+(** Capture the engine's current state; later mutations of the engine do
+    not affect the snapshot. *)
+
+val restore : ('state, 'msg, 'input, 'output) snapshot -> ('state, 'msg, 'input, 'output) t
+(** A fresh runnable engine positioned exactly where {!snapshot} was
+    taken. Each call returns an independent copy. *)
+
 val now : ('state, 'msg, 'input, 'output) t -> Time.t
 
 val n : ('state, 'msg, 'input, 'output) t -> int

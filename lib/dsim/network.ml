@@ -24,8 +24,9 @@ let delivery_time t ~rng ~now ~src ~dst =
         Some (min candidate cap)
       end
   | Uniform { min_delay; max_delay } ->
-      let d = Stdext.Rng.int_in rng (max 1 min_delay) (max 1 max_delay) in
-      Some (now + d)
+      if min_delay <= 0 || min_delay > max_delay then
+        invalid_arg "Network.Uniform: need 0 < min_delay <= max_delay";
+      Some (now + Stdext.Rng.int_in rng min_delay max_delay)
   | Wan { latency; jitter } ->
       let j = if jitter <= 0 then 0 else Stdext.Rng.int rng (jitter + 1) in
       Some (now + max 1 (latency ~src ~dst) + j)

@@ -32,7 +32,10 @@ type 'msg t =
           by [gst + delta] at the latest. *)
   | Uniform of { min_delay : int; max_delay : int }
       (** Every message delayed uniformly in [\[min_delay, max_delay\]];
-          used for randomized safety testing. *)
+          used for randomized safety testing. Requires
+          [0 < min_delay <= max_delay] (links are causal: zero and negative
+          delays are meaningless, and an empty range is a configuration
+          error) — {!delivery_time} raises [Invalid_argument] otherwise. *)
   | Wan of { latency : src:Pid.t -> dst:Pid.t -> int; jitter : int }
       (** Deterministic one-way latency matrix plus uniform jitter in
           [\[0, jitter\]]; ticks are interpreted as milliseconds. *)

@@ -584,7 +584,7 @@ let make ~n ~f ~delta =
   in
   let on_input s cmd = on_client s cmd in
   let on_timer s id = if id = progress_timer then on_progress_timer s else (s, []) in
-  { Automaton.init; on_message; on_input; on_timer }
+  { Automaton.init; on_message; on_input; on_timer; state_copy = Fun.id }
 
 let debug_instances s =
   Pid.Map.bindings s.instances

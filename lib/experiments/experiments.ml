@@ -6,6 +6,7 @@ module Scenario = Checker.Scenario
 module Safety = Checker.Safety
 module Twostep = Checker.Twostep
 module Rng = Stdext.Rng
+module Pool = Stdext.Pool
 
 let delta = 100
 
@@ -31,6 +32,14 @@ let min_n (module P : Proto.Protocol.S) ~e ~f = P.min_n ~e ~f
 let mean l =
   match l with [] -> nan | _ -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
 
+(* Parallel sweep helper: render each independent grid cell to a string on
+   the pool, print in submission order — the output is byte-identical for
+   any [domains], because every cell computation is deterministic and
+   self-contained. *)
+let sweep ~domains fmt render cells =
+  Pool.run ~domains (fun pool ->
+      List.iter (Format.fprintf fmt "%s") (Pool.map_list pool render cells))
+
 (* T1 ---------------------------------------------------------------- *)
 
 let t1_bounds_table fmt =
@@ -51,11 +60,11 @@ let t1_bounds_table fmt =
 
 (* T2 ---------------------------------------------------------------- *)
 
-let t2_twostep_verification fmt =
+let t2_twostep_verification ?(domains = 1) fmt =
   header fmt "T2. e-two-step verification (Defs 4 / A.1) at the minimal n";
   Format.fprintf fmt "%-12s %-7s %3s %3s %3s | %8s %8s | %s@." "protocol" "def" "n" "e" "f"
     "configs" "runs" "verdict";
-  let row name kind protocol ~n ~e ~f ~expect =
+  let row (name, kind, protocol, n, e, f, expect) =
     let r =
       match kind with
       | `Task -> Twostep.check_task protocol ~n ~e ~f ~delta ~values:[ 0; 1 ] ()
@@ -63,80 +72,92 @@ let t2_twostep_verification fmt =
     in
     let verdict = if Twostep.ok r then "e-two-step" else "NOT e-two-step" in
     let marker = if Twostep.ok r = expect then "(as proved)" else "(UNEXPECTED!)" in
-    Format.fprintf fmt "%-12s %-7s %3d %3d %3d | %8d %8d | %s %s@." name
+    Format.asprintf "%-12s %-7s %3d %3d %3d | %8d %8d | %s %s@." name
       (match kind with `Task -> "task" | `Object -> "object")
       n e f r.Twostep.checked_configs r.Twostep.checked_runs verdict marker
   in
-  row "rgs-task" `Task Core.Rgs.task ~n:3 ~e:1 ~f:1 ~expect:true;
-  row "rgs-task" `Task Core.Rgs.task ~n:6 ~e:2 ~f:2 ~expect:true;
-  row "rgs-task" `Task Core.Rgs.task ~n:7 ~e:2 ~f:3 ~expect:true;
-  row "rgs-object" `Object Core.Rgs.obj ~n:3 ~e:1 ~f:1 ~expect:true;
-  row "rgs-object" `Object Core.Rgs.obj ~n:5 ~e:2 ~f:2 ~expect:true;
-  row "rgs-object" `Object Core.Rgs.obj ~n:7 ~e:2 ~f:3 ~expect:true;
-  row "fast-paxos" `Task Baselines.Fast_paxos.protocol ~n:7 ~e:2 ~f:2 ~expect:true;
-  row "fast-paxos" `Object Baselines.Fast_paxos.protocol ~n:7 ~e:2 ~f:2 ~expect:true;
-  row "paxos" `Task Baselines.Paxos.protocol ~n:5 ~e:2 ~f:2 ~expect:false;
-  row "paxos" `Task Baselines.Paxos.protocol ~n:3 ~e:1 ~f:1 ~expect:false;
+  sweep ~domains fmt row
+    [
+      ("rgs-task", `Task, Core.Rgs.task, 3, 1, 1, true);
+      ("rgs-task", `Task, Core.Rgs.task, 6, 2, 2, true);
+      ("rgs-task", `Task, Core.Rgs.task, 7, 2, 3, true);
+      ("rgs-object", `Object, Core.Rgs.obj, 3, 1, 1, true);
+      ("rgs-object", `Object, Core.Rgs.obj, 5, 2, 2, true);
+      ("rgs-object", `Object, Core.Rgs.obj, 7, 2, 3, true);
+      ("fast-paxos", `Task, Baselines.Fast_paxos.protocol, 7, 2, 2, true);
+      ("fast-paxos", `Object, Baselines.Fast_paxos.protocol, 7, 2, 2, true);
+      ("paxos", `Task, Baselines.Paxos.protocol, 5, 2, 2, false);
+      ("paxos", `Task, Baselines.Paxos.protocol, 3, 1, 1, false);
+    ];
   Format.fprintf fmt
     "(a verified row quantifies over every E of size e and every {0,1}-configuration)@."
 
 (* T3 ---------------------------------------------------------------- *)
 
-let t3_tightness_witnesses fmt =
+let t3_tightness_witnesses ?(domains = 1) fmt =
   header fmt "T3. Tightness: adversarial choreography at n = bound vs n = bound-1";
   Format.fprintf fmt "%-8s %3s %3s | %-6s %-10s | %-6s %-10s@." "mode" "e" "f" "n" "at bound"
     "n-1" "below bound";
   let describe (r : Lowerbound.Witness.result) =
     if r.agreement_violated then "VIOLATED" else "safe"
   in
-  List.iter
-    (fun (e, f) ->
-      let bound = Bounds.required Bounds.Task ~e ~f in
-      let at = Lowerbound.Witness.task_scenario ~n:bound ~e ~f () in
-      let below = Lowerbound.Witness.task_scenario ~n:(bound - 1) ~e ~f () in
-      Format.fprintf fmt "%-8s %3d %3d | %-6d %-10s | %-6d %-10s@." "task" e f bound
-        (describe at) (bound - 1) (describe below))
-    [ (2, 2); (3, 3); (3, 4); (4, 4) ];
-  List.iter
-    (fun (e, f) ->
-      let bound = Bounds.required Bounds.Object ~e ~f in
-      let at = Lowerbound.Witness.object_scenario ~n:bound ~e ~f () in
-      let below = Lowerbound.Witness.object_scenario ~n:(bound - 1) ~e ~f () in
-      Format.fprintf fmt "%-8s %3d %3d | %-6d %-10s | %-6d %-10s@." "object" e f bound
-        (describe at) (bound - 1) (describe below))
-    [ (3, 3); (4, 4); (4, 5) ];
+  let row (mode, e, f) =
+    let kind, scenario =
+      match mode with
+      | `Task -> (Bounds.Task, Lowerbound.Witness.task_scenario)
+      | `Object -> (Bounds.Object, Lowerbound.Witness.object_scenario)
+    in
+    let bound = Bounds.required kind ~e ~f in
+    let at = scenario ~n:bound ~e ~f () in
+    let below = scenario ~n:(bound - 1) ~e ~f () in
+    Format.asprintf "%-8s %3d %3d | %-6d %-10s | %-6d %-10s@."
+      (match mode with `Task -> "task" | `Object -> "object")
+      e f bound (describe at) (bound - 1) (describe below)
+  in
+  sweep ~domains fmt row
+    (List.map (fun (e, f) -> (`Task, e, f)) [ (2, 2); (3, 3); (3, 4); (4, 4) ]
+    @ List.map (fun (e, f) -> (`Object, e, f)) [ (3, 3); (4, 4); (4, 5) ]);
   Format.fprintf fmt
     "(VIOLATED = two processes decided different values: Agreement broken, matching@.";
   Format.fprintf fmt " the 'only if' directions of Theorems 5 and 6)@."
 
 (* T4 ---------------------------------------------------------------- *)
 
-let t4_recovery_audit fmt =
+let t4_recovery_audit ?(domains = 1) fmt =
   header fmt "T4. Recovery-rule audit (Lemma 7 / Lemma C.2): exhaustive vote layouts";
   Format.fprintf fmt "%-8s %3s %3s %3s | %8s %9s | %s@." "mode" "n" "e" "f" "layouts"
     "failures" "expected";
-  let row mode name n e f ~expect_ok =
+  let row (mode, name, n, e, f, expect_ok) =
     let s = Lowerbound.Audit.check ~mode ~n ~e ~f in
     let ok = s.Lowerbound.Audit.failures = 0 in
-    Format.fprintf fmt "%-8s %3d %3d %3d | %8d %9d | %s %s@." name n e f
+    Format.asprintf "%-8s %3d %3d %3d | %8d %9d | %s %s@." name n e f
       s.Lowerbound.Audit.layouts s.Lowerbound.Audit.failures
       (if expect_ok then "holds" else "fails")
       (if ok = expect_ok then "(as proved)" else "(UNEXPECTED!)")
   in
-  List.iter
-    (fun (e, f) ->
-      let bound = Bounds.required Bounds.Task ~e ~f in
-      row Core.Rgs.Task "task" bound e f ~expect_ok:true;
-      if (2 * e) + f - 1 >= (2 * f) + 1 then
-        row Core.Rgs.Task "task" (bound - 1) e f ~expect_ok:false)
-    [ (2, 2); (3, 3); (3, 4); (4, 4); (2, 5) ];
-  List.iter
-    (fun (e, f) ->
-      let bound = Bounds.required Bounds.Object ~e ~f in
-      row Core.Rgs.Object "object" bound e f ~expect_ok:true;
-      if (2 * e) + f - 2 >= (2 * f) + 1 then
-        row Core.Rgs.Object "object" (bound - 1) e f ~expect_ok:false)
-    [ (2, 2); (3, 3); (4, 4); (4, 5); (2, 5) ]
+  let task_rows =
+    List.concat_map
+      (fun (e, f) ->
+        let bound = Bounds.required Bounds.Task ~e ~f in
+        (Core.Rgs.Task, "task", bound, e, f, true)
+        ::
+        (if (2 * e) + f - 1 >= (2 * f) + 1 then
+           [ (Core.Rgs.Task, "task", bound - 1, e, f, false) ]
+         else []))
+      [ (2, 2); (3, 3); (3, 4); (4, 4); (2, 5) ]
+  in
+  let object_rows =
+    List.concat_map
+      (fun (e, f) ->
+        let bound = Bounds.required Bounds.Object ~e ~f in
+        (Core.Rgs.Object, "object", bound, e, f, true)
+        ::
+        (if (2 * e) + f - 2 >= (2 * f) + 1 then
+           [ (Core.Rgs.Object, "object", bound - 1, e, f, false) ]
+         else []))
+      [ (2, 2); (3, 3); (4, 4); (4, 5); (2, 5) ]
+  in
+  sweep ~domains fmt row (task_rows @ object_rows)
 
 (* F1 ---------------------------------------------------------------- *)
 
@@ -144,7 +165,7 @@ let t4_recovery_audit fmt =
    proposes it; in task mode the remaining processes propose a low no-op
    value and the schedule favours the proxy (Definition 4 is existential in
    the delivery order — see DESIGN.md). *)
-let f1_fast_rate_vs_crashes ?(seeds = 300) fmt =
+let f1_fast_rate_vs_crashes ?(seeds = 300) ?(domains = 1) fmt =
   header fmt "F1. Two-step decision rate at the proxy vs crashes (e = f = 2)";
   let e = 2 and f = 2 in
   Format.fprintf fmt "%-12s %3s |" "protocol" "n";
@@ -152,41 +173,55 @@ let f1_fast_rate_vs_crashes ?(seeds = 300) fmt =
     Format.fprintf fmt " %8s" (Printf.sprintf "%d crash" c)
   done;
   Format.fprintf fmt "@.";
-  List.iter
-    (fun (name, protocol) ->
-      let n = min_n protocol ~e ~f in
-      Format.fprintf fmt "%-12s %3d |" name n;
-      for crashes = 0 to 3 do
-        let fast = ref 0 in
-        for seed = 1 to seeds do
-          let rng = Rng.create ~seed:(seed * 7919) in
-          let proxy = Rng.int rng n in
-          let crashed =
-            Rng.shuffle rng (List.filter (fun p -> p <> proxy) (Pid.all ~n))
-            |> List.filteri (fun i _ -> i < crashes)
-          in
-          let proposals =
-            match name with
-            | "rgs-task" ->
-                (* task mode: everyone has an input; non-proxies carry a
-                   low no-op *)
-                List.map (fun p -> (0, p, if p = proxy then 5 else 0)) (Pid.all ~n)
-            | _ -> [ (0, proxy, 5) ]
-          in
-          let order = if name = "rgs-task" then `Favor proxy else `Random in
-          let o =
-            Scenario.run protocol ~n ~e ~f ~delta ~net:(Scenario.Sync order) ~proposals
-              ~crashes:(Scenario.crash_at_start crashed)
-              ~seed ~disable_timers:true ~until:((2 * delta) + 1) ()
-          in
-          match Scenario.decided_value o proxy with
-          | Some (t, _) when t <= 2 * delta -> incr fast
-          | _ -> ()
-        done;
-        Format.fprintf fmt " %8.2f" (float_of_int !fast /. float_of_int seeds)
-      done;
-      Format.fprintf fmt "@.")
-    protocols;
+  (* One grid cell = one (protocol, crash count) pair; each cell sweeps its
+     seeds independently, so cells parallelise cleanly. *)
+  let cell (name, protocol, crashes) =
+    let n = min_n protocol ~e ~f in
+    let fast = ref 0 in
+    for seed = 1 to seeds do
+      let rng = Rng.create ~seed:(seed * 7919) in
+      let proxy = Rng.int rng n in
+      let crashed =
+        Rng.shuffle rng (List.filter (fun p -> p <> proxy) (Pid.all ~n))
+        |> List.filteri (fun i _ -> i < crashes)
+      in
+      let proposals =
+        match name with
+        | "rgs-task" ->
+            (* task mode: everyone has an input; non-proxies carry a
+               low no-op *)
+            List.map (fun p -> (0, p, if p = proxy then 5 else 0)) (Pid.all ~n)
+        | _ -> [ (0, proxy, 5) ]
+      in
+      let order = if name = "rgs-task" then `Favor proxy else `Random in
+      let o =
+        Scenario.run protocol ~n ~e ~f ~delta ~net:(Scenario.Sync order) ~proposals
+          ~crashes:(Scenario.crash_at_start crashed)
+          ~seed ~disable_timers:true ~until:((2 * delta) + 1) ()
+      in
+      match Scenario.decided_value o proxy with
+      | Some (t, _) when t <= 2 * delta -> incr fast
+      | _ -> ()
+    done;
+    Printf.sprintf " %8.2f" (float_of_int !fast /. float_of_int seeds)
+  in
+  Pool.run ~domains (fun pool ->
+      let rows =
+        List.map
+          (fun (name, protocol) ->
+            let cells =
+              List.init 4 (fun crashes ->
+                  Pool.submit pool (fun () -> cell (name, protocol, crashes)))
+            in
+            (name, min_n protocol ~e ~f, cells))
+          protocols
+      in
+      List.iter
+        (fun (name, n, cells) ->
+          Format.fprintf fmt "%-12s %3d |" name n;
+          List.iter (fun c -> Format.fprintf fmt "%s" (Pool.await c)) cells;
+          Format.fprintf fmt "@.")
+        rows);
   Format.fprintf fmt
     "(expected shape: fast protocols hold rate 1.0 up to e=2 crashes and drop to 0@.";
   Format.fprintf fmt
@@ -419,12 +454,12 @@ let f5_epaxos_motivation ?(seeds = 200) fmt =
     " the classical bound says needs 2e+f+1 processes runs here on 2f+1 = 2e+f-1,@.";
   Format.fprintf fmt " which is exactly the paper's object bound)@."
 
-let all fmt =
+let all ?(domains = 1) fmt =
   t1_bounds_table fmt;
-  t2_twostep_verification fmt;
-  t3_tightness_witnesses fmt;
-  t4_recovery_audit fmt;
-  f1_fast_rate_vs_crashes fmt;
+  t2_twostep_verification ~domains fmt;
+  t3_tightness_witnesses ~domains fmt;
+  t4_recovery_audit ~domains fmt;
+  f1_fast_rate_vs_crashes ~domains fmt;
   f2_latency_vs_conflict fmt;
   f3_wan_latency fmt;
   f4_smr_throughput fmt;

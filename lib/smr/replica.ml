@@ -153,7 +153,10 @@ let make (type pm ps) (module P : Proto.Protocol.S with type msg = pm and type s
           (s, actions @ more)
     end
   in
-  { Automaton.init; on_message; on_input; on_timer }
+  (* The record itself is immutable; only the inner per-slot states may
+     need deep-copying, which the inner automaton knows how to do. *)
+  let state_copy s = { s with slots = Imap.map inner.Automaton.state_copy s.slots } in
+  { Automaton.init; on_message; on_input; on_timer; state_copy }
 
 module Instance = struct
   type t =

@@ -8,6 +8,9 @@ type 'a t = {
 
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
+(* Entries are immutable records, so a shallow array copy suffices. *)
+let copy t = { data = Array.copy t.data; size = t.size; next_seq = t.next_seq }
+
 let is_empty t = t.size = 0
 
 let length t = t.size

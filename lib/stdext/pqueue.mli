@@ -7,6 +7,10 @@ type 'a t
 
 val create : unit -> 'a t
 
+val copy : 'a t -> 'a t
+(** Independent copy: pushes and pops on either queue do not affect the
+    other. Used by {!Dsim.Engine}'s snapshots. O(capacity). *)
+
 val is_empty : 'a t -> bool
 
 val length : 'a t -> int

@@ -140,6 +140,76 @@ let test_explore_crashes_mid_run () =
   in
   Alcotest.(check int) "no violations with mid-run crash" 0 r.violations
 
+(* Cross-validation of the explorer's execution strategies: `Replay
+   re-executes every run from time 0, `Snapshot extends cloned engines
+   incrementally — they must visit the exact same outcome sets. *)
+let check_explore_results_equal label (a : Explore.result) (b : Explore.result) =
+  Alcotest.(check int) (label ^ ": explored") a.explored b.explored;
+  Alcotest.(check int) (label ^ ": violations") a.violations b.violations;
+  Alcotest.(check bool) (label ^ ": truncated") a.truncated b.truncated;
+  Alcotest.(check bool)
+    (label ^ ": first violation")
+    true
+    (a.first_violation = b.first_violation)
+
+let test_explore_snapshot_matches_replay () =
+  (* T2-style configuration at the task bound (n = 2e + f). *)
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go mode check =
+    Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3 ~budget:400
+      ~mode ~check ()
+  in
+  (* Safety holds everywhere: identical explored counts and no violation. *)
+  let safe o = Safety.safe o in
+  check_explore_results_equal "safe property" (go `Replay safe) (go `Snapshot safe);
+  (* A property that is violated on many runs: the first violation (the
+     canonical DFS-order witness) must also coincide. *)
+  let p0_undecided o = Scenario.decided_value o 0 = None in
+  let r = go `Replay p0_undecided and s = go `Snapshot p0_undecided in
+  Alcotest.(check bool) "violations found" true (r.violations > 0);
+  check_explore_results_equal "violating property" r s
+
+let test_explore_snapshot_matches_replay_with_crashes () =
+  (* T3-flavoured configuration: a mid-run crash of the fast decider, with
+     timers enabled. *)
+  let n = 3 and e = 1 and f = 1 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2 ] in
+  let go mode =
+    Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta ~proposals
+      ~crashes:[ ((2 * delta) + 1, 2) ]
+      ~rounds:5 ~disable_timers:false ~mode
+      ~check:(fun o -> Safety.safe o)
+      ()
+  in
+  let r = go `Replay and s = go `Snapshot in
+  Alcotest.(check bool) "non-trivial" true (r.explored > 10);
+  check_explore_results_equal "crash config" r s
+
+let test_explore_parallel_deterministic () =
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go ~mode ~domains ~budget check =
+    Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3 ~budget ~mode
+      ~domains ~check ()
+  in
+  let p0_undecided o = Scenario.decided_value o 0 = None in
+  (* Without a binding budget: every (mode, domains) combination agrees. *)
+  let base = go ~mode:`Snapshot ~domains:1 ~budget:2_000 p0_undecided in
+  List.iter
+    (fun (mode, domains) ->
+      let r = go ~mode ~domains ~budget:2_000 p0_undecided in
+      check_explore_results_equal
+        (Printf.sprintf "domains=%d" domains)
+        base r)
+    [ (`Snapshot, 2); (`Snapshot, 4); (`Replay, 2) ];
+  (* With a budget cut mid-branch: the deterministic merge re-imposes the
+     sequential cut exactly, so counts and witness still coincide. *)
+  let cut = go ~mode:`Snapshot ~domains:1 ~budget:100 p0_undecided in
+  Alcotest.(check bool) "budget binds" true cut.truncated;
+  let par = go ~mode:`Snapshot ~domains:3 ~budget:100 p0_undecided in
+  check_explore_results_equal "budget-cut merge" cut par
+
 let () =
   Alcotest.run "checker"
     [
@@ -162,5 +232,11 @@ let () =
           Alcotest.test_case "detects violations" `Quick test_explore_finds_seeded_bug;
           Alcotest.test_case "budget truncation" `Quick test_explore_budget_truncation;
           Alcotest.test_case "mid-run crashes" `Quick test_explore_crashes_mid_run;
+          Alcotest.test_case "snapshot matches replay" `Quick
+            test_explore_snapshot_matches_replay;
+          Alcotest.test_case "snapshot matches replay (crashes)" `Quick
+            test_explore_snapshot_matches_replay_with_crashes;
+          Alcotest.test_case "parallel determinism" `Quick
+            test_explore_parallel_deterministic;
         ] );
     ]

@@ -20,6 +20,7 @@ let echo : (echo_state, int, int, Pid.t * int) Automaton.t =
     on_message = (fun s ~src v -> (s, [ Automaton.Output (src, v) ]));
     on_input = (fun s v -> (s, [ Automaton.Broadcast v ]));
     on_timer = Automaton.no_timer;
+    state_copy = Fun.id;
   }
 
 let sync_net = Network.Sync_rounds { delta = 10; order = Network.Arrival }
@@ -123,6 +124,7 @@ let test_timer_fires_and_cancel () =
         (fun s id ->
           fired := id :: !fired;
           (s, []));
+      state_copy = Fun.id;
     }
   in
   let engine = Engine.create ~automaton:auto ~n:2 ~network:sync_net () in
@@ -146,6 +148,7 @@ let test_timer_rearm_replaces () =
         (fun s _ ->
           incr fired;
           (s, []));
+      state_copy = Fun.id;
     }
   in
   let engine = Engine.create ~automaton:auto ~n:1 ~network:sync_net () in
@@ -237,10 +240,92 @@ let test_step_budget () =
       on_message = (fun s ~src:_ _ -> (s, []));
       on_input = Automaton.no_input;
       on_timer = (fun s _ -> (s, [ Automaton.Set_timer { id = 1; after = 1 } ]));
+      state_copy = Fun.id;
     }
   in
   let engine = Engine.create ~automaton:auto ~n:1 ~network:sync_net ~max_steps:100 () in
   Alcotest.(check bool) "budget exhausts" true (Engine.run engine = Engine.Step_budget_exhausted)
+
+let test_clone_independent () =
+  (* Clone mid-run with pending messages; divergent futures must not leak
+     between the clone and the original. *)
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:Network.Manual ~inputs:[ (0, 0, 9) ] ()
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check int) "two pending" 2 (List.length (Engine.pending engine));
+  let copy = Engine.clone engine in
+  (* Deliver everything in the clone. *)
+  List.iter
+    (fun (m : _ Engine.pending) -> Engine.deliver_pending copy ~id:m.id ~at:5)
+    (Engine.pending copy);
+  ignore (Engine.run copy);
+  Alcotest.(check int) "clone delivered both" 2 (List.length (Engine.outputs copy));
+  Alcotest.(check int) "original outputs untouched" 0 (List.length (Engine.outputs engine));
+  Alcotest.(check int) "original pool untouched" 2 (List.length (Engine.pending engine));
+  (* The original can still take a different future. *)
+  (match Engine.pending engine with
+  | a :: rest ->
+      Engine.deliver_pending engine ~id:a.id ~at:7;
+      List.iter
+        (fun (m : _ Engine.pending) -> Engine.drop_pending engine ~id:m.id)
+        rest
+  | [] -> Alcotest.fail "pending vanished");
+  ignore (Engine.run engine);
+  Alcotest.(check int) "original delivered one" 1 (List.length (Engine.outputs engine))
+
+let test_clone_same_future () =
+  (* With a stochastic network, a clone continued identically must produce
+     the identical run: the RNG stream is copied, not shared. *)
+  let engine =
+    Engine.create ~automaton:echo ~n:4 ~seed:13
+      ~network:(Network.Uniform { min_delay = 1; max_delay = 40 })
+      ~inputs:[ (0, 0, 1); (10, 1, 2); (20, 2, 3) ]
+      ()
+  in
+  ignore (Engine.run ~until:15 engine);
+  let copy = Engine.clone engine in
+  ignore (Engine.run engine);
+  ignore (Engine.run copy);
+  Alcotest.(check bool)
+    "same outputs" true
+    (Engine.outputs engine = Engine.outputs copy)
+
+let test_snapshot_restore () =
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:sync_net ~inputs:[ (0, 0, 4); (15, 1, 5) ] ()
+  in
+  ignore (Engine.run ~until:12 engine);
+  let snap = Engine.snapshot engine in
+  ignore (Engine.run engine);
+  let final = Engine.outputs engine in
+  (* Two restores from the same snapshot reach the same final outputs,
+     independently of each other and of the original. *)
+  let a = Engine.restore snap and b = Engine.restore snap in
+  ignore (Engine.run a);
+  Alcotest.(check bool) "restore a replays" true (Engine.outputs a = final);
+  ignore (Engine.run b);
+  Alcotest.(check bool) "restore b replays" true (Engine.outputs b = final)
+
+let test_uniform_validates_bounds () =
+  let run_with ~min_delay ~max_delay =
+    let engine =
+      Engine.create ~automaton:echo ~n:2
+        ~network:(Network.Uniform { min_delay; max_delay })
+        ~inputs:[ (0, 0, 1) ]
+        ()
+    in
+    ignore (Engine.run engine)
+  in
+  let expected = Invalid_argument "Network.Uniform: need 0 < min_delay <= max_delay" in
+  Alcotest.check_raises "zero min_delay" expected (fun () ->
+      run_with ~min_delay:0 ~max_delay:10);
+  Alcotest.check_raises "negative min_delay" expected (fun () ->
+      run_with ~min_delay:(-3) ~max_delay:10);
+  Alcotest.check_raises "inverted bounds" expected (fun () ->
+      run_with ~min_delay:10 ~max_delay:2);
+  (* min = max is a valid degenerate (constant-delay) case. *)
+  run_with ~min_delay:5 ~max_delay:5
 
 let test_trace_contents () =
   let engine =
@@ -277,12 +362,16 @@ let () =
           Alcotest.test_case "run until / resume" `Quick test_run_until_resumable;
           Alcotest.test_case "step budget" `Quick test_step_budget;
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "clone independence" `Quick test_clone_independent;
+          Alcotest.test_case "clone same future" `Quick test_clone_same_future;
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
         ] );
       ( "networks",
         [
           Alcotest.test_case "partial synchrony bounds" `Quick test_partial_sync_bounds;
           Alcotest.test_case "wan matrix" `Quick test_wan_latency;
           Alcotest.test_case "manual pending pool" `Quick test_manual_pending_and_deliver;
+          Alcotest.test_case "uniform validates bounds" `Quick test_uniform_validates_bounds;
         ] );
       ("trace", [ Alcotest.test_case "contents" `Quick test_trace_contents ]);
     ]

@@ -136,6 +136,7 @@ let omega_auto ~delta : (omega_state, Omega.msg, int, unit) Automaton.t =
     on_message = (fun s ~src m -> Omega.on_message s ~src m);
     on_input = Automaton.no_input;
     on_timer = (fun s id -> if Omega.owns_timer s id then Omega.on_timer s id else (s, []));
+    state_copy = Fun.id;
   }
 
 let test_omega_initial_leader () =

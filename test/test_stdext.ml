@@ -5,6 +5,7 @@
 module Rng = Stdext.Rng
 module Pqueue = Stdext.Pqueue
 module Combinat = Stdext.Combinat
+module Pool = Stdext.Pool
 
 let test_rng_deterministic () =
   let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
@@ -93,6 +94,105 @@ let pqueue_heap_property =
       in
       drain min_int)
 
+let pqueue_stable_order_property =
+  (* Values are pushed carrying their submission index; the drain must equal a
+     stable sort by priority, i.e. FIFO among equal priorities. The small
+     priority range forces plenty of ties. *)
+  QCheck.Test.make ~name:"pqueue drain equals stable sort by priority" ~count:300
+    QCheck.(list (int_bound 10))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q ~priority:p i) priorities;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some pv -> drain (pv :: acc)
+      in
+      let expected =
+        List.mapi (fun i p -> (p, i)) priorities
+        |> List.stable_sort (fun (p1, _) (p2, _) -> compare p1 p2)
+      in
+      drain [] = expected)
+
+let test_pqueue_growth_from_empty () =
+  (* A fresh queue starts with an empty backing array; pushing past every
+     doubling threshold must preserve contents and order. *)
+  let q = Pqueue.create () in
+  Alcotest.(check int) "initially empty" 0 (Pqueue.length q);
+  for i = 0 to 99 do
+    Pqueue.push q ~priority:(99 - i) i
+  done;
+  Alcotest.(check int) "all retained" 100 (Pqueue.length q);
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" (List.init 100 Fun.id) (drain [])
+
+let test_pqueue_copy_independent () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~priority:v v) [ 2; 1; 3 ];
+  let c = Pqueue.copy q in
+  ignore (Pqueue.pop c);
+  Pqueue.push c ~priority:0 0;
+  Alcotest.(check int) "original length unchanged" 3 (Pqueue.length q);
+  Alcotest.(check (list (pair int int)))
+    "original contents unchanged"
+    [ (1, 1); (2, 2); (3, 3) ]
+    (Pqueue.to_list q);
+  Alcotest.(check (list (pair int int)))
+    "copy evolved separately"
+    [ (0, 0); (2, 2); (3, 3) ]
+    (Pqueue.to_list c)
+
+(* -- pool --------------------------------------------------------------- *)
+
+let test_pool_exactly_once () =
+  let hits = Atomic.make 0 in
+  Pool.run ~domains:4 (fun pool ->
+      let promises =
+        List.init 100 (fun i ->
+            Pool.submit pool (fun () ->
+                Atomic.incr hits;
+                i * i))
+      in
+      List.iteri
+        (fun i p -> Alcotest.(check int) "result" (i * i) (Pool.await p))
+        promises);
+  Alcotest.(check int) "each task ran exactly once" 100 (Atomic.get hits)
+
+let test_pool_map_list_order () =
+  let results =
+    Pool.run ~domains:3 (fun pool ->
+        Pool.map_list pool (fun i -> 2 * i) (List.init 50 Fun.id))
+  in
+  Alcotest.(check (list int)) "submission order" (List.init 50 (fun i -> 2 * i)) results
+
+let test_pool_exception_reraised () =
+  Pool.run ~domains:2 (fun pool ->
+      let bad = Pool.submit pool (fun () -> failwith "boom") in
+      Alcotest.check_raises "worker exception surfaces on await" (Failure "boom")
+        (fun () -> ignore (Pool.await bad : int));
+      (* The pool survives a failed task. *)
+      let ok = Pool.submit pool (fun () -> 7) in
+      Alcotest.(check int) "pool still usable" 7 (Pool.await ok))
+
+let test_pool_inline_mode () =
+  (* domains = 1 spawns no domain: jobs run inline on submit. *)
+  let results =
+    Pool.run ~domains:1 (fun pool ->
+        Alcotest.(check int) "no workers" 0 (Pool.size pool);
+        Pool.map_list pool (fun i -> i + 1) [ 1; 2; 3 ])
+  in
+  Alcotest.(check (list int)) "inline results" [ 2; 3; 4 ] results
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~domains:2 in
+  let p = Pool.submit pool (fun () -> 1) in
+  Alcotest.(check int) "pre-shutdown" 1 (Pool.await p);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> 2)))
+
 let test_subsets_count () =
   let l = List.init 6 Fun.id in
   List.iter
@@ -150,7 +250,18 @@ let () =
           Alcotest.test_case "priority order" `Quick test_pqueue_order;
           Alcotest.test_case "fifo on ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "to_list snapshot" `Quick test_pqueue_to_list_nondestructive;
+          Alcotest.test_case "growth from empty" `Quick test_pqueue_growth_from_empty;
+          Alcotest.test_case "copy independence" `Quick test_pqueue_copy_independent;
           QCheck_alcotest.to_alcotest pqueue_heap_property;
+          QCheck_alcotest.to_alcotest pqueue_stable_order_property;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "tasks run exactly once" `Quick test_pool_exactly_once;
+          Alcotest.test_case "map_list order" `Quick test_pool_map_list_order;
+          Alcotest.test_case "exception re-raised" `Quick test_pool_exception_reraised;
+          Alcotest.test_case "inline mode" `Quick test_pool_inline_mode;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
         ] );
       ( "combinat",
         [
