@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- bechamel  # microbenchmarks only
      dune exec bench/main.exe -- explore   # exploration perf suite -> BENCH_explore.json
      dune exec bench/main.exe -- --domains 4 t2 t3   # parallel sweep grids
+     dune exec bench/main.exe -- --domains-list 1,2,4 explore   # explicit domain counts
+     dune exec bench/main.exe -- --explore-budget 200 explore   # CI smoke sizing
 
    Each T/F experiment regenerates one claim of the paper as a table or
    series (see DESIGN.md section 3 and EXPERIMENTS.md). The bechamel suite
@@ -24,6 +26,7 @@ type explore_sample = {
   n : int;
   mode : string;
   domains : int;
+  budget : int;
   explored : int;
   wall_ns : int;
 }
@@ -32,21 +35,31 @@ let states_per_sec s =
   if s.wall_ns = 0 then 0.0 else float_of_int s.explored /. (float_of_int s.wall_ns /. 1e9)
 
 (* n=5..7 at fixed rounds: the (e, f) pairs keep n exactly at the task
-   bound 2e+f so the configurations match the T2/T3 grids. *)
-let explore_configs = [ (5, 2, 1); (6, 2, 2); (7, 2, 3) ]
+   bound 2e+f so the configurations match the T2/T3 grids. The extra
+   10k-budget n=7 row exercises a deeper cut of the same tree, where the
+   shared-budget fan-out has enough work per domain to matter. *)
+let explore_configs = [ (5, 2, 1, 1_000); (6, 2, 2, 1_000); (7, 2, 3, 1_000); (7, 2, 3, 10_000) ]
 
 let explore_rounds = 3
 
-let explore_budget = 1_000
+(* Domain counts above the hardware's parallelism measure nothing useful
+   (the explorer clamps them to a sequential run anyway), so the default
+   sweep stops at [recommended_domain_count]; an explicit --domains-list is
+   honoured verbatim so oversubscription itself can be measured. *)
+let default_domains_list () =
+  let rec_d = max 1 (Domain.recommended_domain_count ()) in
+  match List.filter (fun d -> d = 1 || d <= rec_d) [ 1; 2; 4 ] with
+  | [] -> [ 1 ]
+  | l -> l
 
-let time_explore ~n ~e ~f ~mode ~domains =
+let time_explore ~n ~e ~f ~budget ~mode ~domains =
   let proposals =
     Checker.Scenario.all_proposals_at_zero ~n (List.init n (fun i -> n - 1 - i))
   in
   let t0 = Unix.gettimeofday () in
   let r =
     Checker.Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals
-      ~rounds:explore_rounds ~budget:explore_budget ~mode ~domains
+      ~rounds:explore_rounds ~budget ~mode ~domains
       ~check:(fun o -> Checker.Safety.safe o)
       ()
   in
@@ -54,59 +67,100 @@ let time_explore ~n ~e ~f ~mode ~domains =
   if r.Checker.Explore.violations > 0 then
     failwith "explore bench: unexpected safety violation";
   {
-    experiment = Printf.sprintf "explore-n%d" n;
+    experiment =
+      Printf.sprintf "explore-n%d%s" n
+        (if budget = 1_000 then "" else Printf.sprintf "-b%d" budget);
     protocol = "rgs-task";
     n;
     mode = (match mode with `Replay -> "replay" | `Snapshot -> "snapshot");
     domains;
+    budget;
     explored = r.Checker.Explore.explored;
     wall_ns = int_of_float ((t1 -. t0) *. 1e9);
   }
+
+(* Wall-clock of the domains=1 row with the same experiment/mode/budget,
+   over this row's wall-clock: > 1 is a speedup, < 1 a regression. [None]
+   when the sweep contains no sequential baseline. *)
+let speedup_vs_seq samples s =
+  List.find_opt
+    (fun b ->
+      b.domains = 1 && b.experiment = s.experiment && b.mode = s.mode
+      && b.budget = s.budget)
+    samples
+  |> Option.map (fun b ->
+         if s.wall_ns = 0 then 1.0 else float_of_int b.wall_ns /. float_of_int s.wall_ns)
 
 let write_explore_json path samples =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"suite\": \"explore\",\n";
-  out "  \"schema\": [\"experiment\", \"protocol\", \"n\", \"mode\", \"domains\", \"explored\", \"wall_ns\", \"states_per_sec\"],\n";
+  out "  \"schema_version\": 2,\n";
+  out
+    "  \"schema\": [\"experiment\", \"protocol\", \"n\", \"mode\", \"domains\", \
+     \"budget\", \"explored\", \"wall_ns\", \"states_per_sec\", \"speedup_vs_seq\"],\n";
   out "  \"rounds\": %d,\n" explore_rounds;
-  out "  \"budget\": %d,\n" explore_budget;
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"results\": [\n";
   List.iteri
     (fun i s ->
+      let speedup =
+        match speedup_vs_seq samples s with
+        | None -> "null"
+        | Some x -> Printf.sprintf "%.2f" x
+      in
       out
         "    {\"experiment\": %S, \"protocol\": %S, \"n\": %d, \"mode\": %S, \"domains\": \
-         %d, \"explored\": %d, \"wall_ns\": %d, \"states_per_sec\": %.1f}%s\n"
-        s.experiment s.protocol s.n s.mode s.domains s.explored s.wall_ns
-        (states_per_sec s)
+         %d, \"budget\": %d, \"explored\": %d, \"wall_ns\": %d, \"states_per_sec\": \
+         %.1f, \"speedup_vs_seq\": %s}%s\n"
+        s.experiment s.protocol s.n s.mode s.domains s.budget s.explored s.wall_ns
+        (states_per_sec s) speedup
         (if i = List.length samples - 1 then "" else ","))
     samples;
   out "  ]\n}\n";
   close_out oc
 
-let run_explore_suite () =
-  Format.fprintf fmt "@.%s@.B2. Exploration: replay vs snapshot, 1/2/4 domains@.%s@."
-    (String.make 78 '-') (String.make 78 '-');
-  Format.fprintf fmt "%-14s %3s %-9s %7s | %8s %12s %12s@." "experiment" "n" "mode"
-    "domains" "explored" "wall-ms" "states/sec";
+let run_explore_suite ~domains_list ~budget_override () =
+  let domains_list =
+    match domains_list with Some l -> l | None -> default_domains_list ()
+  in
+  Format.fprintf fmt "@.%s@.B2. Exploration: replay vs snapshot, domains {%s}@.%s@."
+    (String.make 78 '-')
+    (String.concat "," (List.map string_of_int domains_list))
+    (String.make 78 '-');
+  Format.fprintf fmt "%-16s %3s %-9s %7s %7s | %8s %10s %11s %8s@." "experiment" "n"
+    "mode" "domains" "budget" "explored" "wall-ms" "states/sec" "speedup";
+  let configs =
+    let with_budget =
+      match budget_override with
+      | None -> explore_configs
+      | Some b -> List.map (fun (n, e, f, _) -> (n, e, f, b)) explore_configs
+    in
+    List.sort_uniq compare with_budget
+  in
   let cases =
     List.concat_map
-      (fun (n, e, f) ->
-        ((n, e, f), `Replay, 1)
-        :: List.map (fun d -> ((n, e, f), `Snapshot, d)) [ 1; 2; 4 ])
-      explore_configs
+      (fun (n, e, f, b) ->
+        ((n, e, f, b), `Replay, 1)
+        :: List.map (fun d -> ((n, e, f, b), `Snapshot, d)) domains_list)
+      configs
   in
   let samples =
     List.map
-      (fun ((n, e, f), mode, domains) ->
-        let s = time_explore ~n ~e ~f ~mode ~domains in
-        Format.fprintf fmt "%-14s %3d %-9s %7d | %8d %12.1f %12.0f@." s.experiment s.n
-          s.mode s.domains s.explored
-          (float_of_int s.wall_ns /. 1e6)
-          (states_per_sec s);
-        s)
+      (fun ((n, e, f, budget), mode, domains) -> time_explore ~n ~e ~f ~budget ~mode ~domains)
       cases
   in
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-16s %3d %-9s %7d %7d | %8d %10.1f %11.0f %8s@." s.experiment
+        s.n s.mode s.domains s.budget s.explored
+        (float_of_int s.wall_ns /. 1e6)
+        (states_per_sec s)
+        (match speedup_vs_seq samples s with
+        | None -> "-"
+        | Some x -> Printf.sprintf "%.2fx" x))
+    samples;
   write_explore_json "BENCH_explore.json" samples;
   Format.fprintf fmt "(written to BENCH_explore.json)@."
 
@@ -206,10 +260,11 @@ let run_bechamel () =
 
 let usage () =
   print_endline
-    "usage: main.exe [--domains N] [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|all]...";
+    "usage: main.exe [--domains N] [--domains-list N,N,...] [--explore-budget N] \
+     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|all]...";
   exit 1
 
-let run_experiment ~domains = function
+let run_experiment ~domains ~domains_list ~budget_override = function
   | "t1" -> Experiments.t1_bounds_table fmt
   | "t2" -> Experiments.t2_twostep_verification ~domains fmt
   | "t3" -> Experiments.t3_tightness_witnesses ~domains fmt
@@ -231,33 +286,55 @@ let run_experiment ~domains = function
       Experiments.f4_smr_throughput fmt;
       Experiments.f5_epaxos_motivation fmt
   | "bechamel" -> run_bechamel ()
-  | "explore" -> run_explore_suite ()
+  | "explore" -> run_explore_suite ~domains_list ~budget_override ()
   | "all" ->
       Experiments.all ~domains fmt;
       run_bechamel ();
-      run_explore_suite ()
+      run_explore_suite ~domains_list ~budget_override ()
   | arg ->
       Printf.eprintf "unknown experiment %S\n" arg;
       usage ()
 
-(* Extract a leading/interspersed [--domains N] flag; everything else is an
-   experiment name. *)
-let rec parse_args ~domains acc = function
-  | [] -> (domains, List.rev acc)
+(* Extract leading/interspersed [--domains N], [--domains-list N,N,...] and
+   [--explore-budget N] flags; everything else is an experiment name. *)
+let rec parse_args ~domains ~domains_list ~budget_override acc = function
+  | [] -> (domains, domains_list, budget_override, List.rev acc)
   | "--domains" :: value :: rest -> begin
       match int_of_string_opt value with
-      | Some d when d >= 1 -> parse_args ~domains:d acc rest
+      | Some d when d >= 1 -> parse_args ~domains:d ~domains_list ~budget_override acc rest
       | _ ->
           Printf.eprintf "--domains expects a positive integer, got %S\n" value;
           usage ()
     end
-  | "--domains" :: [] ->
-      Printf.eprintf "--domains expects a value\n";
+  | "--domains-list" :: value :: rest -> begin
+      let parsed =
+        List.map int_of_string_opt (String.split_on_char ',' value)
+        |> List.map (function Some d when d >= 1 -> Some d | _ -> None)
+      in
+      if List.exists (( = ) None) parsed || parsed = [] then begin
+        Printf.eprintf "--domains-list expects positive integers, got %S\n" value;
+        usage ()
+      end;
+      let l = List.filter_map Fun.id parsed in
+      parse_args ~domains ~domains_list:(Some l) ~budget_override acc rest
+    end
+  | "--explore-budget" :: value :: rest -> begin
+      match int_of_string_opt value with
+      | Some b when b >= 1 ->
+          parse_args ~domains ~domains_list ~budget_override:(Some b) acc rest
+      | _ ->
+          Printf.eprintf "--explore-budget expects a positive integer, got %S\n" value;
+          usage ()
+    end
+  | (("--domains" | "--domains-list" | "--explore-budget") as flag) :: [] ->
+      Printf.eprintf "%s expects a value\n" flag;
       usage ()
-  | arg :: rest -> parse_args ~domains (arg :: acc) rest
+  | arg :: rest -> parse_args ~domains ~domains_list ~budget_override (arg :: acc) rest
 
 let () =
-  let domains, args = parse_args ~domains:1 [] (List.tl (Array.to_list Sys.argv)) in
-  match args with
-  | [] -> run_experiment ~domains "all"
-  | args -> List.iter (run_experiment ~domains) args
+  let domains, domains_list, budget_override, args =
+    parse_args ~domains:1 ~domains_list:None ~budget_override:None []
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let run = run_experiment ~domains ~domains_list ~budget_override in
+  match args with [] -> run "all" | args -> List.iter run args

@@ -50,8 +50,9 @@ let domains_arg =
     & opt int 1
     & info [ "domains" ] ~docv:"N"
         ~doc:
-          "Worker domains for the parallel sweep grids (T2-T4, F1). The output is \
-           identical for any N; 1 means fully sequential.")
+          "Worker domains for the parallel sweep grids (T2-T4, F1) and the explorer. \
+           The output is identical for any N; 1 means fully sequential, and counts \
+           above the hardware's parallelism are clamped.")
 
 let delta = 100
 
@@ -217,6 +218,73 @@ let audit_cmd =
     (Cmd.info "audit" ~doc:"Exhaustively audit the recovery rule (Lemma 7 / Lemma C.2).")
     Term.(const run $ mode_arg $ n_arg $ e_arg $ f_arg)
 
+(* -- explore ------------------------------------------------------------- *)
+
+let explore_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("snapshot", `Snapshot); ("replay", `Replay) ]) `Snapshot
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "DFS strategy (explorer default: snapshot). $(b,snapshot) extends a cloned \
+             engine per branch; $(b,replay) re-executes each path from time 0 — same \
+             runs, same order, different time/space trade-off.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "budget" ] ~docv:"RUNS"
+          ~doc:
+            "Maximum complete runs to evaluate (explorer default: 20000). The result \
+             reports whether the cut truncated the search.")
+  in
+  let rounds_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Synchronous round horizon to branch delivery orders over.")
+  in
+  let crashes_arg =
+    Arg.(
+      value
+      & opt (pairs_conv ~what:"crashes") []
+      & info [ "crashes" ] ~docv:"T:P,..." ~doc:"Crash schedule as time:pid pairs.")
+  in
+  let run protocol n e f rounds budget mode domains crashes =
+    let (module P : Proto.Protocol.S) = protocol in
+    let n = Option.value ~default:(P.min_n ~e ~f) n in
+    let proposals = Checker.Scenario.all_proposals_at_zero ~n (List.init n Fun.id) in
+    let r =
+      Checker.Explore.synchronous protocol ~n ~e ~f ~delta ~proposals ~crashes ~rounds
+        ~budget ~mode ~domains
+        ~check:(fun o -> Checker.Safety.safe o)
+        ()
+    in
+    Format.printf "%s n=%d e=%d f=%d rounds=%d (%s, budget %d, domains %d)@." P.name n e
+      f rounds
+      (match mode with `Snapshot -> "snapshot" | `Replay -> "replay")
+      budget domains;
+    Format.printf "explored: %d schedules%s@." r.Checker.Explore.explored
+      (if r.Checker.Explore.truncated then " (truncated)" else " (exhaustive)");
+    (match r.Checker.Explore.first_violation with
+    | None -> Format.printf "violations: none@."
+    | Some o ->
+        Format.printf "violations: %d, first: %a@." r.Checker.Explore.violations
+          Checker.Safety.pp_verdict (Checker.Safety.check o));
+    if r.Checker.Explore.violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively explore synchronous delivery schedules and check safety on \
+          every run.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ rounds_arg $ budget_arg
+      $ mode_arg $ domains_arg $ crashes_arg)
+
 (* -- experiments --------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -246,4 +314,7 @@ let experiments_cmd =
 let () =
   let doc = "Two-step consensus: protocols, checkers and lower-bound witnesses." in
   let info = Cmd.info "twostep" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ bounds_cmd; run_cmd; check_cmd; witness_cmd; audit_cmd; experiments_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ bounds_cmd; run_cmd; check_cmd; witness_cmd; audit_cmd; explore_cmd; experiments_cmd ]))

@@ -12,11 +12,13 @@ type result = {
 
 type mode = [ `Replay | `Snapshot ]
 
-(* A path (an [int list list]) prescribes, for each round boundary, the
-   exact order in which the pending messages are delivered (as pending
-   ids). Pending ids are deterministic for a fixed path, so replaying a
-   path always reconstructs the same run. In [`Replay] mode every DFS node
-   is materialised by re-executing its whole path from time 0 (O(depth²)
+(* A path prescribes, for each round boundary, the exact order in which the
+   pending messages are delivered (as pending ids). Pending ids are
+   deterministic for a fixed path, so replaying a path always reconstructs
+   the same run. Paths are stored as *reversed* prefixes (deepest round
+   first): extending a node is then a single cons instead of an O(depth)
+   append, and {!replay} reverses once. In [`Replay] mode every DFS node is
+   materialised by re-executing its whole path from time 0 (O(depth²)
    engine work along a branch); in [`Snapshot] mode a node keeps its live
    engine and each child extends an {!Dsim.Engine.clone} by one round
    (O(depth)). Both modes visit the exact same nodes in the same order.
@@ -24,21 +26,60 @@ type mode = [ `Replay | `Snapshot ]
    A DFS node carries either representation; the engine of a node has
    processed everything strictly before the coming round boundary, so its
    pending pool holds exactly that round's messages. *)
-type ('s, 'm) node = Path of int list list | Engine of ('s, 'm, Proto.Value.t, Proto.Value.t) Dsim.Engine.t
+type ('s, 'm) node =
+  | Path of int list list  (* reversed: innermost round first *)
+  | Engine of ('s, 'm, Proto.Value.t, Proto.Value.t) Dsim.Engine.t
 
-(* Per-branch statistics. Violations are recorded by their 0-based run
-   index within the branch so that a budget cut can be re-applied exactly
-   during deterministic merging (see [merge_branches]). *)
+(* Shared run budget: a pool of evaluation tokens that all domains lease
+   from in chunks. Total tokens handed out never exceed the budget, so the
+   engine work done across all domains is bounded by one sequential
+   exploration's worth — the old fan-out ran every branch against the full
+   budget and discarded the surplus at merge time (worst case k× budget). *)
+module Budget = struct
+  type t = int Atomic.t
+
+  let create budget : t = Atomic.make (max budget 0)
+
+  let rec lease (t : t) k =
+    let a = Atomic.get t in
+    if a <= 0 || k <= 0 then 0
+    else begin
+      let take = min k a in
+      if Atomic.compare_and_set t a (a - take) then take else lease t k
+    end
+
+  let refund (t : t) k = if k > 0 then ignore (Atomic.fetch_and_add t k)
+
+  let exhausted (t : t) = Atomic.get t <= 0
+end
+
+(* Per-subtree statistics. Violations are recorded by their 0-based run
+   index within the subtree so the deterministic merge can re-apply the
+   sequential budget cut exactly (see [merge]). [b_cut] distinguishes "the
+   shared budget denied a lease while work remained" from natural
+   completion; the difference decides both the [truncated] flag and
+   whether a starved subtree must be topped up. *)
 type branch = {
-  b_explored : int;
+  b_explored : int;  (* runs traversed, including a top-up's skipped prefix *)
   b_violation_indices : int list;  (* ascending *)
   b_first_violation : Scenario.outcome option;
-  b_truncated : bool;
+  b_fallback : bool;  (* perm_limit fallback hit while expanding *)
+  b_cut : bool;  (* lease denied with work remaining *)
 }
+
+(* The unit of parallel work: a task owns the subtree below one node.
+   Shallow tasks fan their children back into the pool (so idle domains
+   steal them) and return the child promises; deeper tasks explore inline
+   against the shared budget. [rev_path] identifies the subtree root so a
+   starved task can be re-run sequentially during the merge. *)
+type ('s, 'm) task_result =
+  | Leaf of int list list * int * branch  (* rev_path, root round, stats *)
+  | Fanned of ('s, 'm) task_result Pool.promise list
 
 let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crashes = [])
     ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true)
-    ?(mode = (`Snapshot : mode)) ?(domains = 1) ~check () =
+    ?(mode = (`Snapshot : mode)) ?(domains = 1) ?(clamp_domains = true) ?eval_counter ~check
+    () =
   let fresh () =
     let automaton = P.make ~n ~e ~f ~delta in
     Dsim.Engine.create ~automaton ~n ~network:Dsim.Network.Manual ~seed:0
@@ -52,17 +93,23 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
     List.iter (fun id -> Dsim.Engine.deliver_pending engine ~id ~at:(boundary round)) ids;
     ignore (Dsim.Engine.run ~until:(boundary round) engine)
   in
-  (* Replay [path] from scratch, then advance to just before round
-     [length path + 1]'s boundary. *)
-  let replay path =
+  (* Replay [rev_path] from scratch, then advance to just before round
+     [length rev_path + 1]'s boundary. *)
+  let replay rev_path =
     let engine = fresh () in
     List.iteri
       (fun i ids ->
         advance engine (i + 1);
         deliver engine (i + 1) ids)
-      path;
-    advance engine (List.length path + 1);
+      (List.rev rev_path);
+    advance engine (List.length rev_path + 1);
     engine
+  in
+  let materialize = function Path rev_path -> replay rev_path | Engine e -> e in
+  let count_eval =
+    match eval_counter with
+    | None -> fun () -> ()
+    | Some c -> fun () -> Atomic.incr c
   in
   let outcome_of engine =
     let trace = Dsim.Engine.trace engine in
@@ -118,17 +165,97 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
            (Combinat.cartesian per_dst_orders))
     end
   in
-  (* Extend a node by delivering [ids] at [round]'s boundary. In snapshot
-     mode the parent engine stays put at its instant; the child is a clone
-     stepped one round further. *)
-  let child_node node engine round ids =
-    match node with
-    | Path path -> Path (path @ [ ids ])
-    | Engine _ ->
-        let c = Dsim.Engine.clone engine in
-        deliver c round ids;
-        advance c (round + 1);
-        Engine c
+  (* Sequential DFS over the subtree below [node], evaluating runs against
+     tokens obtained through [lease] (0 = denied). The traversal order —
+     and, given the same token supply, the cut point — is identical to a
+     global sequential exploration restricted to this subtree, which makes
+     the merge exact. The cut is sticky: once a lease is denied the task
+     stops, so the evaluated runs are always a DFS-order prefix of the
+     subtree. The first [skip] runs are traversed but not evaluated
+     (top-up re-runs resume a starved subtree behind its recorded prefix).
+
+     Snapshot hot path: a node's *last* child reuses the parent engine in
+     place instead of cloning it — after the final child is built the
+     parent is dead, so interior nodes cost (children - 1) clones, not
+     children. Only inline traversal may do this; fanned children share
+     their parent engine across tasks and must clone (see [go_task]). *)
+  let explore_subtree ~lease ~refund ~skip ~fallback0 node round =
+    let explored = ref 0 in
+    let tokens = ref 0 in
+    let cut = ref false in
+    let fallback = ref fallback0 in
+    let violations_rev = ref [] in
+    let first_violation = ref None in
+    let have_token () =
+      !tokens > 0
+      || ((not !cut)
+         &&
+         let got = lease () in
+         tokens := got;
+         if got = 0 then cut := true;
+         got > 0)
+    in
+    let evaluate engine =
+      tokens := !tokens - 1;
+      let index = !explored in
+      incr explored;
+      if index >= skip then begin
+        count_eval ();
+        let outcome = outcome_of engine in
+        if not (check outcome) then begin
+          violations_rev := index :: !violations_rev;
+          if !first_violation = None then first_violation := Some outcome
+        end
+      end
+    in
+    let rec dfs node round =
+      if have_token () then begin
+        let engine = materialize node in
+        if round > rounds then evaluate engine
+        else begin
+          match round_combos ~truncated:fallback engine with
+          | None -> evaluate engine
+          | Some combos ->
+              let last = List.length combos - 1 in
+              List.iteri
+                (fun i ids ->
+                  if have_token () then begin
+                    let child =
+                      match node with
+                      | Path rev_path -> Path (ids :: rev_path)
+                      | Engine _ when i = last ->
+                          deliver engine round ids;
+                          advance engine (round + 1);
+                          Engine engine
+                      | Engine _ ->
+                          let c = Dsim.Engine.clone engine in
+                          deliver c round ids;
+                          advance c (round + 1);
+                          Engine c
+                    in
+                    dfs child (round + 1)
+                  end)
+                combos
+        end
+      end
+    in
+    dfs node round;
+    if !tokens > 0 then refund !tokens;
+    {
+      b_explored = !explored;
+      b_violation_indices = List.rev !violations_rev;
+      b_first_violation = !first_violation;
+      b_fallback = !fallback;
+      b_cut = !cut;
+    }
+  in
+  let result_of_branch b =
+    {
+      explored = b.b_explored;
+      violations = List.length b.b_violation_indices;
+      first_violation = b.b_first_violation;
+      truncated = b.b_cut || b.b_fallback;
+    }
   in
   let root_node () =
     match mode with
@@ -138,116 +265,227 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
         advance engine 1;
         Engine engine
   in
-  (* Sequential DFS over the subtree below [node], with a local [budget].
-     The traversal order and the budget cut points are identical to a
-     global sequential exploration restricted to this subtree, which is
-     what makes the parallel merge below exact. *)
-  let explore_subtree ~budget node round =
-    let explored = ref 0 in
-    let violations_rev = ref [] in
-    let first_violation = ref None in
-    let truncated = ref false in
-    let evaluate engine =
-      let index = !explored in
-      incr explored;
-      let outcome = outcome_of engine in
-      if not (check outcome) then begin
-        violations_rev := index :: !violations_rev;
-        if !first_violation = None then first_violation := Some outcome
-      end
+  let bpool = Budget.create budget in
+  (* Domains beyond the hardware's parallelism add stop-the-world GC
+     handshakes and context switches without adding throughput: on a
+     single-core host, 4 domains time-slicing one CPU run the same work
+     several times slower than one. [domains] is therefore a ceiling, not
+     a demand — clamped to [Domain.recommended_domain_count ()] unless the
+     caller (in practice: the determinism tests, which want real OS-thread
+     interleaving regardless of host size) opts out. *)
+  let domains =
+    if clamp_domains then min domains (max 1 (Domain.recommended_domain_count ()))
+    else domains
+  in
+  if domains <= 1 then begin
+    (* One lease of the whole budget: the shared-pool machinery reduces to
+       the plain sequential DFS (a single atomic op end to end). *)
+    let lease () = Budget.lease bpool budget in
+    let refund = Budget.refund bpool in
+    result_of_branch (explore_subtree ~lease ~refund ~skip:0 ~fallback0:false (root_node ()) 1)
+  end
+  else begin
+    (* Chunked leases: coarse enough to amortise the atomic, fine enough
+       that a domain never hoards a meaningful share of the budget. The
+       chunk size only shifts work between domains; results are exact for
+       any value. *)
+    let chunk = max 1 (min 128 (budget / (8 * domains))) in
+    (* Speculation cap. Tokens spent by the DFS-leftmost live task are
+       always within the sequential prefix (everything to its left is
+       finished), so they are never re-evaluated; only DFS-later tasks can
+       spend tokens beyond the eventual cut, which the merge then spends
+       again topping up the starved prefix. Metering those speculative
+       leases through this side pool bounds the total property evaluations
+       at budget + budget/4 for ANY scheduling — while exhaustive runs
+       (budget comfortably above the tree size) never feel the gate, since
+       the main pool outlives the tree. *)
+    let spec = Budget.create (budget / 4) in
+    (* Registry of live tasks (queued or running) keyed by their DFS rank:
+       the child-index path of the subtree root. Lexicographic order on
+       ranks is subtree DFS order; a task may lease unmetered iff no
+       registered rank is smaller. Children are registered *before* they
+       are submitted and their parent deregisters after, so the leftmost
+       unexplored subtree is covered by a registered rank at all times. *)
+    let reg_m = Mutex.create () in
+    let active = ref ([] : int list list) in
+    let register rank =
+      Mutex.lock reg_m;
+      active := rank :: !active;
+      Mutex.unlock reg_m
     in
-    let rec dfs node round =
-      if !explored >= budget then truncated := true
+    let deregister rank =
+      Mutex.lock reg_m;
+      let rec remove_first = function
+        | [] -> []
+        | r :: rest -> if r = rank then rest else r :: remove_first rest
+      in
+      active := remove_first !active;
+      Mutex.unlock reg_m
+    in
+    let is_leftmost rank =
+      Mutex.lock reg_m;
+      let lm = List.for_all (fun r -> compare rank r <= 0) !active in
+      Mutex.unlock reg_m;
+      lm
+    in
+    let lease_for rank () =
+      if is_leftmost rank then Budget.lease bpool chunk
       else begin
-        let engine = match node with Path path -> replay path | Engine e -> e in
-        if round > rounds then evaluate engine
+        (* Speculative: account against [spec] first, then draw the same
+           number of real tokens. Failed draws are handed back. *)
+        let s = Budget.lease spec chunk in
+        if s = 0 then 0
         else begin
-          match round_combos ~truncated engine with
-          | None -> evaluate engine
-          | Some combos ->
-              List.iter
-                (fun ids ->
-                  if !explored < budget then dfs (child_node node engine round ids) (round + 1)
-                  else truncated := true)
-                combos
+          let g = Budget.lease bpool s in
+          if g < s then Budget.refund spec (s - g);
+          g
         end
       end
     in
-    dfs node round;
-    {
-      b_explored = !explored;
-      b_violation_indices = List.rev !violations_rev;
-      b_first_violation = !first_violation;
-      b_truncated = !truncated;
-    }
-  in
-  let result_of_branch b =
-    {
-      explored = b.b_explored;
-      violations = List.length b.b_violation_indices;
-      first_violation = b.b_first_violation;
-      truncated = b.b_truncated;
-    }
-  in
-  (* Re-impose the global budget on per-branch results, walking branches in
-     DFS order. Branch [i] explored up to the full budget on its own; a
-     sequential exploration would have granted it only what the earlier
-     branches left over, and its first [take] runs are identical in either
-     case — so counts, the canonical first violation and the truncation
-     flag all come out exactly as with [domains = 1], independent of worker
-     scheduling. *)
-  let merge_branches ~root_truncated branches =
-    let remaining = ref budget in
-    let explored = ref 0 in
-    let violations = ref 0 in
-    let first_violation = ref None in
-    let truncated = ref root_truncated in
-    List.iter
-      (fun b ->
-        if !remaining <= 0 then truncated := true
-        else begin
-          let take = min b.b_explored !remaining in
-          explored := !explored + take;
-          remaining := !remaining - take;
-          let counted = List.filter (fun i -> i < take) b.b_violation_indices in
-          violations := !violations + List.length counted;
-          if !first_violation = None && counted <> [] then
-            first_violation := b.b_first_violation;
-          if take < b.b_explored then truncated := true
-          else truncated := !truncated || b.b_truncated
-        end)
-      branches;
-    {
-      explored = !explored;
-      violations = !violations;
-      first_violation = !first_violation;
-      truncated = !truncated;
-    }
-  in
-  if domains <= 1 then result_of_branch (explore_subtree ~budget (root_node ()) 1)
-  else begin
-    (* Fan the top-level branches (the first round's delivery orders) across
-       the pool; each branch is fully independent and deterministic. *)
-    let root_truncated = ref false in
-    let root = root_node () in
-    let root_engine = match root with Path path -> replay path | Engine e -> e in
-    if budget <= 0 then
-      { explored = 0; violations = 0; first_violation = None; truncated = true }
-    else if rounds < 1 then result_of_branch (explore_subtree ~budget root 1)
-    else begin
-      match round_combos ~truncated:root_truncated root_engine with
-      | None -> result_of_branch (explore_subtree ~budget root 1)
-      | Some combos ->
-          let tasks =
-            List.map
-              (fun ids ->
-                (* Materialise the child in the coordinating domain: clones
-                   of the shared root engine must not race with each other. *)
-                let node = child_node root root_engine 1 ids in
-                fun () -> explore_subtree ~budget node 2)
-              combos
+    (* Fan subtrees at the first [fan_rounds] levels into the pool, but
+       only while the queue is hungry and budget remains; everything else
+       runs inline. The policy is heuristic and scheduling-dependent —
+       correctness never depends on which subtrees got their own task. *)
+    let fan_rounds = 2 in
+    Pool.run ~domains (fun pool ->
+        (* Fanning one node floods the stack with all its children, so the
+           cap only needs to detect "workers are hungry", not provision a
+           deep backlog: a shallow queue keeps the task count (and the
+           per-task promise/condvar traffic) proportional to the domain
+           count instead of the tree width. *)
+        let queue_cap = 2 * max 1 (Pool.size pool) in
+        let refund = Budget.refund bpool in
+        let rec go_task node rev_path rank round fallback0 () =
+          let fanable =
+            round <= fan_rounds && round <= rounds
+            && (not (Budget.exhausted bpool))
+            && Pool.queued pool < queue_cap
           in
-          let branches = Pool.run ~domains (fun pool -> Pool.map_list pool (fun t -> t ()) tasks) in
-          merge_branches ~root_truncated:!root_truncated branches
-    end
+          let inline () =
+            let b =
+              explore_subtree ~lease:(lease_for rank) ~refund ~skip:0 ~fallback0 node round
+            in
+            deregister rank;
+            Leaf (rev_path, round, b)
+          in
+          if not fanable then inline ()
+          else begin
+            let fallback = ref false in
+            let engine = materialize node in
+            match round_combos ~truncated:fallback engine with
+            | None -> inline ()
+            | Some combos ->
+                (* Each child becomes its own task; the worker that picks it
+                   up clones the (now quiescent, shared) parent engine
+                   there, off the coordinator's critical path. Children are
+                   submitted in *reverse* DFS order: the pool is a LIFO
+                   stack, so the DFS-first child lands on top and domains
+                   consume the frontier in roughly sequential order — under
+                   a tight budget the tokens then go to the runs a
+                   sequential exploration would have evaluated, keeping
+                   merge-time top-ups marginal. The fan node's fallback
+                   flag rides with its first child: if that child's subtree
+                   is even partially cut the merge reports truncation
+                   anyway, and if it is fully counted the flag lands
+                   exactly as in a sequential exploration. *)
+                let indexed = List.mapi (fun i ids -> (i, ids)) combos in
+                (* All children enter the rank registry before any of them
+                   can run (and before the parent's covering rank leaves),
+                   so [is_leftmost] never under-approximates. *)
+                List.iter (fun (i, _) -> register (rank @ [ i ])) indexed;
+                deregister rank;
+                Fanned
+                  (List.rev_map
+                     (fun (i, ids) ->
+                       let child_rev_path = ids :: rev_path in
+                       let child_rank = rank @ [ i ] in
+                       let fb0 = if i = 0 then fallback0 || !fallback else false in
+                       let make_child () =
+                         match node with
+                         | Path _ -> Path child_rev_path
+                         | Engine _ ->
+                             let c = Dsim.Engine.clone engine in
+                             deliver c round ids;
+                             advance c (round + 1);
+                             Engine c
+                       in
+                       Pool.submit pool (fun () ->
+                           go_task (make_child ()) child_rev_path child_rank (round + 1) fb0
+                             ()))
+                     (List.rev indexed))
+          end
+        in
+        (* Collect every leaf in DFS order; the coordinator steals queued
+           subtree tasks while it waits instead of sleeping. *)
+        let rec collect acc = function
+          | Leaf (rev_path, round, b) -> (rev_path, round, b) :: acc
+          | Fanned children ->
+              List.fold_left
+                (fun acc p -> collect acc (Pool.await_helping pool p))
+                acc children
+        in
+        register [];
+        let leaves = List.rev (collect [] (go_task (root_node ()) [] [] 1 false ())) in
+        (* Re-impose the global budget in DFS order, exactly as a
+           sequential exploration would have spent it. A subtree that the
+           shared pool cut short of its sequential entitlement — possible
+           when a DFS-later task leased tokens first — is topped up by
+           re-running it with the missing suffix evaluated and the already
+           counted prefix merely traversed, so every run is still evaluated
+           exactly once. *)
+        let remaining = ref budget in
+        let explored = ref 0 in
+        let violations = ref 0 in
+        let first_violation = ref None in
+        let truncated = ref false in
+        List.iter
+          (fun (rev_path, round, b) ->
+            if !remaining <= 0 then truncated := true  (* every subtree holds >= 1 run *)
+            else begin
+              let b =
+                if b.b_cut && b.b_explored < !remaining then begin
+                  let node =
+                    match mode with
+                    | `Replay -> Path rev_path
+                    | `Snapshot -> Engine (replay rev_path)
+                  in
+                  let local = ref !remaining in
+                  let lease () =
+                    let g = !local in
+                    local := 0;
+                    g
+                  in
+                  let t =
+                    explore_subtree ~lease ~refund:ignore ~skip:b.b_explored
+                      ~fallback0:false node round
+                  in
+                  {
+                    t with
+                    b_violation_indices = b.b_violation_indices @ t.b_violation_indices;
+                    b_first_violation =
+                      (match b.b_first_violation with
+                      | Some _ as v -> v
+                      | None -> t.b_first_violation);
+                    b_fallback = b.b_fallback || t.b_fallback;
+                  }
+                end
+                else b
+              in
+              let take = min b.b_explored !remaining in
+              explored := !explored + take;
+              remaining := !remaining - take;
+              let counted = List.filter (fun i -> i < take) b.b_violation_indices in
+              violations := !violations + List.length counted;
+              if !first_violation = None && counted <> [] then
+                first_violation := b.b_first_violation;
+              if take < b.b_explored || b.b_cut then truncated := true
+              else truncated := !truncated || b.b_fallback
+            end)
+          leaves;
+        {
+          explored = !explored;
+          violations = !violations;
+          first_violation = !first_violation;
+          truncated = !truncated;
+        })
   end

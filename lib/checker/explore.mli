@@ -14,18 +14,29 @@
        each path — O(depth²) engine work per branch, no state copying;}
     {- [`Snapshot] (the default) extends an {!Dsim.Engine.clone} of the
        parent node by one round per branch — O(depth) incremental
-       stepping.}}
+       stepping. A node's last child additionally reuses the parent engine
+       in place (it is dead afterwards), so an interior node with [k]
+       children costs [k - 1] clones.}}
     Both visit the exact same runs in the same order and return identical
     results.
 
-    With [domains > 1] the top-level branches of the search are fanned
-    across a {!Stdext.Pool} of OCaml domains. Results are merged
-    deterministically: explored/violation counts, the (canonical) first
-    violation in DFS order and the truncation flag are identical to a
-    [domains = 1] exploration — including when the run budget cuts the
-    search short — independent of worker scheduling. The [check] predicate
-    then runs concurrently in several domains and must be thread-safe
-    (pure predicates, like all the checkers in this repository, are).
+    With [domains > 1] the search is fanned across a {!Stdext.Pool} of
+    OCaml domains: subtrees at the first levels of the tree become pool
+    tasks (workers re-submit sub-subtrees, and the coordinator steals
+    queued tasks while it waits), and all domains draw evaluation tokens in
+    chunks from one shared budget pool — the total engine work across all
+    domains is bounded by one budget's worth, instead of every branch
+    racing the full budget and most of the work being discarded. Results
+    are merged deterministically in DFS order: explored/violation counts,
+    the (canonical) first violation and the truncation flag are identical
+    to a [domains = 1] exploration — including when the run budget cuts
+    the search short — independent of worker scheduling. (In the rare case
+    scheduling starves a DFS-early subtree of tokens that a sequential
+    exploration would have granted it, the merge re-runs just that
+    subtree's missing suffix sequentially; every run is still evaluated
+    exactly once.) The [check] predicate then runs concurrently in several
+    domains and must be thread-safe (pure predicates, like all the
+    checkers in this repository, are).
 
     Batches larger than [perm_limit] messages fall back to two
     representative orders (arrival and reversed) to keep the product
@@ -55,9 +66,27 @@ val synchronous :
   ?disable_timers:bool ->
   ?mode:mode ->
   ?domains:int ->
+  ?clamp_domains:bool ->
+  ?eval_counter:int Atomic.t ->
   check:(Scenario.outcome -> bool) ->
   unit ->
   result
 (** [check] returns [false] on a violating run. [budget] defaults to 20_000
     runs, [perm_limit] to 4, [disable_timers] to [true], [mode] to
-    [`Snapshot], [domains] to 1 (sequential). *)
+    [`Snapshot], [domains] to 1 (sequential).
+
+    [domains] is a ceiling, not a demand: by default it is clamped to
+    [Domain.recommended_domain_count ()], because extra domains on an
+    oversubscribed host cost stop-the-world GC handshakes and context
+    switches without adding throughput (on a single-core machine,
+    [~domains:4] then simply runs sequentially instead of several times
+    slower). Pass [~clamp_domains:false] to spawn exactly [domains]
+    domains regardless — the determinism tests do, to exercise the
+    parallel merge under real thread interleaving on any host. Results
+    are identical either way.
+
+    [eval_counter], when given, is incremented once per property
+    evaluation across all domains — a test/diagnostic hook for asserting
+    that parallel exploration does not duplicate budget (the count stays
+    within a small factor of [min budget size], where a sequential run
+    costs exactly [min budget size]). *)

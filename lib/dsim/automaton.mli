@@ -33,7 +33,9 @@ type ('state, 'msg, 'input, 'output) t = {
           without the two copies aliasing. [Fun.id] is correct whenever the
           state is a pure immutable value — which holds for every protocol
           in this repository; a protocol that hides mutable structure
-          (hash tables, arrays) inside its state must deep-copy it here. *)
+          (hash tables, arrays) inside its state must deep-copy it here.
+          Must only read its argument: the parallel explorer clones one
+          engine from several domains concurrently. *)
 }
 
 val no_input : 'state -> 'input -> 'state * ('msg, 'output) action list

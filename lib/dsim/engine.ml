@@ -24,6 +24,18 @@ let time_of_priority prio = prio / 8
 
 type 'msg pending = { id : int; src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
 
+(* The pending pool and the timer-epoch table are immutable maps held in
+   mutable fields: updates rebind the field, and [clone] — the explorer's
+   hot path, executed once per search-tree edge — shares both in O(1)
+   instead of copying hash tables. *)
+module Imap = Map.Make (Int)
+
+module Tmap = Map.Make (struct
+  type t = Pid.t * Automaton.timer_id
+
+  let compare = Stdlib.compare
+end)
+
 type ('state, 'msg, 'input, 'output) t = {
   automaton : ('state, 'msg, 'input, 'output) Automaton.t;
   n : int;
@@ -32,7 +44,7 @@ type ('state, 'msg, 'input, 'output) t = {
   states : 'state option array;  (* None until Ev_init ran *)
   crashed_flags : bool array;
   queue : (('msg, 'input) event) Pqueue.t;
-  timer_epochs : (int * Automaton.timer_id, int) Hashtbl.t;
+  mutable timer_epochs : int Tmap.t;
   mutable now : Time.t;
   mutable trace_rev : ('msg, 'input, 'output) Trace.entry list;
   record_trace : bool;
@@ -40,7 +52,7 @@ type ('state, 'msg, 'input, 'output) t = {
   max_steps : int;
   mutable steps : int;
   mutable outputs_rev : (Time.t * Pid.t * 'output) list;
-  pending_pool : (int, 'msg pending) Hashtbl.t;
+  mutable pending_pool : 'msg pending Imap.t;
   mutable next_pending_id : int;
 }
 
@@ -62,7 +74,7 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
       states = Array.make n None;
       crashed_flags = Array.make n false;
       queue = Pqueue.create ();
-      timer_epochs = Hashtbl.create 16;
+      timer_epochs = Tmap.empty;
       now = Time.zero;
       trace_rev = [];
       record_trace;
@@ -70,7 +82,7 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
       max_steps;
       steps = 0;
       outputs_rev = [];
-      pending_pool = Hashtbl.create 16;
+      pending_pool = Imap.empty;
       next_pending_id = 0;
     }
   in
@@ -80,8 +92,10 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
   t
 
 (* Branch a run: duplicate every piece of mutable engine state. Immutable
-   payloads (trace entries, queued events, pending records) are shared;
-   process states go through the automaton's [state_copy] hook. *)
+   payloads (trace entries, queued events, pending records, timer epochs)
+   are shared; process states go through the automaton's [state_copy]
+   hook. Reads the source engine only, so several domains may clone the
+   same (quiescent) engine concurrently. *)
 let clone t =
   {
     t with
@@ -89,8 +103,6 @@ let clone t =
     states = Array.map (Option.map t.automaton.Automaton.state_copy) t.states;
     crashed_flags = Array.copy t.crashed_flags;
     queue = Pqueue.copy t.queue;
-    timer_epochs = Hashtbl.copy t.timer_epochs;
-    pending_pool = Hashtbl.copy t.pending_pool;
   }
 
 type ('state, 'msg, 'input, 'output) snapshot = ('state, 'msg, 'input, 'output) t
@@ -131,20 +143,24 @@ let send t ~src ~dst msg =
   | None ->
       let id = t.next_pending_id in
       t.next_pending_id <- id + 1;
-      Hashtbl.replace t.pending_pool id { id; src; dst; msg; sent_at = t.now }
+      t.pending_pool <- Imap.add id { id; src; dst; msg; sent_at = t.now } t.pending_pool
 
 let set_timer t ~pid ~id ~after =
   if not t.disable_timers then begin
     let key = (pid, id) in
-    let epoch = 1 + Option.value ~default:0 (Hashtbl.find_opt t.timer_epochs key) in
-    Hashtbl.replace t.timer_epochs key epoch;
+    let epoch = 1 + Option.value ~default:0 (Tmap.find_opt key t.timer_epochs) in
+    t.timer_epochs <- Tmap.add key epoch t.timer_epochs;
     push_event t ~at:(t.now + max 0 after) (Ev_timer { pid; id; epoch })
   end
 
 let cancel_timer t ~pid ~id =
-  let key = (pid, id) in
-  let epoch = 1 + Option.value ~default:0 (Hashtbl.find_opt t.timer_epochs key) in
-  Hashtbl.replace t.timer_epochs key epoch
+  (* With timers disabled no Ev_timer is ever queued, so the epoch
+     bookkeeping would be dead weight cloned into every snapshot. *)
+  if not t.disable_timers then begin
+    let key = (pid, id) in
+    let epoch = 1 + Option.value ~default:0 (Tmap.find_opt key t.timer_epochs) in
+    t.timer_epochs <- Tmap.add key epoch t.timer_epochs
+  end
 
 let apply_actions t ~pid actions =
   let apply = function
@@ -244,7 +260,7 @@ let handle_event t ev =
       | _ -> handle_deliver t ~src:d.src ~dst:d.dst ~msg:d.msg ~sent_at:d.sent_at
     end
   | Ev_timer { pid; id; epoch } ->
-      let current = Hashtbl.find_opt t.timer_epochs (pid, id) in
+      let current = Tmap.find_opt (pid, id) t.timer_epochs in
       if current = Some epoch && not t.crashed_flags.(pid) then begin
         record t (Trace.Timer_fired { time = t.now; pid; id });
         step_process t ~pid (fun s -> t.automaton.on_timer s id)
@@ -274,16 +290,15 @@ let run ?until t =
   in
   loop ()
 
-let pending t =
-  Hashtbl.fold (fun _ p acc -> p :: acc) t.pending_pool []
-  |> List.sort (fun a b -> Int.compare a.id b.id)
+(* Imap.bindings is ascending in id, i.e. send order. *)
+let pending t = List.map snd (Imap.bindings t.pending_pool)
 
 let deliver_pending t ~id ~at =
-  match Hashtbl.find_opt t.pending_pool id with
+  match Imap.find_opt id t.pending_pool with
   | None -> raise Not_found
   | Some p ->
       if at < t.now then invalid_arg "Engine.deliver_pending: at < now";
-      Hashtbl.remove t.pending_pool id;
+      t.pending_pool <- Imap.remove id t.pending_pool;
       push_event t ~at (Ev_deliver { src = p.src; dst = p.dst; msg = p.msg; sent_at = p.sent_at })
 
-let drop_pending t ~id = Hashtbl.remove t.pending_pool id
+let drop_pending t ~id = t.pending_pool <- Imap.remove id t.pending_pool

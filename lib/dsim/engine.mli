@@ -51,7 +51,11 @@ val clone : ('state, 'msg, 'input, 'output) t -> ('state, 'msg, 'input, 'output)
     (via {!Automaton.t}'s [state_copy]), event queue, pending pool, timer
     epochs, RNG and trace. Stepping either engine never affects the other,
     and running both identically gives bit-identical results. O(n + queued
-    events + pending messages). *)
+    events): the pending pool, timer table, trace and outputs are
+    persistent structures shared in O(1). [clone] only reads its argument,
+    so multiple domains may clone the same engine concurrently as long as
+    nobody steps it meanwhile (and [state_copy] is pure, which the
+    {!Automaton.t} contract requires). *)
 
 type ('state, 'msg, 'input, 'output) snapshot
 (** An immutable capture of an engine, taken with {!snapshot} and

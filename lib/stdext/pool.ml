@@ -9,10 +9,19 @@ type 'a promise = {
   mutable st : 'a state;
 }
 
+(* Pending jobs form a LIFO stack: the most recently submitted job runs
+   first. Recursive fan-out (tasks submitting subtree tasks) then unfolds
+   depth-first — a domain keeps descending into the subtree it just split,
+   and the stack bottom holds the biggest, oldest subtrees for other
+   domains to pick up. This is the scheduling order a work-stealing deque
+   gives the owning worker, with the single shared stack standing in for
+   per-worker deques (task granularity in this repository is coarse enough
+   that the one mutex is not contended). *)
 type t = {
   m : Mutex.t;
   work_available : Condition.t;
-  jobs : (unit -> unit) Queue.t;
+  mutable jobs : (unit -> unit) list;
+  mutable njobs : int;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
 }
@@ -24,12 +33,17 @@ let size t = List.length t.workers
 let rec worker_loop t =
   Mutex.lock t.m;
   let rec next () =
-    if not (Queue.is_empty t.jobs) then Some (Queue.pop t.jobs)
-    else if t.closed then None
-    else begin
-      Condition.wait t.work_available t.m;
-      next ()
-    end
+    match t.jobs with
+    | job :: rest ->
+        t.jobs <- rest;
+        t.njobs <- t.njobs - 1;
+        Some job
+    | [] ->
+        if t.closed then None
+        else begin
+          Condition.wait t.work_available t.m;
+          next ()
+        end
   in
   match next () with
   | None -> Mutex.unlock t.m
@@ -43,7 +57,8 @@ let create ~domains =
     {
       m = Mutex.create ();
       work_available = Condition.create ();
-      jobs = Queue.create ();
+      jobs = [];
+      njobs = 0;
       closed = false;
       workers = [];
     }
@@ -75,11 +90,35 @@ let submit t f =
       Mutex.unlock t.m;
       invalid_arg "Pool.submit: pool is shut down"
     end;
-    Queue.push job t.jobs;
+    t.jobs <- job :: t.jobs;
+    t.njobs <- t.njobs + 1;
     Condition.signal t.work_available;
     Mutex.unlock t.m
   end;
   promise
+
+let queued t =
+  Mutex.lock t.m;
+  let n = t.njobs in
+  Mutex.unlock t.m;
+  n
+
+let try_run_one t =
+  Mutex.lock t.m;
+  let job =
+    match t.jobs with
+    | [] -> None
+    | job :: rest ->
+        t.jobs <- rest;
+        t.njobs <- t.njobs - 1;
+        Some job
+  in
+  Mutex.unlock t.m;
+  match job with
+  | None -> false
+  | Some job ->
+      job ();
+      true
 
 let await promise =
   Mutex.lock promise.pm;
@@ -96,6 +135,30 @@ let await promise =
   | Done v -> v
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> assert false
+
+let await_helping t promise =
+  let rec loop () =
+    Mutex.lock promise.pm;
+    let st = promise.st in
+    Mutex.unlock promise.pm;
+    match st with
+    | Done v -> v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending ->
+        if try_run_one t then loop ()
+        else begin
+          (* Nothing stealable right now: park on the promise. Re-check the
+             state under the lock so a fulfil between the peek above and
+             this wait cannot be missed. *)
+          Mutex.lock promise.pm;
+          (match promise.st with
+          | Pending -> Condition.wait promise.pc promise.pm
+          | _ -> ());
+          Mutex.unlock promise.pm;
+          loop ()
+        end
+  in
+  loop ()
 
 let map_list t f xs =
   let promises = List.map (fun x -> submit t (fun () -> f x)) xs in

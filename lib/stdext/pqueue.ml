@@ -8,8 +8,10 @@ type 'a t = {
 
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
-(* Entries are immutable records, so a shallow array copy suffices. *)
-let copy t = { data = Array.copy t.data; size = t.size; next_seq = t.next_seq }
+(* Entries are immutable records, so a shallow array copy suffices; only
+   the live prefix is copied, so cloning a drained queue with a large
+   retained capacity costs (almost) nothing. *)
+let copy t = { data = Array.sub t.data 0 t.size; size = t.size; next_seq = t.next_seq }
 
 let is_empty t = t.size = 0
 

@@ -189,9 +189,11 @@ let test_explore_snapshot_matches_replay_with_crashes () =
 let test_explore_parallel_deterministic () =
   let n = 6 and e = 2 and f = 2 in
   let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  (* [clamp_domains:false]: the point is real multi-domain interleaving,
+     also on hosts whose recommended domain count would clamp it away. *)
   let go ~mode ~domains ~budget check =
     Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3 ~budget ~mode
-      ~domains ~check ()
+      ~domains ~clamp_domains:false ~check ()
   in
   let p0_undecided o = Scenario.decided_value o 0 = None in
   (* Without a binding budget: every (mode, domains) combination agrees. *)
@@ -209,6 +211,75 @@ let test_explore_parallel_deterministic () =
   Alcotest.(check bool) "budget binds" true cut.truncated;
   let par = go ~mode:`Snapshot ~domains:3 ~budget:100 p0_undecided in
   check_explore_results_equal "budget-cut merge" cut par
+
+(* Property: the shared-budget, work-stealing parallel explorer is
+   *byte-identical* to the sequential one on every result field — explored,
+   violations, first_violation and truncated — over random small
+   configurations covering both execution modes, crash schedules, unclamped
+   domain counts and budgets that cut mid-branch. This is the determinism
+   contract the merge logic (DFS-order budget re-imposition + subtree
+   top-up) must uphold under arbitrary worker scheduling. *)
+let explore_parallel_equiv_property =
+  QCheck.Test.make ~name:"explore: parallel == sequential on all fields" ~count:14
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let pick l k = List.nth l (seed / k mod List.length l) in
+      let n, e, f = pick [ (3, 1, 1); (4, 1, 1) ] 1 in
+      let rounds = pick [ 1; 2 ] 2 in
+      (* Small budgets land the cut mid-branch; the large one is only
+         binding for the wider configurations. *)
+      let budget = pick [ 23; 97; 400 ] 4 in
+      let mode = pick [ `Snapshot; `Replay ] 12 in
+      let domains = pick [ 2; 3; 4 ] 24 in
+      let crashes = pick [ []; [ (delta + 1, n - 1) ] ] 72 in
+      let proposals = Scenario.all_proposals_at_zero ~n (List.init n (fun i -> n - i)) in
+      let go ~domains ~clamp =
+        Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta ~proposals ~crashes ~rounds
+          ~budget ~mode ~domains ~clamp_domains:clamp
+          ~check:(fun o -> Scenario.decided_value o 0 = None)
+          ()
+      in
+      let a = go ~domains:1 ~clamp:true in
+      let b = go ~domains ~clamp:false in
+      a.Explore.explored = b.Explore.explored
+      && a.violations = b.violations
+      && a.truncated = b.truncated
+      && a.first_violation = b.first_violation)
+
+let test_explore_budget_not_duplicated () =
+  (* The shared budget pool bounds the total work: across all domains the
+     property must be evaluated at most a small factor more often than the
+     budget (top-up re-runs of lease-starved subtrees are the only source
+     of re-evaluation), where the old per-branch budgets cost up to
+     domains x budget. *)
+  (* n = 6 at the task bound: the 3-round tree holds 572 runs, so budget
+     400 cuts mid-branch. *)
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go ~budget ~domains ~clamp =
+    let evals = Atomic.make 0 in
+    let r =
+      Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3 ~budget
+        ~domains ~clamp_domains:clamp ~eval_counter:evals
+        ~check:(fun _ -> true)
+        ()
+    in
+    (r, Atomic.get evals)
+  in
+  (* Budget cuts mid-tree: evaluations stay within 1.25x budget. *)
+  let r, evals = go ~budget:400 ~domains:4 ~clamp:false in
+  Alcotest.(check int) "explored = budget" 400 r.explored;
+  Alcotest.(check bool) "truncated" true r.truncated;
+  Alcotest.(check bool)
+    (Printf.sprintf "evals within 1.25x budget (got %d)" evals)
+    true
+    (evals >= 400 && evals <= 500);
+  (* Budget not binding: every run evaluated exactly once, nothing extra. *)
+  let r1, evals1 = go ~budget:1_000_000 ~domains:1 ~clamp:true in
+  let r4, evals4 = go ~budget:1_000_000 ~domains:4 ~clamp:false in
+  Alcotest.(check int) "parallel explored = sequential" r1.explored r4.explored;
+  Alcotest.(check int) "sequential evals = explored" r1.explored evals1;
+  Alcotest.(check int) "parallel evals = explored (exactly once)" r4.explored evals4
 
 let () =
   Alcotest.run "checker"
@@ -238,5 +309,8 @@ let () =
             test_explore_snapshot_matches_replay_with_crashes;
           Alcotest.test_case "parallel determinism" `Quick
             test_explore_parallel_deterministic;
+          Alcotest.test_case "shared budget not duplicated" `Quick
+            test_explore_budget_not_duplicated;
+          QCheck_alcotest.to_alcotest explore_parallel_equiv_property;
         ] );
     ]
