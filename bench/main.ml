@@ -27,9 +27,17 @@ type explore_sample = {
   mode : string;
   domains : int;
   budget : int;
+  rounds : int;
+  max_drops : int;
+  max_dups : int;
   explored : int;
   wall_ns : int;
 }
+
+(* Suites append here and each writes the union, so one invocation running
+   both [explore] and [faults] produces a single BENCH_explore.json with
+   every row. *)
+let all_samples : explore_sample list ref = ref []
 
 let states_per_sec s =
   if s.wall_ns = 0 then 0.0 else float_of_int s.explored /. (float_of_int s.wall_ns /. 1e9)
@@ -52,14 +60,14 @@ let default_domains_list () =
   | [] -> [ 1 ]
   | l -> l
 
-let time_explore ~n ~e ~f ~budget ~mode ~domains =
+let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains =
   let proposals =
     Checker.Scenario.all_proposals_at_zero ~n (List.init n (fun i -> n - 1 - i))
   in
   let t0 = Unix.gettimeofday () in
   let r =
-    Checker.Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals
-      ~rounds:explore_rounds ~budget ~mode ~domains
+    Checker.Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals ~rounds
+      ~budget ~faults ~mode ~domains
       ~check:(fun o -> Checker.Safety.safe o)
       ()
   in
@@ -67,14 +75,15 @@ let time_explore ~n ~e ~f ~budget ~mode ~domains =
   if r.Checker.Explore.violations > 0 then
     failwith "explore bench: unexpected safety violation";
   {
-    experiment =
-      Printf.sprintf "explore-n%d%s" n
-        (if budget = 1_000 then "" else Printf.sprintf "-b%d" budget);
+    experiment;
     protocol = "rgs-task";
     n;
     mode = (match mode with `Replay -> "replay" | `Snapshot -> "snapshot");
     domains;
     budget;
+    rounds;
+    max_drops = faults.Checker.Explore.max_drops;
+    max_dups = faults.Checker.Explore.max_dups;
     explored = r.Checker.Explore.explored;
     wall_ns = int_of_float ((t1 -. t0) *. 1e9);
   }
@@ -96,10 +105,11 @@ let write_explore_json path samples =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"suite\": \"explore\",\n";
-  out "  \"schema_version\": 2,\n";
+  out "  \"schema_version\": 3,\n";
   out
     "  \"schema\": [\"experiment\", \"protocol\", \"n\", \"mode\", \"domains\", \
-     \"budget\", \"explored\", \"wall_ns\", \"states_per_sec\", \"speedup_vs_seq\"],\n";
+     \"budget\", \"rounds\", \"max_drops\", \"max_dups\", \"explored\", \"wall_ns\", \
+     \"states_per_sec\", \"speedup_vs_seq\"],\n";
   out "  \"rounds\": %d,\n" explore_rounds;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"results\": [\n";
@@ -112,14 +122,36 @@ let write_explore_json path samples =
       in
       out
         "    {\"experiment\": %S, \"protocol\": %S, \"n\": %d, \"mode\": %S, \"domains\": \
-         %d, \"budget\": %d, \"explored\": %d, \"wall_ns\": %d, \"states_per_sec\": \
-         %.1f, \"speedup_vs_seq\": %s}%s\n"
-        s.experiment s.protocol s.n s.mode s.domains s.budget s.explored s.wall_ns
-        (states_per_sec s) speedup
+         %d, \"budget\": %d, \"rounds\": %d, \"max_drops\": %d, \"max_dups\": %d, \
+         \"explored\": %d, \"wall_ns\": %d, \"states_per_sec\": %.1f, \
+         \"speedup_vs_seq\": %s}%s\n"
+        s.experiment s.protocol s.n s.mode s.domains s.budget s.rounds s.max_drops
+        s.max_dups s.explored s.wall_ns (states_per_sec s) speedup
         (if i = List.length samples - 1 then "" else ","))
     samples;
   out "  ]\n}\n";
   close_out oc
+
+let print_sample_table samples =
+  Format.fprintf fmt "%-16s %3s %-9s %7s %7s %5s %5s | %8s %10s %11s %8s@." "experiment"
+    "n" "mode" "domains" "budget" "drops" "dups" "explored" "wall-ms" "states/sec"
+    "speedup";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-16s %3d %-9s %7d %7d %5d %5d | %8d %10.1f %11.0f %8s@."
+        s.experiment s.n s.mode s.domains s.budget s.max_drops s.max_dups s.explored
+        (float_of_int s.wall_ns /. 1e6)
+        (states_per_sec s)
+        (match speedup_vs_seq samples s with
+        | None -> "-"
+        | Some x -> Printf.sprintf "%.2fx" x))
+    samples
+
+let emit_samples samples =
+  all_samples := !all_samples @ samples;
+  print_sample_table samples;
+  write_explore_json "BENCH_explore.json" !all_samples;
+  Format.fprintf fmt "(written to BENCH_explore.json)@."
 
 let run_explore_suite ~domains_list ~budget_override () =
   let domains_list =
@@ -129,8 +161,6 @@ let run_explore_suite ~domains_list ~budget_override () =
     (String.make 78 '-')
     (String.concat "," (List.map string_of_int domains_list))
     (String.make 78 '-');
-  Format.fprintf fmt "%-16s %3s %-9s %7s %7s | %8s %10s %11s %8s@." "experiment" "n"
-    "mode" "domains" "budget" "explored" "wall-ms" "states/sec" "speedup";
   let configs =
     let with_budget =
       match budget_override with
@@ -148,21 +178,59 @@ let run_explore_suite ~domains_list ~budget_override () =
   in
   let samples =
     List.map
-      (fun ((n, e, f, budget), mode, domains) -> time_explore ~n ~e ~f ~budget ~mode ~domains)
+      (fun ((n, e, f, budget), mode, domains) ->
+        let experiment =
+          Printf.sprintf "explore-n%d%s" n
+            (if budget = 1_000 then "" else Printf.sprintf "-b%d" budget)
+        in
+        time_explore ~experiment ~n ~e ~f ~budget ~rounds:explore_rounds
+          ~faults:Checker.Explore.no_faults ~mode ~domains)
       cases
   in
-  List.iter
-    (fun s ->
-      Format.fprintf fmt "%-16s %3d %-9s %7d %7d | %8d %10.1f %11.0f %8s@." s.experiment
-        s.n s.mode s.domains s.budget s.explored
-        (float_of_int s.wall_ns /. 1e6)
-        (states_per_sec s)
-        (match speedup_vs_seq samples s with
-        | None -> "-"
-        | Some x -> Printf.sprintf "%.2fx" x))
-    samples;
-  write_explore_json "BENCH_explore.json" samples;
-  Format.fprintf fmt "(written to BENCH_explore.json)@."
+  emit_samples samples
+
+(* Fault-injection exploration: the same explorer with drop/duplication
+   branching enabled. Fault subsets widen the tree by orders of magnitude,
+   so these run at [fault_rounds] = 2 and lean on the budget cut; the
+   interesting signal is the states/sec cost of fault branching relative
+   to the no-fault rows and the parallel speedup on the wider tree. *)
+let fault_configs = [ (5, 2, 1, 2_000); (6, 2, 2, 2_000) ]
+
+let fault_rounds = 2
+
+let fault_bounds = { Checker.Explore.max_drops = 1; max_dups = 1 }
+
+let run_faults_suite ~domains_list ~budget_override () =
+  let domains_list =
+    match domains_list with Some l -> l | None -> default_domains_list ()
+  in
+  Format.fprintf fmt
+    "@.%s@.B3. Fault-injection exploration (<=%d drops, <=%d dups), domains {%s}@.%s@."
+    (String.make 78 '-') fault_bounds.Checker.Explore.max_drops
+    fault_bounds.Checker.Explore.max_dups
+    (String.concat "," (List.map string_of_int domains_list))
+    (String.make 78 '-');
+  let configs =
+    match budget_override with
+    | None -> fault_configs
+    | Some b -> List.sort_uniq compare (List.map (fun (n, e, f, _) -> (n, e, f, b)) fault_configs)
+  in
+  let cases =
+    List.concat_map
+      (fun (n, e, f, b) ->
+        ((n, e, f, b), `Replay, 1)
+        :: List.map (fun d -> ((n, e, f, b), `Snapshot, d)) domains_list)
+      configs
+  in
+  let samples =
+    List.map
+      (fun ((n, e, f, budget), mode, domains) ->
+        time_explore
+          ~experiment:(Printf.sprintf "faults-n%d" n)
+          ~n ~e ~f ~budget ~rounds:fault_rounds ~faults:fault_bounds ~mode ~domains)
+      cases
+  in
+  emit_samples samples
 
 (* -- Bechamel microbenchmarks ------------------------------------------ *)
 
@@ -261,7 +329,7 @@ let run_bechamel () =
 let usage () =
   print_endline
     "usage: main.exe [--domains N] [--domains-list N,N,...] [--explore-budget N] \
-     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|all]...";
+     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|all]...";
   exit 1
 
 let run_experiment ~domains ~domains_list ~budget_override = function
@@ -287,10 +355,12 @@ let run_experiment ~domains ~domains_list ~budget_override = function
       Experiments.f5_epaxos_motivation fmt
   | "bechamel" -> run_bechamel ()
   | "explore" -> run_explore_suite ~domains_list ~budget_override ()
+  | "faults" -> run_faults_suite ~domains_list ~budget_override ()
   | "all" ->
       Experiments.all ~domains fmt;
       run_bechamel ();
-      run_explore_suite ~domains_list ~budget_override ()
+      run_explore_suite ~domains_list ~budget_override ();
+      run_faults_suite ~domains_list ~budget_override ()
   | arg ->
       Printf.eprintf "unknown experiment %S\n" arg;
       usage ()

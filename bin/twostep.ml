@@ -285,6 +285,99 @@ let explore_cmd =
       const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ rounds_arg $ budget_arg
       $ mode_arg $ domains_arg $ crashes_arg)
 
+(* -- faults -------------------------------------------------------------- *)
+
+let faults_cmd =
+  let drop_rate_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Per-message drop probability in [0,1] (applied within --max-drops).")
+  in
+  let dup_rate_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "dup-rate" ] ~docv:"P"
+          ~doc:"Per-message duplication probability in [0,1] (within --max-dups).")
+  in
+  let max_drops_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-drops" ] ~docv:"K" ~doc:"Budget of dropped messages per run.")
+  in
+  let max_dups_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-dups" ] ~docv:"K" ~doc:"Budget of duplicated messages per run.")
+  in
+  let max_extra_delay_arg =
+    Arg.(
+      value
+      & opt int (2 * delta)
+      & info [ "max-extra-delay" ] ~docv:"T"
+          ~doc:"A duplicate's copy is re-sent up to this many ticks later.")
+  in
+  let crashes_arg =
+    Arg.(
+      value
+      & opt (pairs_conv ~what:"crashes") []
+      & info [ "crashes" ] ~docv:"T:P,..."
+          ~doc:"Crash schedule as time:pid pairs (composes with the fault plan).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds" ] ~docv:"COUNT"
+          ~doc:"Number of consecutive seeds to sweep, starting at --seed.")
+  in
+  let until_arg =
+    Arg.(value & opt int (60 * delta) & info [ "until" ] ~docv:"T" ~doc:"Horizon (ticks).")
+  in
+  let run protocol n e f drop_rate dup_rate max_drops max_dups max_extra_delay crashes
+      seeds seed until =
+    let (module P : Proto.Protocol.S) = protocol in
+    let n = Option.value ~default:(P.min_n ~e ~f) n in
+    let proposals = Checker.Scenario.all_proposals_at_zero ~n (List.init n Fun.id) in
+    let faults =
+      Dsim.Network.Fault.random ~drop_rate ~dup_rate ~max_drops ~max_dups
+        ~max_extra_delay ()
+    in
+    Format.printf
+      "%s n=%d e=%d f=%d: drop-rate %.2f (<=%d), dup-rate %.2f (<=%d), %d seed%s@." P.name
+      n e f drop_rate max_drops dup_rate max_dups seeds
+      (if seeds = 1 then "" else "s");
+    let violations = ref 0 in
+    for s = seed to seed + seeds - 1 do
+      let o =
+        Checker.Scenario.run protocol ~n ~e ~f ~delta
+          ~net:(Checker.Scenario.Partial { gst = 5 * delta; max_pre_gst = 3 * delta })
+          ~proposals ~crashes ~seed:s ~faults ~until ()
+      in
+      let verdict = Checker.Safety.check o in
+      if not (Checker.Safety.safe o) then incr violations;
+      Format.printf "  seed %-6d dropped %-3d duplicated %-3d decided %d/%d  %a@." s
+        o.dropped o.duplicated
+        (List.length o.decisions)
+        n Checker.Safety.pp_verdict verdict
+    done;
+    if !violations > 0 then begin
+      Format.printf "%d of %d seeds violated safety@." !violations seeds;
+      exit 1
+    end
+    else Format.printf "all %d seeds safe@." seeds
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Sweep seeded loss/duplication/crash fault plans over one protocol and check \
+          safety on every run.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ drop_rate_arg $ dup_rate_arg
+      $ max_drops_arg $ max_dups_arg $ max_extra_delay_arg $ crashes_arg $ seeds_arg
+      $ seed_arg $ until_arg)
+
 (* -- experiments --------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -317,4 +410,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ bounds_cmd; run_cmd; check_cmd; witness_cmd; audit_cmd; explore_cmd; experiments_cmd ]))
+          [
+            bounds_cmd;
+            run_cmd;
+            check_cmd;
+            witness_cmd;
+            audit_cmd;
+            explore_cmd;
+            faults_cmd;
+            experiments_cmd;
+          ]))

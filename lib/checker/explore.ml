@@ -12,12 +12,23 @@ type result = {
 
 type mode = [ `Replay | `Snapshot ]
 
-(* A path prescribes, for each round boundary, the exact order in which the
-   pending messages are delivered (as pending ids). Pending ids are
-   deterministic for a fixed path, so replaying a path always reconstructs
-   the same run. Paths are stored as *reversed* prefixes (deepest round
-   first): extending a node is then a single cons instead of an O(depth)
-   append, and {!replay} reverses once. In [`Replay] mode every DFS node is
+type fault_bounds = { max_drops : int; max_dups : int }
+
+let no_faults = { max_drops = 0; max_dups = 0 }
+
+(* One round boundary's worth of scheduling decisions: which pending
+   messages the adversary loses, which it duplicates (the copy stays in
+   the pool and is delivered at a later boundary), and the exact delivery
+   order of the rest (as pending ids). With fault bounds at zero this
+   degenerates to the pure delivery-order choice. *)
+type round_choice = { drop : int list; dup : int list; deliver : int list }
+
+(* A path prescribes one {!round_choice} per round boundary. Pending ids
+   are deterministic for a fixed path — duplication allocates fresh ids in
+   choice order — so replaying a path always reconstructs the same run.
+   Paths are stored as *reversed* prefixes (deepest round first):
+   extending a node is then a single cons instead of an O(depth) append,
+   and {!replay} reverses once. In [`Replay] mode every DFS node is
    materialised by re-executing its whole path from time 0 (O(depth²)
    engine work along a branch); in [`Snapshot] mode a node keeps its live
    engine and each child extends an {!Dsim.Engine.clone} by one round
@@ -27,7 +38,7 @@ type mode = [ `Replay | `Snapshot ]
    processed everything strictly before the coming round boundary, so its
    pending pool holds exactly that round's messages. *)
 type ('s, 'm) node =
-  | Path of int list list  (* reversed: innermost round first *)
+  | Path of round_choice list  (* reversed: innermost round first *)
   | Engine of ('s, 'm, Proto.Value.t, Proto.Value.t) Dsim.Engine.t
 
 (* Shared run budget: a pool of evaluation tokens that all domains lease
@@ -73,13 +84,23 @@ type branch = {
    against the shared budget. [rev_path] identifies the subtree root so a
    starved task can be re-run sequentially during the merge. *)
 type ('s, 'm) task_result =
-  | Leaf of int list list * int * branch  (* rev_path, root round, stats *)
+  | Leaf of round_choice list * int * branch  (* rev_path, root round, stats *)
+  | Chunk of (round_choice list * int * branch) list  (* adjacent leaves, DFS order *)
   | Fanned of ('s, 'm) task_result Pool.promise list
+
+(* Fault budgets already spent along a (reversed) path; a starved
+   subtree's top-up re-run recovers its remaining bounds from this. *)
+let faults_spent rev_path =
+  List.fold_left
+    (fun (d, u) c -> (d + List.length c.drop, u + List.length c.dup))
+    (0, 0) rev_path
 
 let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crashes = [])
     ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true)
-    ?(mode = (`Snapshot : mode)) ?(domains = 1) ?(clamp_domains = true) ?eval_counter ~check
-    () =
+    ?(mode = (`Snapshot : mode)) ?(domains = 1) ?(clamp_domains = true) ?eval_counter
+    ?(faults = no_faults) ~check () =
+  if faults.max_drops < 0 || faults.max_dups < 0 then
+    invalid_arg "Explore.synchronous: fault bounds must be non-negative";
   let fresh () =
     let automaton = P.make ~n ~e ~f ~delta in
     Dsim.Engine.create ~automaton ~n ~network:Dsim.Network.Manual ~seed:0
@@ -89,8 +110,15 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
   (* Process everything strictly before [round]'s boundary (init and inputs
      at the first level, timers in between later). *)
   let advance engine round = ignore (Dsim.Engine.run ~until:(boundary round - 1) engine) in
-  let deliver engine round ids =
-    List.iter (fun id -> Dsim.Engine.deliver_pending engine ~id ~at:(boundary round)) ids;
+  (* Apply one round boundary's decisions: drops and duplications first
+     (order matters only for id determinism — duplication allocates fresh
+     pending ids in [dup] order), then the prescribed delivery order. *)
+  let apply_choice engine round { drop; dup; deliver } =
+    List.iter (fun id -> Dsim.Engine.drop_pending engine ~id) drop;
+    List.iter (fun id -> ignore (Dsim.Engine.duplicate_pending engine ~id : int)) dup;
+    List.iter
+      (fun id -> Dsim.Engine.deliver_pending engine ~id ~at:(boundary round))
+      deliver;
     ignore (Dsim.Engine.run ~until:(boundary round) engine)
   in
   (* Replay [rev_path] from scratch, then advance to just before round
@@ -98,9 +126,9 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
   let replay rev_path =
     let engine = fresh () in
     List.iteri
-      (fun i ids ->
+      (fun i choice ->
         advance engine (i + 1);
-        deliver engine (i + 1) ids)
+        apply_choice engine (i + 1) choice)
       (List.rev rev_path);
     advance engine (List.length rev_path + 1);
     engine
@@ -113,6 +141,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
   in
   let outcome_of engine =
     let trace = Dsim.Engine.trace engine in
+    let dropped, duplicated = Dsim.Engine.fault_counts engine in
     {
       Scenario.decisions = Dsim.Engine.outputs engine;
       proposals = Dsim.Trace.inputs trace;
@@ -120,14 +149,21 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
       n;
       horizon = Dsim.Engine.now engine;
       messages = Dsim.Trace.message_count trace;
+      dropped;
+      duplicated;
       engine_result = Dsim.Engine.Quiescent;
     }
   in
-  (* Enumerate the delivery orders of one round: group the pending pool per
-     correct recipient and take the product of per-recipient orders.
-     Messages to crashed processes are irrelevant and are appended in
-     arrival order. Returns [None] when nothing is pending. *)
-  let round_combos ~truncated engine =
+  (* Enumerate one round's scheduling decisions: which live pending
+     messages to drop (within the remaining drop bound), which of the kept
+     ones to duplicate (within the dup bound; the copy stays pooled for a
+     later round), and — per correct recipient — every delivery order of
+     the kept messages. Fault subsets are enumerated in ascending size
+     with the empty choice first, so under a tight budget the no-fault
+     schedules are explored before any faulty ones. Messages to crashed
+     processes are irrelevant and are appended in arrival order. Returns
+     [None] when nothing is pending. *)
+  let round_choices ~truncated engine ~drops_left ~dups_left =
     let pending = Dsim.Engine.pending engine in
     if pending = [] then None
     else begin
@@ -143,26 +179,37 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
           (fun (p : _ Dsim.Engine.pending) -> not (Dsim.Engine.crashed engine p.dst))
           pending
       in
-      let dsts =
-        List.sort_uniq Pid.compare
-          (List.map (fun (p : _ Dsim.Engine.pending) -> p.dst) to_live)
-      in
-      let per_dst_orders =
-        List.map
-          (fun dst ->
-            let ids =
-              List.filter_map
-                (fun (p : _ Dsim.Engine.pending) ->
-                  if Pid.equal p.dst dst then Some p.id else None)
-                to_live
-            in
-            orders_for_batch ids)
-          dsts
-      in
       let crashed_ids = List.map (fun (p : _ Dsim.Engine.pending) -> p.id) to_crashed in
+      let live_ids = List.map (fun (p : _ Dsim.Engine.pending) -> p.id) to_live in
+      let dst_of =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (p : _ Dsim.Engine.pending) -> Hashtbl.replace tbl p.id p.dst)
+          to_live;
+        fun id -> Hashtbl.find tbl id
+      in
       Some
-        (List.map (fun combo -> List.concat combo @ crashed_ids)
-           (Combinat.cartesian per_dst_orders))
+        (List.concat_map
+           (fun drop ->
+             let kept = List.filter (fun id -> not (List.mem id drop)) live_ids in
+             let dup_sets = Combinat.subsets_up_to dups_left kept in
+             let dsts = List.sort_uniq Pid.compare (List.map dst_of kept) in
+             let per_dst_orders =
+               List.map
+                 (fun dst ->
+                   orders_for_batch
+                     (List.filter (fun id -> Pid.equal (dst_of id) dst) kept))
+                 dsts
+             in
+             let delivers =
+               List.map
+                 (fun combo -> List.concat combo @ crashed_ids)
+                 (Combinat.cartesian per_dst_orders)
+             in
+             List.concat_map
+               (fun dup -> List.map (fun deliver -> { drop; dup; deliver }) delivers)
+               dup_sets)
+           (Combinat.subsets_up_to drops_left live_ids))
     end
   in
   (* Sequential DFS over the subtree below [node], evaluating runs against
@@ -179,7 +226,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
      parent is dead, so interior nodes cost (children - 1) clones, not
      children. Only inline traversal may do this; fanned children share
      their parent engine across tasks and must clone (see [go_task]). *)
-  let explore_subtree ~lease ~refund ~skip ~fallback0 node round =
+  let explore_subtree ~lease ~refund ~skip ~fallback0 ~drops_left ~dups_left node round =
     let explored = ref 0 in
     let tokens = ref 0 in
     let cut = ref false in
@@ -208,38 +255,40 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
         end
       end
     in
-    let rec dfs node round =
+    let rec dfs node round ~drops_left ~dups_left =
       if have_token () then begin
         let engine = materialize node in
         if round > rounds then evaluate engine
         else begin
-          match round_combos ~truncated:fallback engine with
+          match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
           | None -> evaluate engine
-          | Some combos ->
-              let last = List.length combos - 1 in
+          | Some choices ->
+              let last = List.length choices - 1 in
               List.iteri
-                (fun i ids ->
+                (fun i choice ->
                   if have_token () then begin
                     let child =
                       match node with
-                      | Path rev_path -> Path (ids :: rev_path)
+                      | Path rev_path -> Path (choice :: rev_path)
                       | Engine _ when i = last ->
-                          deliver engine round ids;
+                          apply_choice engine round choice;
                           advance engine (round + 1);
                           Engine engine
                       | Engine _ ->
                           let c = Dsim.Engine.clone engine in
-                          deliver c round ids;
+                          apply_choice c round choice;
                           advance c (round + 1);
                           Engine c
                     in
                     dfs child (round + 1)
+                      ~drops_left:(drops_left - List.length choice.drop)
+                      ~dups_left:(dups_left - List.length choice.dup)
                   end)
-                combos
+                choices
         end
       end
     in
-    dfs node round;
+    dfs node round ~drops_left ~dups_left;
     if !tokens > 0 then refund !tokens;
     {
       b_explored = !explored;
@@ -282,7 +331,9 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
        the plain sequential DFS (a single atomic op end to end). *)
     let lease () = Budget.lease bpool budget in
     let refund = Budget.refund bpool in
-    result_of_branch (explore_subtree ~lease ~refund ~skip:0 ~fallback0:false (root_node ()) 1)
+    result_of_branch
+      (explore_subtree ~lease ~refund ~skip:0 ~fallback0:false
+         ~drops_left:faults.max_drops ~dups_left:faults.max_dups (root_node ()) 1)
   end
   else begin
     (* Chunked leases: coarse enough to amortise the atomic, fine enough
@@ -355,7 +406,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
            count instead of the tree width. *)
         let queue_cap = 2 * max 1 (Pool.size pool) in
         let refund = Budget.refund bpool in
-        let rec go_task node rev_path rank round fallback0 () =
+        let rec go_task node rev_path rank round fallback0 ~drops_left ~dups_left () =
           let fanable =
             round <= fan_rounds && round <= rounds
             && (not (Budget.exhausted bpool))
@@ -363,7 +414,8 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
           in
           let inline () =
             let b =
-              explore_subtree ~lease:(lease_for rank) ~refund ~skip:0 ~fallback0 node round
+              explore_subtree ~lease:(lease_for rank) ~refund ~skip:0 ~fallback0
+                ~drops_left ~dups_left node round
             in
             deregister rank;
             Leaf (rev_path, round, b)
@@ -372,60 +424,132 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
           else begin
             let fallback = ref false in
             let engine = materialize node in
-            match round_combos ~truncated:fallback engine with
+            match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
             | None -> inline ()
             | Some combos ->
-                (* Each child becomes its own task; the worker that picks it
-                   up clones the (now quiescent, shared) parent engine
-                   there, off the coordinator's critical path. Children are
-                   submitted in *reverse* DFS order: the pool is a LIFO
-                   stack, so the DFS-first child lands on top and domains
-                   consume the frontier in roughly sequential order — under
-                   a tight budget the tokens then go to the runs a
-                   sequential exploration would have evaluated, keeping
-                   merge-time top-ups marginal. The fan node's fallback
-                   flag rides with its first child: if that child's subtree
-                   is even partially cut the merge reports truncation
-                   anyway, and if it is fully counted the flag lands
-                   exactly as in a sequential exploration. *)
-                let indexed = List.mapi (fun i ids -> (i, ids)) combos in
-                (* All children enter the rank registry before any of them
-                   can run (and before the parent's covering rank leaves),
-                   so [is_leftmost] never under-approximates. *)
-                List.iter (fun (i, _) -> register (rank @ [ i ])) indexed;
-                deregister rank;
-                Fanned
-                  (List.rev_map
-                     (fun (i, ids) ->
-                       let child_rev_path = ids :: rev_path in
-                       let child_rank = rank @ [ i ] in
-                       let fb0 = if i = 0 then fallback0 || !fallback else false in
-                       let make_child () =
-                         match node with
-                         | Path _ -> Path child_rev_path
-                         | Engine _ ->
-                             let c = Dsim.Engine.clone engine in
-                             deliver c round ids;
-                             advance c (round + 1);
-                             Engine c
-                       in
-                       Pool.submit pool (fun () ->
-                           go_task (make_child ()) child_rev_path child_rank (round + 1) fb0
-                             ()))
-                     (List.rev indexed))
+                (* Workers clone the (now quiescent, shared) parent engine
+                   inside their own task, off the coordinator's critical
+                   path. Tasks are submitted in *reverse* DFS order: the
+                   pool is a LIFO stack, so the DFS-first task lands on top
+                   and domains consume the frontier in roughly sequential
+                   order — under a tight budget the tokens then go to the
+                   runs a sequential exploration would have evaluated,
+                   keeping merge-time top-ups marginal. The fan node's
+                   fallback flag rides with its first child: if that
+                   child's subtree is even partially cut the merge reports
+                   truncation anyway, and if it is fully counted the flag
+                   lands exactly as in a sequential exploration. *)
+                let indexed = List.mapi (fun i choice -> (i, choice)) combos in
+                let make_child choice =
+                  match node with
+                  | Path _ -> Path (choice :: rev_path)
+                  | Engine _ ->
+                      let c = Dsim.Engine.clone engine in
+                      apply_choice c round choice;
+                      advance c (round + 1);
+                      Engine c
+                in
+                let fb_for i = if i = 0 then fallback0 || !fallback else false in
+                (* Fault branching can make a node hundreds of children
+                   wide. One task per child would swamp the registry and
+                   promise machinery with far more tasks than there are
+                   domains — and, worse, let every one of those tasks
+                   re-fan its own children whenever the queue momentarily
+                   drains, a quadratic task cascade. Above [max_fan]
+                   children, adjacent children are grouped into at most
+                   [max_fan] chunk tasks instead; a chunk explores its
+                   children inline, in DFS order, under its leading rank.
+                   At or below the cap (every no-fault exploration) the
+                   per-child fan is unchanged. *)
+                let ncombos = List.length indexed in
+                let max_fan = max (2 * queue_cap) 8 in
+                if ncombos <= max_fan then begin
+                  (* All children enter the rank registry before any of
+                     them can run (and before the parent's covering rank
+                     leaves), so [is_leftmost] never under-approximates. *)
+                  List.iter (fun (i, _) -> register (rank @ [ i ])) indexed;
+                  deregister rank;
+                  Fanned
+                    (List.rev_map
+                       (fun (i, choice) ->
+                         let child_rank = rank @ [ i ] in
+                         let child_drops = drops_left - List.length choice.drop in
+                         let child_dups = dups_left - List.length choice.dup in
+                         Pool.submit pool (fun () ->
+                             go_task (make_child choice) (choice :: rev_path) child_rank
+                               (round + 1) (fb_for i) ~drops_left:child_drops
+                               ~dups_left:child_dups ()))
+                       (List.rev indexed))
+                end
+                else begin
+                  let per_chunk = (ncombos + max_fan - 1) / max_fan in
+                  let chunks = Combinat.chunks per_chunk indexed in
+                  let chunk_rank = function
+                    | (i, _) :: _ -> rank @ [ i ]
+                    | [] -> rank
+                  in
+                  List.iter (fun chunk -> register (chunk_rank chunk)) chunks;
+                  deregister rank;
+                  Fanned
+                    (List.rev_map
+                       (fun chunk ->
+                         let crank = chunk_rank chunk in
+                         Pool.submit pool (fun () ->
+                             let leaves =
+                               List.map
+                                 (fun (i, choice) ->
+                                   (* Materialising a child is engine work;
+                                      don't pay it when every lease is bound
+                                      to be denied anyway ([lease_for] always
+                                      draws real tokens from [bpool], so an
+                                      empty pool cuts leftmost and
+                                      speculative tasks alike). The merge
+                                      tops starved subtrees up from the
+                                      recorded path, so a fabricated cut
+                                      here is indistinguishable from one
+                                      discovered inside [explore_subtree]. *)
+                                   let b =
+                                     if Budget.exhausted bpool then
+                                       {
+                                         b_explored = 0;
+                                         b_violation_indices = [];
+                                         b_first_violation = None;
+                                         b_fallback = fb_for i;
+                                         b_cut = true;
+                                       }
+                                     else
+                                       explore_subtree ~lease:(lease_for crank) ~refund
+                                         ~skip:0 ~fallback0:(fb_for i)
+                                         ~drops_left:(drops_left - List.length choice.drop)
+                                         ~dups_left:(dups_left - List.length choice.dup)
+                                         (make_child choice) (round + 1)
+                                   in
+                                   (choice :: rev_path, round + 1, b))
+                                 chunk
+                             in
+                             deregister crank;
+                             Chunk leaves))
+                       (List.rev chunks))
+                end
           end
         in
         (* Collect every leaf in DFS order; the coordinator steals queued
            subtree tasks while it waits instead of sleeping. *)
         let rec collect acc = function
           | Leaf (rev_path, round, b) -> (rev_path, round, b) :: acc
+          | Chunk leaves -> List.fold_left (fun acc leaf -> leaf :: acc) acc leaves
           | Fanned children ->
               List.fold_left
                 (fun acc p -> collect acc (Pool.await_helping pool p))
                 acc children
         in
         register [];
-        let leaves = List.rev (collect [] (go_task (root_node ()) [] [] 1 false ())) in
+        let leaves =
+          List.rev
+            (collect []
+               (go_task (root_node ()) [] [] 1 false ~drops_left:faults.max_drops
+                  ~dups_left:faults.max_dups ()))
+        in
         (* Re-impose the global budget in DFS order, exactly as a
            sequential exploration would have spent it. A subtree that the
            shared pool cut short of its sequential entitlement — possible
@@ -455,9 +579,11 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
                     local := 0;
                     g
                   in
+                  let d_spent, u_spent = faults_spent rev_path in
                   let t =
                     explore_subtree ~lease ~refund:ignore ~skip:b.b_explored
-                      ~fallback0:false node round
+                      ~fallback0:false ~drops_left:(faults.max_drops - d_spent)
+                      ~dups_left:(faults.max_dups - u_spent) node round
                   in
                   {
                     t with

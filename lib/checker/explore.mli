@@ -52,6 +52,16 @@ type result = {
 
 type mode = [ `Replay | `Snapshot ]
 
+type fault_bounds = { max_drops : int; max_dups : int }
+(** Bounds on the fault choices the explorer may enumerate per run: the
+    adversary may lose at most [max_drops] messages and duplicate at most
+    [max_dups] over the whole run. Faults here are {e explored}
+    nondeterminism — every admissible combination of faulty schedules is
+    visited, unlike the seeded random faults of {!Scenario.run}. *)
+
+val no_faults : fault_bounds
+(** [{ max_drops = 0; max_dups = 0 }]: the classic order-only search. *)
+
 val synchronous :
   Proto.Protocol.t ->
   n:int ->
@@ -68,12 +78,22 @@ val synchronous :
   ?domains:int ->
   ?clamp_domains:bool ->
   ?eval_counter:int Atomic.t ->
+  ?faults:fault_bounds ->
   check:(Scenario.outcome -> bool) ->
   unit ->
   result
 (** [check] returns [false] on a violating run. [budget] defaults to 20_000
     runs, [perm_limit] to 4, [disable_timers] to [true], [mode] to
-    [`Snapshot], [domains] to 1 (sequential).
+    [`Snapshot], [domains] to 1 (sequential), [faults] to {!no_faults}.
+
+    With non-zero [faults] bounds, each round boundary additionally
+    branches on which pending messages are dropped and which are
+    duplicated (the copy stays pending and arrives at a later boundary),
+    subject to the remaining per-run bounds. Fault subsets are enumerated
+    smallest-first with the no-fault choice first, so a tight [budget]
+    covers all fault-free schedules before spending runs on faulty ones.
+    Fault choices compose with both [mode]s and with [domains > 1]
+    unchanged: results stay deterministic and mode/domain-independent.
 
     [domains] is a ceiling, not a demand: by default it is clamped to
     [Domain.recommended_domain_count ()], because extra domains on an

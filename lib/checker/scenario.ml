@@ -15,6 +15,8 @@ type outcome = {
   n : int;
   horizon : Time.t;
   messages : int;
+  dropped : int;
+  duplicated : int;
   engine_result : Dsim.Engine.run_result;
 }
 
@@ -33,15 +35,16 @@ let to_network ~delta net : _ Dsim.Network.t =
   | Wan { latency; jitter } -> Dsim.Network.Wan { latency; jitter }
 
 let run (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~net ~proposals ?(crashes = [])
-    ?(seed = 0) ?(disable_timers = false) ~until () =
+    ?(seed = 0) ?(disable_timers = false) ?(faults = Dsim.Network.Fault.none) ~until () =
   let automaton = P.make ~n ~e ~f ~delta in
   let engine =
     Dsim.Engine.create ~automaton ~n
       ~network:(to_network ~delta net)
-      ~seed ~disable_timers ~record_trace:true ~inputs:proposals ~crashes ()
+      ~seed ~disable_timers ~record_trace:true ~inputs:proposals ~crashes ~faults ()
   in
   let engine_result = Dsim.Engine.run ~until engine in
   let trace = Dsim.Engine.trace engine in
+  let dropped, duplicated = Dsim.Engine.fault_counts engine in
   {
     decisions = Dsim.Engine.outputs engine;
     proposals = Dsim.Trace.inputs trace;
@@ -49,6 +52,8 @@ let run (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~net ~proposals ?(crashes 
     n;
     horizon = Dsim.Engine.now engine;
     messages = Dsim.Trace.message_count trace;
+    dropped;
+    duplicated;
     engine_result;
   }
 

@@ -19,6 +19,8 @@ type outcome = {
   n : int;
   horizon : Dsim.Time.t;  (** time when the run stopped *)
   messages : int;  (** total messages sent *)
+  dropped : int;  (** messages lost by fault injection *)
+  duplicated : int;  (** messages duplicated by fault injection *)
   engine_result : Dsim.Engine.run_result;
 }
 
@@ -33,11 +35,15 @@ val run :
   ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
   ?seed:int ->
   ?disable_timers:bool ->
+  ?faults:Dsim.Network.Fault.plan ->
   until:Dsim.Time.t ->
   unit ->
   outcome
 (** Run one complete scenario. [disable_timers] yields the pure
-    message-driven behaviour used by the two-step existence checks. *)
+    message-driven behaviour used by the two-step existence checks.
+    [faults] (default {!Dsim.Network.Fault.none}) injects drops,
+    duplications and mid-broadcast crashes on top of [net]'s timing; the
+    fault trace is a pure function of [seed]. *)
 
 val decided_value : outcome -> Dsim.Pid.t -> (Dsim.Time.t * Proto.Value.t) option
 (** First decision of a process, if any. *)

@@ -26,6 +26,12 @@ type ('state, 'msg, 'input, 'output) t = {
   init : self:Pid.t -> n:int -> 'state * ('msg, 'output) action list;
       (** Called once per process at time 0, before any other event. *)
   on_message : 'state -> src:Pid.t -> 'msg -> 'state * ('msg, 'output) action list;
+      (** Must be tolerant of duplicate deliveries: the fault-injection
+          layer ({!Network.Fault}) may deliver the same message twice, so
+          any counting keyed on message arrival (rather than on the sender
+          set) breaks safety. The protocols in this repository key their
+          tallies by sender ([Pid.Set]/[Pid.Map]), which is idempotent by
+          construction. *)
   on_input : 'state -> 'input -> 'state * ('msg, 'output) action list;
   on_timer : 'state -> timer_id -> 'state * ('msg, 'output) action list;
   state_copy : 'state -> 'state;

@@ -54,6 +54,17 @@ type ('state, 'msg, 'input, 'output) t = {
   mutable outputs_rev : (Time.t * Pid.t * 'output) list;
   mutable pending_pool : 'msg pending Imap.t;
   mutable next_pending_id : int;
+  (* Fault-injection state. The decision stream draws from [fault_rng], a
+     stream derived from (but disjoint from) the engine seed, so enabling
+     faults never perturbs the base network model's delay samples. The
+     counters enforce the plan's budgets; all three are part of [clone]
+     (ints are copied by the functional record update, the rng explicitly),
+     so branched explorations replay the identical fault trace. *)
+  fault_plan : Network.Fault.plan;
+  fault_rng : Rng.t;
+  mutable sends : int;  (* global send index, keys Fault.Script entries *)
+  mutable faults_dropped : int;
+  mutable faults_duplicated : int;
 }
 
 type run_result = Quiescent | Reached_until | Step_budget_exhausted
@@ -62,9 +73,16 @@ let record t entry = if t.record_trace then t.trace_rev <- entry :: t.trace_rev
 
 let push_event t ~at ev = Pqueue.push t.queue ~priority:(priority ~time:at ev) ev
 
+(* Offset mixing the engine seed into the fault stream's seed: the two
+   SplitMix64 streams must differ even for seed 0, and stay reproducible
+   from the single user-facing seed. *)
+let fault_seed_mix = 0x2545F4914F6CDD1D
+
 let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
-    ?(disable_timers = false) ?(max_steps = 5_000_000) ?(inputs = []) ?(crashes = []) () =
+    ?(disable_timers = false) ?(max_steps = 5_000_000) ?(inputs = []) ?(crashes = [])
+    ?(faults = Network.Fault.none) () =
   if n < 1 then invalid_arg "Engine.create: n must be >= 1";
+  Network.validate network;
   let t =
     {
       automaton;
@@ -84,6 +102,11 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
       outputs_rev = [];
       pending_pool = Imap.empty;
       next_pending_id = 0;
+      fault_plan = faults;
+      fault_rng = Rng.create ~seed:(seed lxor fault_seed_mix);
+      sends = 0;
+      faults_dropped = 0;
+      faults_duplicated = 0;
     }
   in
   List.iter (fun p -> push_event t ~at:Time.zero (Ev_init p)) (Pid.all ~n);
@@ -100,6 +123,7 @@ let clone t =
   {
     t with
     rng = Rng.copy t.rng;
+    fault_rng = Rng.copy t.fault_rng;
     states = Array.map (Option.map t.automaton.Automaton.state_copy) t.states;
     crashed_flags = Array.copy t.crashed_flags;
     queue = Pqueue.copy t.queue;
@@ -118,7 +142,11 @@ let n t = t.n
 let state t p =
   match t.states.(p) with
   | Some s -> s
-  | None -> invalid_arg "Engine.state: process not initialised (crashed at time 0?)"
+  | None ->
+      (* Unreachable once [run] has processed time 0: Ev_init initialises
+         every process, and [do_crash] initialises even processes crashed
+         before their Ev_init. *)
+      invalid_arg "Engine.state: process not initialised (run the engine first)"
 
 let crashed t p = t.crashed_flags.(p)
 
@@ -136,14 +164,72 @@ let schedule_crash t ~at p =
   if at < t.now then invalid_arg "Engine.schedule_crash: at < now";
   push_event t ~at (Ev_crash p)
 
+(* Crash-stop [pid] right now. Crashes scheduled at time 0 fire before
+   Ev_init (crashes rank first at equal instants), so the process may not
+   be initialised yet: give it its initial state but drop the init actions
+   — the process exists, it just never takes a step. [state], [clone] and
+   [correct_pids] then agree on a well-defined initialised-then-crashed
+   process instead of [state] raising. *)
+let do_crash t pid =
+  if not t.crashed_flags.(pid) then begin
+    (match t.states.(pid) with
+    | None ->
+        let s, _dropped_init_actions = t.automaton.init ~self:pid ~n:t.n in
+        t.states.(pid) <- Some s
+    | Some _ -> ());
+    t.crashed_flags.(pid) <- true;
+    record t (Trace.Crashed { time = t.now; pid })
+  end
+
+let add_pending t ~src ~dst msg =
+  let id = t.next_pending_id in
+  t.next_pending_id <- id + 1;
+  t.pending_pool <- Imap.add id { id; src; dst; msg; sent_at = t.now } t.pending_pool
+
 let send t ~src ~dst msg =
-  record t (Trace.Sent { time = t.now; src; dst; msg });
-  match Network.delivery_time t.network ~rng:t.rng ~now:t.now ~src ~dst with
-  | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now })
-  | None ->
-      let id = t.next_pending_id in
-      t.next_pending_id <- id + 1;
-      t.pending_pool <- Imap.add id { id; src; dst; msg; sent_at = t.now } t.pending_pool
+  (* A crashed process sends nothing: [Crash_sender] flips the flag
+     mid-transition, suppressing the remainder of a broadcast. *)
+  if not t.crashed_flags.(src) then begin
+    let index = t.sends in
+    t.sends <- index + 1;
+    record t (Trace.Sent { time = t.now; src; dst; msg });
+    let action =
+      Network.Fault.decide t.fault_plan ~rng:t.fault_rng ~index
+        ~drops_used:t.faults_dropped ~dups_used:t.faults_duplicated
+    in
+    (* The original's delivery time is sampled unconditionally — also when
+       the message is then dropped — so the base model consumes the exact
+       same RNG stream with and without a fault plan. *)
+    let delivery = Network.delivery_time t.network ~rng:t.rng ~now:t.now ~src ~dst in
+    let schedule_original () =
+      match delivery with
+      | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now })
+      | None -> add_pending t ~src ~dst msg
+    in
+    match action with
+    | Network.Fault.Deliver -> schedule_original ()
+    | Network.Fault.Drop ->
+        t.faults_dropped <- t.faults_dropped + 1;
+        record t (Trace.Dropped { time = t.now; src; dst; msg })
+    | Network.Fault.Duplicate { extra_delay } ->
+        t.faults_duplicated <- t.faults_duplicated + 1;
+        record t (Trace.Duplicated { time = t.now; src; dst; msg; extra_delay });
+        schedule_original ();
+        (* The copy is timed as if re-sent [extra_delay] ticks later, and
+           samples from the fault stream so the base stream stays aligned.
+           It cannot precede the original under Sync_rounds/Manual, and may
+           under the stochastic models — duplication makes no ordering
+           promise between the two copies. *)
+        (match
+           Network.delivery_time t.network ~rng:t.fault_rng
+             ~now:(t.now + extra_delay) ~src ~dst
+         with
+        | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now })
+        | None -> add_pending t ~src ~dst msg)
+    | Network.Fault.Crash_sender ->
+        schedule_original ();
+        do_crash t src
+  end
 
 let set_timer t ~pid ~id ~after =
   if not t.disable_timers then begin
@@ -236,11 +322,7 @@ let handle_deliver_batch t ~order ~(first : _ delivery) ~prio =
 
 let handle_event t ev =
   match ev with
-  | Ev_crash pid ->
-      if not t.crashed_flags.(pid) then begin
-        t.crashed_flags.(pid) <- true;
-        record t (Trace.Crashed { time = t.now; pid })
-      end
+  | Ev_crash pid -> do_crash t pid
   | Ev_init pid ->
       if not t.crashed_flags.(pid) then begin
         let s, actions = t.automaton.init ~self:pid ~n:t.n in
@@ -301,4 +383,27 @@ let deliver_pending t ~id ~at =
       t.pending_pool <- Imap.remove id t.pending_pool;
       push_event t ~at (Ev_deliver { src = p.src; dst = p.dst; msg = p.msg; sent_at = p.sent_at })
 
-let drop_pending t ~id = t.pending_pool <- Imap.remove id t.pending_pool
+let drop_pending t ~id =
+  (match Imap.find_opt id t.pending_pool with
+  | Some p ->
+      t.faults_dropped <- t.faults_dropped + 1;
+      record t (Trace.Dropped { time = t.now; src = p.src; dst = p.dst; msg = p.msg })
+  | None -> ());
+  t.pending_pool <- Imap.remove id t.pending_pool
+
+let duplicate_pending t ~id =
+  match Imap.find_opt id t.pending_pool with
+  | None -> raise Not_found
+  | Some p ->
+      let copy_id = t.next_pending_id in
+      t.next_pending_id <- copy_id + 1;
+      t.faults_duplicated <- t.faults_duplicated + 1;
+      record t
+        (Trace.Duplicated
+           { time = t.now; src = p.src; dst = p.dst; msg = p.msg; extra_delay = 0 });
+      (* The copy keeps the original's sent_at: it is the same message on
+         the wire twice, not a re-send by the automaton. *)
+      t.pending_pool <- Imap.add copy_id { p with id = copy_id } t.pending_pool;
+      copy_id
+
+let fault_counts t = (t.faults_dropped, t.faults_duplicated)

@@ -9,7 +9,14 @@
 
     All randomness (network delays, delivery-order shuffles) comes from the
     engine's seeded RNG: equal seeds and equal set-ups give bit-identical
-    runs. *)
+    runs. Fault injection ({!Network.Fault}) draws from a second stream
+    derived from the same seed, so fault traces are equally reproducible
+    and enabling faults never perturbs the base model's delay samples.
+
+    Crashes are well-defined at every instant including time 0: a process
+    crashed before its initialisation event still receives its initial
+    state (its init actions are dropped — it never takes a step), so
+    {!state}, {!clone} and {!correct_pids} agree on crashed processes. *)
 
 type ('state, 'msg, 'input, 'output) t
 
@@ -28,12 +35,18 @@ val create :
   ?max_steps:int ->
   ?inputs:(Time.t * Pid.t * 'input) list ->
   ?crashes:(Time.t * Pid.t) list ->
+  ?faults:Network.Fault.plan ->
   unit ->
   ('state, 'msg, 'input, 'output) t
 (** Build a simulation of [n] processes. [inputs] schedules environment
-    inputs (e.g. proposals); [crashes] schedules crash-stop failures.
+    inputs (e.g. proposals); [crashes] schedules crash-stop failures
+    (time-0 crashes are valid: the process is initialised then immediately
+    crashed, and its scheduled inputs are dropped). [faults] (default
+    {!Network.Fault.none}) injects per-send drops, duplications and
+    mid-broadcast sender crashes on top of [network]'s timing.
     [record_trace] defaults to [true]; [max_steps] defaults to 5_000_000
-    events. *)
+    events. Raises [Invalid_argument] if [network] fails
+    {!Network.validate}. *)
 
 val run : ?until:Time.t -> ('state, 'msg, 'input, 'output) t -> run_result
 (** Process events until the queue is empty, the next event is strictly
@@ -49,7 +62,7 @@ val run : ?until:Time.t -> ('state, 'msg, 'input, 'output) t -> run_result
 val clone : ('state, 'msg, 'input, 'output) t -> ('state, 'msg, 'input, 'output) t
 (** Independent deep copy of the engine at its current instant: states
     (via {!Automaton.t}'s [state_copy]), event queue, pending pool, timer
-    epochs, RNG and trace. Stepping either engine never affects the other,
+    epochs, RNGs (including the fault stream), fault counters and trace. Stepping either engine never affects the other,
     and running both identically gives bit-identical results. O(n + queued
     events): the pending pool, timer table, trace and outputs are
     persistent structures shared in O(1). [clone] only reads its argument,
@@ -106,4 +119,18 @@ val deliver_pending : ('state, 'msg, 'input, 'output) t -> id:int -> at:Time.t -
     Raises [Not_found] for unknown ids. *)
 
 val drop_pending : ('state, 'msg, 'input, 'output) t -> id:int -> unit
-(** Discard a pending message (models asynchrony: delayed past the horizon). *)
+(** Discard a pending message (models asynchrony: delayed past the
+    horizon, or an explored message-loss fault). Recorded as a
+    {!Trace.entry.Dropped} entry and counted in {!fault_counts}; unknown
+    ids are ignored. *)
+
+val duplicate_pending : ('state, 'msg, 'input, 'output) t -> id:int -> int
+(** Add a second pending copy of message [id] (same payload, same
+    [sent_at] — the message is on the wire twice, not re-sent) and return
+    the copy's fresh id. Used by the explorer to enumerate duplication
+    faults. Recorded as a {!Trace.entry.Duplicated} entry and counted in
+    {!fault_counts}. Raises [Not_found] for unknown ids. *)
+
+val fault_counts : ('state, 'msg, 'input, 'output) t -> int * int
+(** [(drops, duplications)] injected so far — by the fault plan or via
+    {!drop_pending}/{!duplicate_pending}. *)

@@ -5,6 +5,8 @@ type ('msg, 'input, 'output) entry =
   | Output of { time : Time.t; pid : Pid.t; output : 'output }
   | Timer_fired of { time : Time.t; pid : Pid.t; id : Automaton.timer_id }
   | Crashed of { time : Time.t; pid : Pid.t }
+  | Dropped of { time : Time.t; src : Pid.t; dst : Pid.t; msg : 'msg }
+  | Duplicated of { time : Time.t; src : Pid.t; dst : Pid.t; msg : 'msg; extra_delay : int }
 
 type ('msg, 'input, 'output) t = ('msg, 'input, 'output) entry list
 
@@ -36,6 +38,12 @@ let crashed_set t = Pid.set_of_list (List.map snd (crashes t))
 let message_count t =
   List.length (List.filter (function Sent _ -> true | _ -> false) t)
 
+let drop_count t =
+  List.length (List.filter (function Dropped _ -> true | _ -> false) t)
+
+let duplicate_count t =
+  List.length (List.filter (function Duplicated _ -> true | _ -> false) t)
+
 let pp ?pp_msg ?pp_input ?pp_output fmt t =
   let pp_opt pp fmt x =
     match pp with Some pp -> pp fmt x | None -> Format.pp_print_string fmt "_"
@@ -55,5 +63,11 @@ let pp ?pp_msg ?pp_input ?pp_output fmt t =
     | Timer_fired { time; pid; id } ->
         Format.fprintf fmt "%a %a timer %d" Time.pp time Pid.pp pid id
     | Crashed { time; pid } -> Format.fprintf fmt "%a %a CRASH" Time.pp time Pid.pp pid
+    | Dropped { time; src; dst; msg } ->
+        Format.fprintf fmt "%a %a -> %a DROP %a" Time.pp time Pid.pp src Pid.pp dst
+          (pp_opt pp_msg) msg
+    | Duplicated { time; src; dst; msg; extra_delay } ->
+        Format.fprintf fmt "%a %a -> %a DUP(+%d) %a" Time.pp time Pid.pp src Pid.pp dst
+          extra_delay (pp_opt pp_msg) msg
   in
   Format.pp_print_list ~pp_sep:Format.pp_print_newline entry fmt t

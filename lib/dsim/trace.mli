@@ -11,6 +11,12 @@ type ('msg, 'input, 'output) entry =
   | Output of { time : Time.t; pid : Pid.t; output : 'output }
   | Timer_fired of { time : Time.t; pid : Pid.t; id : Automaton.timer_id }
   | Crashed of { time : Time.t; pid : Pid.t }
+  | Dropped of { time : Time.t; src : Pid.t; dst : Pid.t; msg : 'msg }
+      (** The fault layer lost this message in flight: it was sent
+          ([Sent] precedes it) but will never be delivered. *)
+  | Duplicated of { time : Time.t; src : Pid.t; dst : Pid.t; msg : 'msg; extra_delay : int }
+      (** The fault layer scheduled an extra copy of this message, as if
+          re-sent [extra_delay] ticks after the original. *)
 
 type ('msg, 'input, 'output) t = ('msg, 'input, 'output) entry list
 (** Chronological order. *)
@@ -30,6 +36,12 @@ val crashed_set : ('msg, 'input, 'output) t -> Pid.Set.t
 
 val message_count : ('msg, 'input, 'output) t -> int
 (** Number of [Sent] entries. *)
+
+val drop_count : ('msg, 'input, 'output) t -> int
+(** Number of fault-injected [Dropped] entries. *)
+
+val duplicate_count : ('msg, 'input, 'output) t -> int
+(** Number of fault-injected [Duplicated] entries. *)
 
 val pp :
   ?pp_msg:(Format.formatter -> 'msg -> unit) ->

@@ -1,18 +1,46 @@
 module Vmap = Map.Make (Int)
 
-type t = Dsim.Pid.Set.t Vmap.t
+(* [supporters] is the set semantics every caller should see; [raw_adds]
+   counts every [add] including repeats. The raw count exists only so the
+   mutation test can demonstrate that the set semantics is load-bearing:
+   counting raw adds double-counts duplicated messages and breaks
+   agreement under a duplicating network. *)
+type entry = { supporters : Dsim.Pid.Set.t; raw_adds : int }
+
+type t = entry Vmap.t
 
 let empty = Vmap.empty
 
 let add v pid t =
-  let set = Option.value ~default:Dsim.Pid.Set.empty (Vmap.find_opt v t) in
-  Vmap.add v (Dsim.Pid.Set.add pid set) t
+  let e =
+    Option.value
+      ~default:{ supporters = Dsim.Pid.Set.empty; raw_adds = 0 }
+      (Vmap.find_opt v t)
+  in
+  Vmap.add v
+    { supporters = Dsim.Pid.Set.add pid e.supporters; raw_adds = e.raw_adds + 1 }
+    t
 
-let supporters v t = Option.value ~default:Dsim.Pid.Set.empty (Vmap.find_opt v t)
+let supporters v t =
+  match Vmap.find_opt v t with
+  | None -> Dsim.Pid.Set.empty
+  | Some e -> e.supporters
 
-let count v t = Dsim.Pid.Set.cardinal (supporters v t)
+module Mutation = struct
+  let suppress = Atomic.make true
 
-let tally t = Vmap.fold (fun v set acc -> (v, Dsim.Pid.Set.cardinal set) :: acc) t [] |> List.rev
+  let without_duplicate_suppression f =
+    Atomic.set suppress false;
+    Fun.protect ~finally:(fun () -> Atomic.set suppress true) f
+end
+
+let entry_count e =
+  if Atomic.get Mutation.suppress then Dsim.Pid.Set.cardinal e.supporters
+  else e.raw_adds
+
+let count v t = match Vmap.find_opt v t with None -> 0 | Some e -> entry_count e
+
+let tally t = Vmap.fold (fun v e acc -> (v, entry_count e) :: acc) t [] |> List.rev
 
 let values_with_count_at_least k t =
   List.filter_map (fun (v, c) -> if c >= k then Some v else None) (tally t)
@@ -24,5 +52,5 @@ let max_value_with_count_at_least k t =
   match List.rev (values_with_count_at_least k t) with [] -> None | v :: _ -> Some v
 
 let total_pids t =
-  Vmap.fold (fun _ set acc -> Dsim.Pid.Set.union set acc) t Dsim.Pid.Set.empty
+  Vmap.fold (fun _ e acc -> Dsim.Pid.Set.union e.supporters acc) t Dsim.Pid.Set.empty
   |> Dsim.Pid.Set.cardinal

@@ -8,6 +8,10 @@ let rec subsets_of_size k l =
         let without_x = subsets_of_size k rest in
         with_x @ without_x
 
+let subsets_up_to k l =
+  let k = max 0 (min k (List.length l)) in
+  List.concat (List.init (k + 1) (fun i -> subsets_of_size i l))
+
 (* Insert [x] at every position of [l]. *)
 let rec insertions x l =
   match l with
@@ -23,6 +27,20 @@ let rec cartesian = function
   | choices :: rest ->
       let tails = cartesian rest in
       List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let chunks size l =
+  if size <= 0 then invalid_arg "Combinat.chunks: size must be positive";
+  let rec take k acc = function
+    | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go = function
+    | [] -> []
+    | l ->
+        let chunk, rest = take size [] l in
+        chunk :: go rest
+  in
+  go l
 
 let choose n k =
   if k < 0 || k > n then 0

@@ -35,6 +35,13 @@ let float t bound =
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
+(* Always consumes exactly one draw, also for the degenerate rates: callers
+   (the fault-injection layer) rely on a fixed number of draws per decision
+   so that changing a rate never desynchronises the rest of the stream. *)
+let chance t p =
+  let u = float t 1.0 in
+  if p <= 0.0 then false else if p >= 1.0 then true else u < p
+
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
   | l -> List.nth l (int t (List.length l))

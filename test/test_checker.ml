@@ -19,6 +19,8 @@ let outcome ?(n = 3) ?(proposals = []) ?(decisions = []) ?(crashes = []) () =
     n;
     horizon = 0;
     messages = 0;
+    dropped = 0;
+    duplicated = 0;
     engine_result = Dsim.Engine.Quiescent;
   }
 

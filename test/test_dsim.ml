@@ -327,6 +327,196 @@ let test_uniform_validates_bounds () =
   (* min = max is a valid degenerate (constant-delay) case. *)
   run_with ~min_delay:5 ~max_delay:5
 
+(* -- fault injection ---------------------------------------------------- *)
+
+let test_fault_script_drop () =
+  let engine =
+    Engine.create ~automaton:echo ~n:2 ~network:sync_net ~inputs:[ (0, 0, 1) ]
+      ~faults:(Network.Fault.script [ (0, Network.Fault.Drop) ])
+      ()
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check int) "message lost" 0 (List.length (Engine.outputs engine));
+  let trace = Engine.trace engine in
+  Alcotest.(check int) "sent recorded" 1 (Trace.message_count trace);
+  Alcotest.(check int) "drop recorded" 1 (Trace.drop_count trace);
+  Alcotest.(check (pair int int)) "fault counts" (1, 0) (Engine.fault_counts engine)
+
+let test_fault_script_duplicate () =
+  (* The copy is re-timed as if sent [extra_delay] later: +2 stays inside
+     round 1 (both copies land on the t=10 boundary), +12 lands the copy on
+     the next boundary. *)
+  let run extra_delay =
+    let engine =
+      Engine.create ~automaton:echo ~n:2 ~network:sync_net ~inputs:[ (0, 0, 1) ]
+        ~faults:(Network.Fault.script [ (0, Network.Fault.Duplicate { extra_delay }) ])
+        ()
+    in
+    ignore (Engine.run engine);
+    (Engine.outputs engine, Trace.duplicate_count (Engine.trace engine))
+  in
+  (match run 2 with
+  | [ (10, 1, (0, 1)); (10, 1, (0, 1)) ], 1 -> ()
+  | outs, _ -> Alcotest.failf "same-round dup: unexpected %d outputs" (List.length outs));
+  match run 12 with
+  | [ (10, 1, (0, 1)); (20, 1, (0, 1)) ], 1 -> ()
+  | outs, _ -> Alcotest.failf "next-round dup: unexpected %d outputs" (List.length outs)
+
+let test_fault_script_crash_sender () =
+  (* p0 broadcasts to p1 then p2; a Crash_sender on the first send delivers
+     that message but suppresses the rest of the broadcast — the classic
+     partial broadcast that time-scheduled crashes cannot express. *)
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:sync_net ~inputs:[ (0, 0, 1) ]
+      ~faults:(Network.Fault.script [ (0, Network.Fault.Crash_sender) ])
+      ()
+  in
+  ignore (Engine.run engine);
+  (match Engine.outputs engine with
+  | [ (10, 1, (0, 1)) ] -> ()
+  | outs -> Alcotest.failf "expected only p1's delivery, got %d" (List.length outs));
+  Alcotest.(check bool) "sender crashed" true (Engine.crashed engine 0);
+  Alcotest.(check int) "one send only" 1 (Trace.message_count (Engine.trace engine))
+
+let test_fault_random_replayable () =
+  let run () =
+    let engine =
+      Engine.create ~automaton:echo ~n:4 ~seed:21
+        ~network:(Network.Uniform { min_delay = 1; max_delay = 20 })
+        ~inputs:(List.init 10 (fun i -> (i * 3, i mod 4, i)))
+        ~faults:
+          (Network.Fault.random ~drop_rate:0.3 ~dup_rate:0.3 ~max_drops:5 ~max_dups:5 ())
+        ()
+    in
+    ignore (Engine.run engine);
+    (Engine.outputs engine, Engine.fault_counts engine)
+  in
+  let (outs1, counts1) = run () and (outs2, counts2) = run () in
+  Alcotest.(check bool) "same fault trace, same run" true (outs1 = outs2);
+  Alcotest.(check (pair int int)) "same counts" counts1 counts2;
+  let drops, dups = counts1 in
+  Alcotest.(check bool) "faults actually fired" true (drops > 0 && dups > 0);
+  Alcotest.(check bool) "budgets respected" true (drops <= 5 && dups <= 5)
+
+let test_faults_never_perturb_base_delays () =
+  (* A Random plan whose budgets forbid every fault must produce the
+     byte-identical run of a fault-free engine: fault decisions draw from
+     their own stream, never from the delay RNG. *)
+  let run faults =
+    let engine =
+      Engine.create ~automaton:echo ~n:4 ~seed:77
+        ~network:(Network.Uniform { min_delay = 1; max_delay = 30 })
+        ~inputs:(List.init 12 (fun i -> (i * 2, i mod 4, i)))
+        ~faults ()
+    in
+    ignore (Engine.run engine);
+    Engine.outputs engine
+  in
+  let base = run Network.Fault.none in
+  let gated =
+    run (Network.Fault.random ~drop_rate:1.0 ~dup_rate:1.0 ~max_drops:0 ~max_dups:0 ())
+  in
+  Alcotest.(check bool) "identical delivery schedule" true (base = gated)
+
+let test_fault_state_survives_clone () =
+  let engine =
+    Engine.create ~automaton:echo ~n:4 ~seed:5
+      ~network:(Network.Uniform { min_delay = 1; max_delay = 25 })
+      ~inputs:(List.init 12 (fun i -> (i * 4, i mod 4, i)))
+      ~faults:
+        (Network.Fault.random ~drop_rate:0.4 ~dup_rate:0.4 ~max_drops:4 ~max_dups:4 ())
+      ()
+  in
+  ignore (Engine.run ~until:20 engine);
+  let copy = Engine.clone engine in
+  ignore (Engine.run engine);
+  ignore (Engine.run copy);
+  Alcotest.(check bool) "same outputs" true (Engine.outputs engine = Engine.outputs copy);
+  Alcotest.(check (pair int int))
+    "same fault counts"
+    (Engine.fault_counts engine) (Engine.fault_counts copy)
+
+let test_fault_plan_validation () =
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Fault.random: rates must be within [0, 1]") (fun () ->
+      ignore (Network.Fault.random ~drop_rate:1.5 ()));
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Fault.random: budgets must be non-negative") (fun () ->
+      ignore (Network.Fault.random ~max_drops:(-1) ()));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Fault.script: negative send index") (fun () ->
+      ignore (Network.Fault.script [ (-1, Network.Fault.Drop) ]));
+  Alcotest.check_raises "duplicate index"
+    (Invalid_argument "Fault.script: duplicate send index") (fun () ->
+      ignore (Network.Fault.script [ (0, Network.Fault.Drop); (0, Network.Fault.Drop) ]))
+
+let test_crash_at_time_zero_is_well_defined () =
+  (* A time-0 crash fires before Ev_init; the process must still end up
+     initialised (then crashed) so state/clone/correct_pids agree. *)
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:sync_net
+      ~inputs:[ (0, 1, 7); (0, 0, 9) ]
+      ~crashes:[ (0, 1) ] ()
+  in
+  ignore (Engine.run engine);
+  let s = Engine.state engine 1 in
+  Alcotest.(check int) "state is the initial state" 1 s.self;
+  Alcotest.(check bool) "flagged crashed" true (Engine.crashed engine 1);
+  Alcotest.(check (list int)) "correct pids" [ 0; 2 ] (Engine.correct_pids engine);
+  (* The crashed process's input was dropped; p0's broadcast still reaches
+     only p2 (deliveries to crashed processes are suppressed). *)
+  (match Engine.outputs engine with
+  | [ (10, 2, (0, 9)) ] -> ()
+  | outs -> Alcotest.failf "expected one delivery to p2, got %d" (List.length outs));
+  (* Clone agrees on everything, including the crashed process's state. *)
+  let copy = Engine.clone engine in
+  Alcotest.(check int) "clone has the state too" 1 (Engine.state copy 1).self;
+  Alcotest.(check bool) "clone flags crash" true (Engine.crashed copy 1)
+
+let test_partial_sync_validates () =
+  let expected =
+    Invalid_argument "Network.Partial_sync: need delta >= 1, gst >= 0, max_pre_gst >= 1"
+  in
+  let build ~delta ~gst ~max_pre_gst =
+    ignore
+      (Engine.create ~automaton:echo ~n:2
+         ~network:(Network.Partial_sync { delta; gst; max_pre_gst })
+         ())
+  in
+  Alcotest.check_raises "zero delta" expected (fun () ->
+      build ~delta:0 ~gst:10 ~max_pre_gst:5);
+  Alcotest.check_raises "negative gst" expected (fun () ->
+      build ~delta:5 ~gst:(-1) ~max_pre_gst:5);
+  Alcotest.check_raises "zero max_pre_gst" expected (fun () ->
+      build ~delta:5 ~gst:10 ~max_pre_gst:0);
+  (* Valid corner: gst = 0 means synchrony from the start. *)
+  build ~delta:5 ~gst:0 ~max_pre_gst:1
+
+let partial_sync_contract_property =
+  (* The documented bound — every message delivered by [gst + delta], and
+     post-GST sends within [delta] — must hold for arbitrary parameters,
+     not just the hand-picked ones of [test_partial_sync_bounds]. This
+    pins the fixed cap: the pre-GST delay is capped by the contract bound
+    itself, never resampled per message. *)
+  QCheck.Test.make ~name:"partial sync: delivered by gst + delta" ~count:100
+    QCheck.(
+      quad (int_range 1 10) (int_range 0 80) (int_range 1 300) small_nat)
+    (fun (delta, gst, max_pre_gst, seed) ->
+      let engine =
+        Engine.create ~automaton:echo ~n:3 ~seed
+          ~network:(Network.Partial_sync { delta; gst; max_pre_gst })
+          ~inputs:(List.init 15 (fun i -> (i * 5, i mod 3, i)))
+          ()
+      in
+      ignore (Engine.run engine);
+      List.for_all
+        (function
+          | Trace.Delivered { time; sent_at; _ } ->
+              time > sent_at
+              && time <= (if sent_at >= gst then sent_at + delta else gst + delta)
+          | _ -> true)
+        (Engine.trace engine))
+
 let test_trace_contents () =
   let engine =
     Engine.create ~automaton:echo ~n:2 ~network:sync_net ~inputs:[ (0, 0, 3) ]
@@ -369,9 +559,25 @@ let () =
       ( "networks",
         [
           Alcotest.test_case "partial synchrony bounds" `Quick test_partial_sync_bounds;
+          Alcotest.test_case "partial synchrony validates" `Quick test_partial_sync_validates;
+          QCheck_alcotest.to_alcotest partial_sync_contract_property;
           Alcotest.test_case "wan matrix" `Quick test_wan_latency;
           Alcotest.test_case "manual pending pool" `Quick test_manual_pending_and_deliver;
           Alcotest.test_case "uniform validates bounds" `Quick test_uniform_validates_bounds;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "scripted drop" `Quick test_fault_script_drop;
+          Alcotest.test_case "scripted duplicate" `Quick test_fault_script_duplicate;
+          Alcotest.test_case "scripted sender crash" `Quick test_fault_script_crash_sender;
+          Alcotest.test_case "random plan replayable" `Quick test_fault_random_replayable;
+          Alcotest.test_case "faults never perturb base delays" `Quick
+            test_faults_never_perturb_base_delays;
+          Alcotest.test_case "fault state survives clone" `Quick
+            test_fault_state_survives_clone;
+          Alcotest.test_case "plan validation" `Quick test_fault_plan_validation;
+          Alcotest.test_case "crash at time 0 well-defined" `Quick
+            test_crash_at_time_zero_is_well_defined;
         ] );
       ("trace", [ Alcotest.test_case "contents" `Quick test_trace_contents ]);
     ]

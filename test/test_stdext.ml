@@ -41,6 +41,31 @@ let test_rng_int_in () =
     Alcotest.(check bool) "in closed range" true (v >= -5 && v <= 5)
   done
 
+let test_rng_degenerate_ranges () =
+  (* One-element ranges are valid and still consume exactly one draw, so
+     pinned-delay network models stay stream-aligned with randomized ones
+     (the fault layer relies on fixed draw counts per decision). *)
+  let a = Rng.create ~seed:9 and b = Rng.create ~seed:9 in
+  Alcotest.(check int) "int _ 1 = 0" 0 (Rng.int a 1);
+  Alcotest.(check int) "int_in x x = x" 5 (Rng.int_in b 5 5);
+  Alcotest.(check int64) "both consumed one draw" (Rng.bits64 a) (Rng.bits64 b);
+  let c = Rng.create ~seed:9 in
+  Alcotest.(check int) "int_in over full jitter+1 range" 0 (Rng.int_in c 0 0)
+
+let test_rng_chance_draws () =
+  (* chance consumes exactly one draw for every rate, including the
+     degenerate 0 and 1, keeping decision streams aligned across rates. *)
+  let a = Rng.create ~seed:12 and b = Rng.create ~seed:12 in
+  Alcotest.(check bool) "p=0 never" false (Rng.chance a 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.chance b 1.0);
+  Alcotest.(check int64) "aligned after degenerate rates" (Rng.bits64 a) (Rng.bits64 b);
+  let r = Rng.create ~seed:13 in
+  let hits = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.chance r 0.3 then incr hits
+  done;
+  Alcotest.(check bool) "p=0.3 is roughly 30%" true (!hits > 200 && !hits < 400)
+
 let test_rng_invalid () =
   let rng = Rng.create ~seed:0 in
   Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
@@ -264,6 +289,21 @@ let test_subsets_distinct_sorted () =
     (fun s -> Alcotest.(check (list int)) "order preserved" (List.sort compare s) s)
     subsets
 
+let test_subsets_up_to () =
+  let l = [ 1; 2; 3; 4 ] in
+  (* 1 + 4 + 6 subsets of size <= 2, ascending size, empty first. *)
+  let s = Combinat.subsets_up_to 2 l in
+  Alcotest.(check int) "count" 11 (List.length s);
+  Alcotest.(check (list int)) "empty subset first" [] (List.hd s);
+  let sizes = List.map List.length s in
+  Alcotest.(check (list int)) "ascending sizes" (List.sort compare sizes) sizes;
+  Alcotest.(check int) "distinct" 11 (List.length (List.sort_uniq compare s));
+  Alcotest.(check (list (list int))) "k = 0" [ [] ] (Combinat.subsets_up_to 0 l);
+  Alcotest.(check (list (list int))) "negative k acts as 0" [ [] ]
+    (Combinat.subsets_up_to (-3) l);
+  Alcotest.(check int) "k beyond length = powerset" 16
+    (List.length (Combinat.subsets_up_to 99 l))
+
 let test_permutations () =
   Alcotest.(check int) "3! perms" 6 (List.length (Combinat.permutations [ 1; 2; 3 ]));
   Alcotest.(check int)
@@ -295,6 +335,8 @@ let () =
           Alcotest.test_case "copy independence" `Quick test_rng_copy_independent;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "degenerate ranges" `Quick test_rng_degenerate_ranges;
+          Alcotest.test_case "chance draw discipline" `Quick test_rng_chance_draws;
           Alcotest.test_case "invalid arguments" `Quick test_rng_invalid;
           Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
         ] );
@@ -323,6 +365,7 @@ let () =
         [
           Alcotest.test_case "subset counts" `Quick test_subsets_count;
           Alcotest.test_case "subsets distinct" `Quick test_subsets_distinct_sorted;
+          Alcotest.test_case "subsets up to" `Quick test_subsets_up_to;
           Alcotest.test_case "permutations" `Quick test_permutations;
           Alcotest.test_case "cartesian" `Quick test_cartesian;
           Alcotest.test_case "choose edge cases" `Quick test_choose_edges;
