@@ -32,6 +32,11 @@ type explore_sample = {
   max_dups : int;
   explored : int;
   wall_ns : int;
+  (* Run_report-derived telemetry columns (schema v4). The overhead rows
+     (mode "scenario") have no exploration report and carry zeros. *)
+  fast_path_rate : float;
+  mean_depth : float;
+  budget_waste_pct : float;
 }
 
 (* Suites append here and each writes the union, so one invocation running
@@ -65,9 +70,9 @@ let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains =
     Checker.Scenario.all_proposals_at_zero ~n (List.init n (fun i -> n - 1 - i))
   in
   let t0 = Unix.gettimeofday () in
-  let r =
-    Checker.Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals ~rounds
-      ~budget ~faults ~mode ~domains
+  let r, report =
+    Checker.Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals
+      ~rounds ~budget ~faults ~mode ~domains
       ~check:(fun o -> Checker.Safety.safe o)
       ()
   in
@@ -86,6 +91,12 @@ let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains =
     max_dups = faults.Checker.Explore.max_dups;
     explored = r.Checker.Explore.explored;
     wall_ns = int_of_float ((t1 -. t0) *. 1e9);
+    fast_path_rate =
+      Checker.Explore.Run_report.fast_path_rate report.Checker.Explore.Run_report.totals;
+    mean_depth =
+      Checker.Explore.Run_report.mean_depth report.Checker.Explore.Run_report.totals;
+    budget_waste_pct =
+      Checker.Explore.Run_report.budget_waste_pct report.Checker.Explore.Run_report.sched;
   }
 
 (* Wall-clock of the domains=1 row with the same experiment/mode/budget,
@@ -105,11 +116,12 @@ let write_explore_json path samples =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"suite\": \"explore\",\n";
-  out "  \"schema_version\": 3,\n";
+  out "  \"schema_version\": 4,\n";
   out
     "  \"schema\": [\"experiment\", \"protocol\", \"n\", \"mode\", \"domains\", \
      \"budget\", \"rounds\", \"max_drops\", \"max_dups\", \"explored\", \"wall_ns\", \
-     \"states_per_sec\", \"speedup_vs_seq\"],\n";
+     \"states_per_sec\", \"speedup_vs_seq\", \"fast_path_rate\", \"mean_depth\", \
+     \"budget_waste_pct\"],\n";
   out "  \"rounds\": %d,\n" explore_rounds;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"results\": [\n";
@@ -124,27 +136,31 @@ let write_explore_json path samples =
         "    {\"experiment\": %S, \"protocol\": %S, \"n\": %d, \"mode\": %S, \"domains\": \
          %d, \"budget\": %d, \"rounds\": %d, \"max_drops\": %d, \"max_dups\": %d, \
          \"explored\": %d, \"wall_ns\": %d, \"states_per_sec\": %.1f, \
-         \"speedup_vs_seq\": %s}%s\n"
+         \"speedup_vs_seq\": %s, \"fast_path_rate\": %.4f, \"mean_depth\": %.2f, \
+         \"budget_waste_pct\": %.2f}%s\n"
         s.experiment s.protocol s.n s.mode s.domains s.budget s.rounds s.max_drops
-        s.max_dups s.explored s.wall_ns (states_per_sec s) speedup
+        s.max_dups s.explored s.wall_ns (states_per_sec s) speedup s.fast_path_rate
+        s.mean_depth s.budget_waste_pct
         (if i = List.length samples - 1 then "" else ","))
     samples;
   out "  ]\n}\n";
   close_out oc
 
 let print_sample_table samples =
-  Format.fprintf fmt "%-16s %3s %-9s %7s %7s %5s %5s | %8s %10s %11s %8s@." "experiment"
-    "n" "mode" "domains" "budget" "drops" "dups" "explored" "wall-ms" "states/sec"
-    "speedup";
+  Format.fprintf fmt "%-20s %3s %-9s %7s %7s %5s %5s | %8s %10s %11s %8s %5s %6s %6s@."
+    "experiment" "n" "mode" "domains" "budget" "drops" "dups" "explored" "wall-ms"
+    "states/sec" "speedup" "fast" "depth" "waste%";
   List.iter
     (fun s ->
-      Format.fprintf fmt "%-16s %3d %-9s %7d %7d %5d %5d | %8d %10.1f %11.0f %8s@."
+      Format.fprintf fmt
+        "%-20s %3d %-9s %7d %7d %5d %5d | %8d %10.1f %11.0f %8s %5.2f %6.2f %6.2f@."
         s.experiment s.n s.mode s.domains s.budget s.max_drops s.max_dups s.explored
         (float_of_int s.wall_ns /. 1e6)
         (states_per_sec s)
         (match speedup_vs_seq samples s with
         | None -> "-"
-        | Some x -> Printf.sprintf "%.2fx" x))
+        | Some x -> Printf.sprintf "%.2fx" x)
+        s.fast_path_rate s.mean_depth s.budget_waste_pct)
     samples
 
 let emit_samples samples =
@@ -231,6 +247,57 @@ let run_faults_suite ~domains_list ~budget_override () =
       cases
   in
   emit_samples samples
+
+(* -- Metrics overhead --------------------------------------------------- *)
+
+(* The telemetry contract is "zero overhead when disabled": every engine
+   probe mirror is a single branch on an immutable bool when the registry
+   is {!Stdext.Metrics.disabled}. These two rows measure the same
+   fast-path scenario loop with the disabled registry and with a live one;
+   the off-row states/sec lands in BENCH_explore.json's trajectory so a
+   regression of the disabled path shows up across PRs, and the printed
+   overhead line quantifies the enabled path's cost. *)
+let run_metrics_overhead_suite ?(iters = 3_000) () =
+  Format.fprintf fmt "@.%s@.B4. Metrics overhead (engine probe mirror, %d scenario runs)@.%s@."
+    (String.make 78 '-') iters (String.make 78 '-');
+  let proposals = Checker.Scenario.all_proposals_at_zero ~n:6 [ 5; 4; 3; 2; 1; 0 ] in
+  let run_case experiment registry =
+    let t0 = Unix.gettimeofday () in
+    for seed = 1 to iters do
+      ignore
+        (Checker.Scenario.run Core.Rgs.task ~n:6 ~e:2 ~f:2 ~delta:100
+           ~net:(Checker.Scenario.Sync `Arrival) ~proposals ~disable_timers:true ~seed
+           ~metrics:registry ~until:300 ())
+    done;
+    let t1 = Unix.gettimeofday () in
+    {
+      experiment;
+      protocol = "rgs-task";
+      n = 6;
+      mode = "scenario";
+      domains = 1;
+      budget = iters;
+      rounds = 0;
+      max_drops = 0;
+      max_dups = 0;
+      explored = iters;
+      wall_ns = int_of_float ((t1 -. t0) *. 1e9);
+      fast_path_rate = 0.;
+      mean_depth = 0.;
+      budget_waste_pct = 0.;
+    }
+  in
+  (* Warm-up evens out allocator/cache state so off vs on is a fair pair. *)
+  ignore (run_case "warmup" Stdext.Metrics.disabled : explore_sample);
+  let off = run_case "metrics-overhead-off" Stdext.Metrics.disabled in
+  let on_ = run_case "metrics-overhead-on" (Stdext.Metrics.create ()) in
+  let overhead_pct =
+    if off.wall_ns = 0 then 0.
+    else 100. *. (float_of_int on_.wall_ns -. float_of_int off.wall_ns)
+         /. float_of_int off.wall_ns
+  in
+  Format.fprintf fmt "enabled-registry overhead vs disabled: %+.1f%%@." overhead_pct;
+  emit_samples [ off; on_ ]
 
 (* -- Bechamel microbenchmarks ------------------------------------------ *)
 
@@ -329,7 +396,7 @@ let run_bechamel () =
 let usage () =
   print_endline
     "usage: main.exe [--domains N] [--domains-list N,N,...] [--explore-budget N] \
-     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|all]...";
+     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|overhead|all]...";
   exit 1
 
 let run_experiment ~domains ~domains_list ~budget_override = function
@@ -356,11 +423,13 @@ let run_experiment ~domains ~domains_list ~budget_override = function
   | "bechamel" -> run_bechamel ()
   | "explore" -> run_explore_suite ~domains_list ~budget_override ()
   | "faults" -> run_faults_suite ~domains_list ~budget_override ()
+  | "overhead" -> run_metrics_overhead_suite ()
   | "all" ->
       Experiments.all ~domains fmt;
       run_bechamel ();
       run_explore_suite ~domains_list ~budget_override ();
-      run_faults_suite ~domains_list ~budget_override ()
+      run_faults_suite ~domains_list ~budget_override ();
+      run_metrics_overhead_suite ()
   | arg ->
       Printf.eprintf "unknown experiment %S\n" arg;
       usage ()

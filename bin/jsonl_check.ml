@@ -1,0 +1,113 @@
+(* Validate JSONL telemetry files against the stable schemas: every line
+   must parse as a JSON object, metrics lines ({"metric", ...}) must match
+   Stdext.Metrics.dump_jsonl's shape (including histogram bucket/count
+   consistency), and trace lines ({"event", ...}) must match
+   Dsim.Trace.to_jsonl's. CI runs this over the artifacts produced by
+   `twostep report` and `twostep explore --metrics-out`. *)
+
+module Json = Stdext.Json
+
+exception Bad of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
+
+let obj_fields = function
+  | Json.Obj fields -> fields
+  | _ -> fail "not a JSON object"
+
+let get fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let as_int name = function Json.Int i -> i | _ -> fail "field %S is not an integer" name
+
+let int_field fields name = as_int name (get fields name)
+
+let str_field fields name =
+  match get fields name with
+  | Json.String s -> s
+  | _ -> fail "field %S is not a string" name
+
+let int_list fields name =
+  match get fields name with
+  | Json.List items -> List.map (as_int name) items
+  | _ -> fail "field %S is not a list" name
+
+let check_metric fields =
+  ignore (str_field fields "metric");
+  match str_field fields "type" with
+  | "counter" | "gauge" -> ignore (int_field fields "value")
+  | "histogram" ->
+      let le = int_list fields "le" in
+      let counts = int_list fields "counts" in
+      let count = int_field fields "count" in
+      ignore (int_field fields "sum");
+      if List.length counts <> List.length le + 1 then
+        fail "histogram: %d bounds need %d counts, got %d" (List.length le)
+          (List.length le + 1) (List.length counts);
+      let rec increasing = function
+        | a :: (b :: _ as tl) -> a < b && increasing tl
+        | _ -> true
+      in
+      if not (increasing le) then fail "histogram: bounds not strictly increasing";
+      if List.exists (fun c -> c < 0) counts then fail "histogram: negative bucket count";
+      let total = List.fold_left ( + ) 0 counts in
+      if total <> count then fail "histogram: counts sum to %d but count=%d" total count
+  | other -> fail "unknown metric type %S" other
+
+let message_events = [ "sent"; "delivered"; "dropped"; "duplicated" ]
+
+let process_events = [ "input"; "output"; "timer_fired"; "crashed" ]
+
+let check_event fields =
+  let event = str_field fields "event" in
+  ignore (int_field fields "time");
+  if List.mem event message_events then begin
+    ignore (int_field fields "src");
+    ignore (int_field fields "dst");
+    ignore (get fields "msg")
+  end
+  else if List.mem event process_events then ignore (int_field fields "pid")
+  else fail "unknown event %S" event;
+  if List.mem event [ "delivered"; "dropped"; "duplicated" ] then
+    ignore (int_field fields "sent_at");
+  if event = "duplicated" then ignore (int_field fields "extra_delay");
+  if event = "timer_fired" then ignore (int_field fields "id")
+
+let check_line line =
+  match Json.parse line with
+  | Error msg -> fail "parse error: %s" msg
+  | Ok json ->
+      let fields = obj_fields json in
+      if List.mem_assoc "metric" fields then check_metric fields
+      else if List.mem_assoc "event" fields then check_event fields
+(* other objects (report --json, bench samples) only need to parse *)
+
+let check_file path =
+  let ic = open_in path in
+  let lineno = ref 0 in
+  let errors = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         try check_line line
+         with Bad msg ->
+           incr errors;
+           Printf.eprintf "%s:%d: %s\n" path !lineno msg
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !errors = 0 then Printf.printf "%s: %d lines ok\n" path !lineno;
+  !errors
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: jsonl_check FILE...";
+    exit 2
+  end;
+  let errors = List.fold_left (fun acc path -> acc + check_file path) 0 files in
+  if errors > 0 then exit 1

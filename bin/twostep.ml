@@ -56,6 +56,35 @@ let domains_arg =
 
 let delta = 100
 
+(* -- metrics plumbing --------------------------------------------------- *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the command's telemetry registry to $(docv) as JSONL (one \
+           {\"metric\", \"type\", ...} object per line; see Stdext.Metrics.dump_jsonl). \
+           Without this flag metric updates are compiled to inert no-ops.")
+
+(* An enabled registry only when the caller asked for the dump: the
+   disabled registry is the zero-overhead path the bench suite measures. *)
+let with_metrics out k =
+  let registry =
+    match out with None -> Stdext.Metrics.disabled | Some _ -> Stdext.Metrics.create ()
+  in
+  let r = k registry in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      let fmt = Format.formatter_of_out_channel oc in
+      Stdext.Metrics.dump_jsonl fmt registry;
+      Format.pp_print_flush fmt ();
+      close_out oc)
+    out;
+  r
+
 (* -- bounds ------------------------------------------------------------ *)
 
 let bounds_cmd =
@@ -253,15 +282,21 @@ let explore_cmd =
       & opt (pairs_conv ~what:"crashes") []
       & info [ "crashes" ] ~docv:"T:P,..." ~doc:"Crash schedule as time:pid pairs.")
   in
-  let run protocol n e f rounds budget mode domains crashes =
+  let run protocol n e f rounds budget mode domains crashes metrics_out =
     let (module P : Proto.Protocol.S) = protocol in
     let n = Option.value ~default:(P.min_n ~e ~f) n in
     let proposals = Checker.Scenario.all_proposals_at_zero ~n (List.init n Fun.id) in
-    let r =
-      Checker.Explore.synchronous protocol ~n ~e ~f ~delta ~proposals ~crashes ~rounds
-        ~budget ~mode ~domains
-        ~check:(fun o -> Checker.Safety.safe o)
-        ()
+    let r, report =
+      with_metrics metrics_out (fun registry ->
+          let r, report =
+            Checker.Explore.synchronous_report protocol ~n ~e ~f ~delta ~proposals
+              ~crashes ~rounds ~budget ~mode ~domains
+              ~check:(fun o -> Checker.Safety.safe o)
+              ()
+          in
+          if Stdext.Metrics.is_enabled registry then
+            Checker.Explore.Run_report.record registry report;
+          (r, report))
     in
     Format.printf "%s n=%d e=%d f=%d rounds=%d (%s, budget %d, domains %d)@." P.name n e
       f rounds
@@ -269,6 +304,7 @@ let explore_cmd =
       budget domains;
     Format.printf "explored: %d schedules%s@." r.Checker.Explore.explored
       (if r.Checker.Explore.truncated then " (truncated)" else " (exhaustive)");
+    Format.printf "%a@." Checker.Explore.Run_report.pp report;
     (match r.Checker.Explore.first_violation with
     | None -> Format.printf "violations: none@."
     | Some o ->
@@ -283,7 +319,7 @@ let explore_cmd =
           every run.")
     Term.(
       const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ rounds_arg $ budget_arg
-      $ mode_arg $ domains_arg $ crashes_arg)
+      $ mode_arg $ domains_arg $ crashes_arg $ metrics_out_arg)
 
 (* -- faults -------------------------------------------------------------- *)
 
@@ -336,7 +372,7 @@ let faults_cmd =
     Arg.(value & opt int (60 * delta) & info [ "until" ] ~docv:"T" ~doc:"Horizon (ticks).")
   in
   let run protocol n e f drop_rate dup_rate max_drops max_dups max_extra_delay crashes
-      seeds seed until =
+      seeds seed until metrics_out =
     let (module P : Proto.Protocol.S) = protocol in
     let n = Option.value ~default:(P.min_n ~e ~f) n in
     let proposals = Checker.Scenario.all_proposals_at_zero ~n (List.init n Fun.id) in
@@ -349,19 +385,22 @@ let faults_cmd =
       n e f drop_rate max_drops dup_rate max_dups seeds
       (if seeds = 1 then "" else "s");
     let violations = ref 0 in
-    for s = seed to seed + seeds - 1 do
-      let o =
-        Checker.Scenario.run protocol ~n ~e ~f ~delta
-          ~net:(Checker.Scenario.Partial { gst = 5 * delta; max_pre_gst = 3 * delta })
-          ~proposals ~crashes ~seed:s ~faults ~until ()
-      in
-      let verdict = Checker.Safety.check o in
-      if not (Checker.Safety.safe o) then incr violations;
-      Format.printf "  seed %-6d dropped %-3d duplicated %-3d decided %d/%d  %a@." s
-        o.dropped o.duplicated
-        (List.length o.decisions)
-        n Checker.Safety.pp_verdict verdict
-    done;
+    with_metrics metrics_out (fun registry ->
+        (* One registry across the sweep: the engine.* counters aggregate
+           over all seeds. *)
+        for s = seed to seed + seeds - 1 do
+          let o =
+            Checker.Scenario.run protocol ~n ~e ~f ~delta
+              ~net:(Checker.Scenario.Partial { gst = 5 * delta; max_pre_gst = 3 * delta })
+              ~proposals ~crashes ~seed:s ~faults ~metrics:registry ~until ()
+          in
+          let verdict = Checker.Safety.check o in
+          if not (Checker.Safety.safe o) then incr violations;
+          Format.printf "  seed %-6d dropped %-3d duplicated %-3d decided %d/%d  %a@." s
+            o.dropped o.duplicated
+            (List.length o.decisions)
+            n Checker.Safety.pp_verdict verdict
+        done);
     if !violations > 0 then begin
       Format.printf "%d of %d seeds violated safety@." !violations seeds;
       exit 1
@@ -376,7 +415,35 @@ let faults_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ drop_rate_arg $ dup_rate_arg
       $ max_drops_arg $ max_dups_arg $ max_extra_delay_arg $ crashes_arg $ seeds_arg
-      $ seed_arg $ until_arg)
+      $ seed_arg $ until_arg $ metrics_out_arg)
+
+(* -- report -------------------------------------------------------------- *)
+
+let report_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON object per protocol (Checker.Report.to_json) instead of text.")
+  in
+  let run n e f json metrics_out =
+    with_metrics metrics_out (fun registry ->
+        List.iter
+          (fun (_, protocol) ->
+            let r =
+              Checker.Report.conflict_free protocol ?n ~e ~f ~delta ~metrics:registry ()
+            in
+            if json then print_endline (Stdext.Json.to_string (Checker.Report.to_json r))
+            else Format.printf "%a@." Checker.Report.pp r)
+          protocols)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Per-protocol fast-path telemetry: run the conflict-free synchronous scenario \
+          at each protocol's bound and print the fast-path rate and decision-latency \
+          histogram — the two-step claim as numbers.")
+    Term.(const run $ n_arg $ e_arg $ f_arg $ json_arg $ metrics_out_arg)
 
 (* -- experiments --------------------------------------------------------- *)
 
@@ -418,5 +485,6 @@ let () =
             audit_cmd;
             explore_cmd;
             faults_cmd;
+            report_cmd;
             experiments_cmd;
           ]))

@@ -2,6 +2,7 @@ module Pid = Dsim.Pid
 module Time = Dsim.Time
 module Combinat = Stdext.Combinat
 module Pool = Stdext.Pool
+module Metrics = Stdext.Metrics
 
 type result = {
   explored : int;
@@ -15,6 +16,104 @@ type mode = [ `Replay | `Snapshot ]
 type fault_bounds = { max_drops : int; max_dups : int }
 
 let no_faults = { max_drops = 0; max_dups = 0 }
+
+(* Per-run facts captured at evaluation time. They ride in the branch
+   stats in subtree DFS order, so the deterministic merge can count
+   exactly the sequential prefix of every subtree — which is what makes
+   all [Run_report.totals] fields identical across modes, domain counts
+   and scheduling interleavings, not just [explored]/[violations]. *)
+type run_rec = { r_depth : int; r_drops : int; r_dups : int; r_fast : bool }
+
+module Run_report = struct
+  type totals = {
+    explored : int;
+    violations : int;
+    truncated : bool;
+    depth_histogram : int array;
+    fast_runs : int;
+    fault_runs : int;
+    drops : int;
+    dups : int;
+  }
+
+  type sched = {
+    domains : int;
+    budget : int;
+    leased : int;
+    evals : int;
+    wasted : int;
+    top_ups : int;
+    max_fanout : int;
+    tasks_per_domain : int array;
+    stolen : int;
+  }
+
+  type t = { totals : totals; sched : sched }
+
+  let totals_equal (a : totals) (b : totals) = a = b
+
+  let fast_path_rate t =
+    if t.explored = 0 then 0. else float_of_int t.fast_runs /. float_of_int t.explored
+
+  let mean_depth t =
+    if t.explored = 0 then 0.
+    else begin
+      let sum = ref 0 in
+      Array.iteri (fun d c -> sum := !sum + (d * c)) t.depth_histogram;
+      float_of_int !sum /. float_of_int t.explored
+    end
+
+  let budget_waste_pct s =
+    if s.evals = 0 then 0. else 100. *. float_of_int s.wasted /. float_of_int s.evals
+
+  let pp fmt t =
+    let pp_arr fmt a =
+      Array.iteri (fun i v -> Format.fprintf fmt "%s%d" (if i = 0 then "" else " ") v) a
+    in
+    Format.fprintf fmt
+      "@[<v>runs: explored %d, violations %d, truncated %b@,\
+       depth histogram: [%a] (mean %.2f)@,\
+       fast runs: %d (rate %.3f); fault runs: %d (drops %d, dups %d)@,\
+       sched: domains %d, budget %d, leased %d, evals %d, wasted %d (%.1f%%), \
+       top-ups %d, max fan-out %d@,\
+       tasks/domain: [%a], stolen %d@]"
+      t.totals.explored t.totals.violations t.totals.truncated pp_arr
+      t.totals.depth_histogram (mean_depth t.totals) t.totals.fast_runs
+      (fast_path_rate t.totals) t.totals.fault_runs t.totals.drops t.totals.dups
+      t.sched.domains t.sched.budget t.sched.leased t.sched.evals t.sched.wasted
+      (budget_waste_pct t.sched) t.sched.top_ups t.sched.max_fanout pp_arr
+      t.sched.tasks_per_domain t.sched.stolen
+
+  let record registry t =
+    let c name v = Metrics.add (Metrics.counter registry name) v in
+    c "explore.explored" t.totals.explored;
+    c "explore.violations" t.totals.violations;
+    c "explore.truncated" (if t.totals.truncated then 1 else 0);
+    c "explore.fast_runs" t.totals.fast_runs;
+    c "explore.fault_runs" t.totals.fault_runs;
+    c "explore.drops" t.totals.drops;
+    c "explore.dups" t.totals.dups;
+    c "explore.leased" t.sched.leased;
+    c "explore.evals" t.sched.evals;
+    c "explore.wasted" t.sched.wasted;
+    c "explore.top_ups" t.sched.top_ups;
+    c "explore.stolen" t.sched.stolen;
+    Metrics.record_max (Metrics.gauge registry "explore.max_fanout") t.sched.max_fanout;
+    Metrics.record_max (Metrics.gauge registry "explore.domains") t.sched.domains;
+    let nbuckets = Array.length t.totals.depth_histogram in
+    if nbuckets > 1 then begin
+      let h =
+        Metrics.histogram registry ~buckets:(Array.init (nbuckets - 1) (fun i -> i))
+          "explore.depth"
+      in
+      Array.iteri
+        (fun d count ->
+          for _ = 1 to count do
+            Metrics.observe h d
+          done)
+        t.totals.depth_histogram
+    end
+end
 
 (* One round boundary's worth of scheduling decisions: which pending
    messages the adversary loses, which it duplicates (the copy stays in
@@ -76,6 +175,7 @@ type branch = {
   b_first_violation : Scenario.outcome option;
   b_fallback : bool;  (* perm_limit fallback hit while expanding *)
   b_cut : bool;  (* lease denied with work remaining *)
+  b_runs : run_rec list;  (* evaluated runs, DFS order (skipped prefix omitted) *)
 }
 
 (* The unit of parallel work: a task owns the subtree below one node.
@@ -95,12 +195,25 @@ let faults_spent rev_path =
     (fun (d, u) c -> (d + List.length c.drop, u + List.length c.dup))
     (0, 0) rev_path
 
-let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crashes = [])
-    ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true)
+let rec take_n n = function
+  | x :: tl when n > 0 -> x :: take_n (n - 1) tl
+  | _ -> []
+
+let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
+    ?(crashes = []) ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true)
     ?(mode = (`Snapshot : mode)) ?(domains = 1) ?(clamp_domains = true) ?eval_counter
     ?(faults = no_faults) ~check () =
   if faults.max_drops < 0 || faults.max_dups < 0 then
     invalid_arg "Explore.synchronous: fault bounds must be non-negative";
+  (* Scheduling telemetry. These are observability-only: nothing below
+     branches on them, so they cannot perturb the deterministic result. *)
+  let evals_total = Atomic.make 0 in
+  let leased_total = Atomic.make 0 in
+  let max_fan_seen = Atomic.make 0 in
+  let rec record_fanout v =
+    let cur = Atomic.get max_fan_seen in
+    if v > cur && not (Atomic.compare_and_set max_fan_seen cur v) then record_fanout v
+  in
   let fresh () =
     let automaton = P.make ~n ~e ~f ~delta in
     Dsim.Engine.create ~automaton ~n ~network:Dsim.Network.Manual ~seed:0
@@ -136,8 +249,11 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
   let materialize = function Path rev_path -> replay rev_path | Engine e -> e in
   let count_eval =
     match eval_counter with
-    | None -> fun () -> ()
-    | Some c -> fun () -> Atomic.incr c
+    | None -> fun () -> Atomic.incr evals_total
+    | Some c ->
+        fun () ->
+          Atomic.incr evals_total;
+          Atomic.incr c
   in
   let outcome_of engine =
     let trace = Dsim.Engine.trace engine in
@@ -151,6 +267,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
       messages = Dsim.Trace.message_count trace;
       dropped;
       duplicated;
+      latencies = Dsim.Engine.decision_latencies engine;
       engine_result = Dsim.Engine.Quiescent;
     }
   in
@@ -188,28 +305,31 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
           to_live;
         fun id -> Hashtbl.find tbl id
       in
-      Some
-        (List.concat_map
-           (fun drop ->
-             let kept = List.filter (fun id -> not (List.mem id drop)) live_ids in
-             let dup_sets = Combinat.subsets_up_to dups_left kept in
-             let dsts = List.sort_uniq Pid.compare (List.map dst_of kept) in
-             let per_dst_orders =
-               List.map
-                 (fun dst ->
-                   orders_for_batch
-                     (List.filter (fun id -> Pid.equal (dst_of id) dst) kept))
-                 dsts
-             in
-             let delivers =
-               List.map
-                 (fun combo -> List.concat combo @ crashed_ids)
-                 (Combinat.cartesian per_dst_orders)
-             in
-             List.concat_map
-               (fun dup -> List.map (fun deliver -> { drop; dup; deliver }) delivers)
-               dup_sets)
-           (Combinat.subsets_up_to drops_left live_ids))
+      let choices =
+        List.concat_map
+          (fun drop ->
+            let kept = List.filter (fun id -> not (List.mem id drop)) live_ids in
+            let dup_sets = Combinat.subsets_up_to dups_left kept in
+            let dsts = List.sort_uniq Pid.compare (List.map dst_of kept) in
+            let per_dst_orders =
+              List.map
+                (fun dst ->
+                  orders_for_batch
+                    (List.filter (fun id -> Pid.equal (dst_of id) dst) kept))
+                dsts
+            in
+            let delivers =
+              List.map
+                (fun combo -> List.concat combo @ crashed_ids)
+                (Combinat.cartesian per_dst_orders)
+            in
+            List.concat_map
+              (fun dup -> List.map (fun deliver -> { drop; dup; deliver }) delivers)
+              dup_sets)
+          (Combinat.subsets_up_to drops_left live_ids)
+      in
+      record_fanout (List.length choices);
+      Some choices
     end
   in
   (* Sequential DFS over the subtree below [node], evaluating runs against
@@ -232,6 +352,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
     let cut = ref false in
     let fallback = ref fallback0 in
     let violations_rev = ref [] in
+    let runs_rev = ref [] in
     let first_violation = ref None in
     let have_token () =
       !tokens > 0
@@ -242,13 +363,23 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
          if got = 0 then cut := true;
          got > 0)
     in
-    let evaluate engine =
+    let evaluate engine ~depth =
       tokens := !tokens - 1;
       let index = !explored in
       incr explored;
       if index >= skip then begin
         count_eval ();
         let outcome = outcome_of engine in
+        let lat = Dsim.Engine.decision_latencies engine in
+        let fast = lat <> [] && List.for_all (fun (_, l) -> l <= 2 * delta) lat in
+        runs_rev :=
+          {
+            r_depth = depth;
+            r_drops = outcome.Scenario.dropped;
+            r_dups = outcome.Scenario.duplicated;
+            r_fast = fast;
+          }
+          :: !runs_rev;
         if not (check outcome) then begin
           violations_rev := index :: !violations_rev;
           if !first_violation = None then first_violation := Some outcome
@@ -258,10 +389,10 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
     let rec dfs node round ~drops_left ~dups_left =
       if have_token () then begin
         let engine = materialize node in
-        if round > rounds then evaluate engine
+        if round > rounds then evaluate engine ~depth:rounds
         else begin
           match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
-          | None -> evaluate engine
+          | None -> evaluate engine ~depth:(round - 1)
           | Some choices ->
               let last = List.length choices - 1 in
               List.iteri
@@ -296,6 +427,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
       b_first_violation = !first_violation;
       b_fallback = !fallback;
       b_cut = !cut;
+      b_runs = List.rev !runs_rev;
     }
   in
   let result_of_branch b =
@@ -304,6 +436,48 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
       violations = List.length b.b_violation_indices;
       first_violation = b.b_first_violation;
       truncated = b.b_cut || b.b_fallback;
+    }
+  in
+  (* [runs] must be exactly the counted runs in global DFS order; the
+     totals derived from them are then mode/domain-independent by the same
+     argument as [explored]. The sched block is a faithful record of what
+     this particular execution did and is expected to vary. *)
+  let make_report ~domains ~tasks_per_domain ~stolen ~top_ups ~runs res =
+    let depth_histogram = Array.make (rounds + 1) 0 in
+    let fast = ref 0 and fault_runs = ref 0 and drops = ref 0 and dups = ref 0 in
+    List.iter
+      (fun r ->
+        depth_histogram.(r.r_depth) <- depth_histogram.(r.r_depth) + 1;
+        if r.r_fast then incr fast;
+        if r.r_drops + r.r_dups > 0 then incr fault_runs;
+        drops := !drops + r.r_drops;
+        dups := !dups + r.r_dups)
+      runs;
+    let evals = Atomic.get evals_total in
+    {
+      Run_report.totals =
+        {
+          Run_report.explored = res.explored;
+          violations = res.violations;
+          truncated = res.truncated;
+          depth_histogram;
+          fast_runs = !fast;
+          fault_runs = !fault_runs;
+          drops = !drops;
+          dups = !dups;
+        };
+      sched =
+        {
+          Run_report.domains;
+          budget;
+          leased = Atomic.get leased_total;
+          evals;
+          wasted = max 0 (evals - res.explored);
+          top_ups;
+          max_fanout = Atomic.get max_fan_seen;
+          tasks_per_domain;
+          stolen;
+        };
     }
   in
   let root_node () =
@@ -329,11 +503,18 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
   if domains <= 1 then begin
     (* One lease of the whole budget: the shared-pool machinery reduces to
        the plain sequential DFS (a single atomic op end to end). *)
-    let lease () = Budget.lease bpool budget in
+    let lease () =
+      let g = Budget.lease bpool budget in
+      if g > 0 then ignore (Atomic.fetch_and_add leased_total g);
+      g
+    in
     let refund = Budget.refund bpool in
-    result_of_branch
-      (explore_subtree ~lease ~refund ~skip:0 ~fallback0:false
-         ~drops_left:faults.max_drops ~dups_left:faults.max_dups (root_node ()) 1)
+    let b =
+      explore_subtree ~lease ~refund ~skip:0 ~fallback0:false ~drops_left:faults.max_drops
+        ~dups_left:faults.max_dups (root_node ()) 1
+    in
+    let res = result_of_branch b in
+    (res, make_report ~domains:1 ~tasks_per_domain:[||] ~stolen:0 ~top_ups:0 ~runs:b.b_runs res)
   end
   else begin
     (* Chunked leases: coarse enough to amortise the atomic, fine enough
@@ -380,18 +561,22 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
       lm
     in
     let lease_for rank () =
-      if is_leftmost rank then Budget.lease bpool chunk
-      else begin
-        (* Speculative: account against [spec] first, then draw the same
-           number of real tokens. Failed draws are handed back. *)
-        let s = Budget.lease spec chunk in
-        if s = 0 then 0
+      let g =
+        if is_leftmost rank then Budget.lease bpool chunk
         else begin
-          let g = Budget.lease bpool s in
-          if g < s then Budget.refund spec (s - g);
-          g
+          (* Speculative: account against [spec] first, then draw the same
+             number of real tokens. Failed draws are handed back. *)
+          let s = Budget.lease spec chunk in
+          if s = 0 then 0
+          else begin
+            let g = Budget.lease bpool s in
+            if g < s then Budget.refund spec (s - g);
+            g
+          end
         end
-      end
+      in
+      if g > 0 then ignore (Atomic.fetch_and_add leased_total g);
+      g
     in
     (* Fan subtrees at the first [fan_rounds] levels into the pool, but
        only while the queue is hungry and budget remains; everything else
@@ -516,6 +701,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
                                          b_first_violation = None;
                                          b_fallback = fb_for i;
                                          b_cut = true;
+                                         b_runs = [];
                                        }
                                      else
                                        explore_subtree ~lease:(lease_for crank) ~refund
@@ -562,12 +748,15 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
         let violations = ref 0 in
         let first_violation = ref None in
         let truncated = ref false in
+        let top_ups = ref 0 in
+        let counted_runs_rev = ref [] in
         List.iter
           (fun (rev_path, round, b) ->
             if !remaining <= 0 then truncated := true  (* every subtree holds >= 1 run *)
             else begin
               let b =
                 if b.b_cut && b.b_explored < !remaining then begin
+                  incr top_ups;
                   let node =
                     match mode with
                     | `Replay -> Path rev_path
@@ -593,6 +782,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
                       | Some _ as v -> v
                       | None -> t.b_first_violation);
                     b_fallback = b.b_fallback || t.b_fallback;
+                    b_runs = b.b_runs @ t.b_runs;
                   }
                 end
                 else b
@@ -600,6 +790,7 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
               let take = min b.b_explored !remaining in
               explored := !explored + take;
               remaining := !remaining - take;
+              counted_runs_rev := List.rev_append (take_n take b.b_runs) !counted_runs_rev;
               let counted = List.filter (fun i -> i < take) b.b_violation_indices in
               violations := !violations + List.length counted;
               if !first_violation = None && counted <> [] then
@@ -608,10 +799,23 @@ let synchronous (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crash
               else truncated := !truncated || b.b_fallback
             end)
           leaves;
-        {
-          explored = !explored;
-          violations = !violations;
-          first_violation = !first_violation;
-          truncated = !truncated;
-        })
+        let res =
+          {
+            explored = !explored;
+            violations = !violations;
+            first_violation = !first_violation;
+            truncated = !truncated;
+          }
+        in
+        let tasks_per_domain, stolen = Pool.stats pool in
+        ( res,
+          make_report ~domains ~tasks_per_domain ~stolen ~top_ups:!top_ups
+            ~runs:(List.rev !counted_runs_rev) res ))
   end
+
+let synchronous protocol ~n ~e ~f ~delta ~proposals ?crashes ~rounds ?budget ?perm_limit
+    ?disable_timers ?mode ?domains ?clamp_domains ?eval_counter ?faults ~check () =
+  fst
+    (synchronous_report protocol ~n ~e ~f ~delta ~proposals ?crashes ~rounds ?budget
+       ?perm_limit ?disable_timers ?mode ?domains ?clamp_domains ?eval_counter ?faults
+       ~check ())

@@ -50,6 +50,70 @@ type result = {
   truncated : bool;
 }
 
+(** Structured account of one exploration, split along the determinism
+    boundary. [totals] is derived from per-run facts counted in global DFS
+    order under the sequential budget cut, so it is {e identical} across
+    [`Replay]/[`Snapshot], any [domains] count and any worker scheduling —
+    the byte-identical contract the determinism tests assert. [sched]
+    records what this particular execution did (token leases, speculation
+    waste, merge top-ups, per-domain load) and legitimately varies from run
+    to run; it is the budget-leasing observability story. *)
+module Run_report : sig
+  type totals = {
+    explored : int;
+    violations : int;
+    truncated : bool;
+    depth_histogram : int array;
+        (** [depth_histogram.(d)] = runs that ended after [d] round
+            boundaries; length [rounds + 1]. Runs end early ([d < rounds])
+            when no messages are pending — typically because every correct
+            process already decided. *)
+    fast_runs : int;
+        (** Runs where at least one process decided and every deciding
+            process decided within two message delays of its proposal —
+            the two-step fast path of the paper. *)
+    fault_runs : int;  (** runs with at least one injected drop/duplication *)
+    drops : int;  (** total dropped messages across counted runs *)
+    dups : int;  (** total duplicated messages across counted runs *)
+  }
+
+  type sched = {
+    domains : int;  (** after clamping *)
+    budget : int;
+    leased : int;  (** evaluation tokens leased from the shared budget *)
+    evals : int;  (** property evaluations, including merge top-ups *)
+    wasted : int;  (** [evals - explored]: speculative work discarded *)
+    top_ups : int;  (** starved subtrees re-run during the merge *)
+    max_fanout : int;
+        (** widest round-boundary branching observed (delivery orders ×
+            fault subsets) — the fault-branch fan-out *)
+    tasks_per_domain : int array;  (** pool tasks completed per worker *)
+    stolen : int;  (** tasks executed by the coordinator while waiting *)
+  }
+
+  type t = { totals : totals; sched : sched }
+
+  val totals_equal : totals -> totals -> bool
+
+  val fast_path_rate : totals -> float
+  (** [fast_runs / explored] (0 when nothing was explored). *)
+
+  val mean_depth : totals -> float
+
+  val budget_waste_pct : sched -> float
+  (** [100 * wasted / evals] (0 when nothing was evaluated). *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val record : Stdext.Metrics.t -> t -> unit
+  (** Mirror the report into a metrics registry under [explore.*] names:
+      counters for every totals/sched field, a gauge for
+      [explore.max_fanout] and [explore.domains], and the
+      [explore.depth] histogram. Counters accumulate across calls;
+      recording reports with different [rounds] into one registry raises
+      [Invalid_argument] (histogram bounds conflict). *)
+end
+
 type mode = [ `Replay | `Snapshot ]
 
 type fault_bounds = { max_drops : int; max_dups : int }
@@ -110,3 +174,28 @@ val synchronous :
     that parallel exploration does not duplicate budget (the count stays
     within a small factor of [min budget size], where a sequential run
     costs exactly [min budget size]). *)
+
+val synchronous_report :
+  Proto.Protocol.t ->
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  proposals:(Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list ->
+  ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
+  rounds:int ->
+  ?budget:int ->
+  ?perm_limit:int ->
+  ?disable_timers:bool ->
+  ?mode:mode ->
+  ?domains:int ->
+  ?clamp_domains:bool ->
+  ?eval_counter:int Atomic.t ->
+  ?faults:fault_bounds ->
+  check:(Scenario.outcome -> bool) ->
+  unit ->
+  result * Run_report.t
+(** {!synchronous} plus the structured {!Run_report}. Same arguments, same
+    [result]; the report's [totals] agree with [result] and are
+    mode/domain/scheduling-independent, while [sched] describes this
+    execution. [synchronous] is [fst] of this function. *)

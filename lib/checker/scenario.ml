@@ -17,6 +17,7 @@ type outcome = {
   messages : int;
   dropped : int;
   duplicated : int;
+  latencies : (Pid.t * int) list;
   engine_result : Dsim.Engine.run_result;
 }
 
@@ -35,12 +36,14 @@ let to_network ~delta net : _ Dsim.Network.t =
   | Wan { latency; jitter } -> Dsim.Network.Wan { latency; jitter }
 
 let run (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~net ~proposals ?(crashes = [])
-    ?(seed = 0) ?(disable_timers = false) ?(faults = Dsim.Network.Fault.none) ~until () =
+    ?(seed = 0) ?(disable_timers = false) ?(faults = Dsim.Network.Fault.none)
+    ?(metrics = Stdext.Metrics.disabled) ~until () =
   let automaton = P.make ~n ~e ~f ~delta in
   let engine =
     Dsim.Engine.create ~automaton ~n
       ~network:(to_network ~delta net)
-      ~seed ~disable_timers ~record_trace:true ~inputs:proposals ~crashes ~faults ()
+      ~seed ~disable_timers ~record_trace:true ~inputs:proposals ~crashes ~faults ~metrics
+      ()
   in
   let engine_result = Dsim.Engine.run ~until engine in
   let trace = Dsim.Engine.trace engine in
@@ -54,6 +57,7 @@ let run (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~net ~proposals ?(crashes 
     messages = Dsim.Trace.message_count trace;
     dropped;
     duplicated;
+    latencies = Dsim.Engine.decision_latencies engine;
     engine_result;
   }
 

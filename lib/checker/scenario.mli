@@ -21,6 +21,9 @@ type outcome = {
   messages : int;  (** total messages sent *)
   dropped : int;  (** messages lost by fault injection *)
   duplicated : int;  (** messages duplicated by fault injection *)
+  latencies : (Dsim.Pid.t * int) list;
+      (** per-pid first-proposal-to-first-decision gap in ticks (divide by
+          Δ for message delays); pids that never decided are absent *)
   engine_result : Dsim.Engine.run_result;
 }
 
@@ -36,6 +39,7 @@ val run :
   ?seed:int ->
   ?disable_timers:bool ->
   ?faults:Dsim.Network.Fault.plan ->
+  ?metrics:Stdext.Metrics.t ->
   until:Dsim.Time.t ->
   unit ->
   outcome
@@ -43,7 +47,9 @@ val run :
     message-driven behaviour used by the two-step existence checks.
     [faults] (default {!Dsim.Network.Fault.none}) injects drops,
     duplications and mid-broadcast crashes on top of [net]'s timing; the
-    fault trace is a pure function of [seed]. *)
+    fault trace is a pure function of [seed]. [metrics] (default disabled)
+    is handed to the engine, which mirrors its probe into the [engine.*]
+    registry names. *)
 
 val decided_value : outcome -> Dsim.Pid.t -> (Dsim.Time.t * Proto.Value.t) option
 (** First decision of a process, if any. *)

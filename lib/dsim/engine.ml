@@ -1,5 +1,69 @@
 module Rng = Stdext.Rng
 module Pqueue = Stdext.Pqueue
+module Metrics = Stdext.Metrics
+
+module Probe = struct
+  type t = {
+    steps : int;
+    sent : int;
+    delivered : int;
+    dropped : int;
+    duplicated : int;
+    timer_fires : int;
+    crashes : int;
+    decides : int;
+    queue_hwm : int;
+  }
+
+  let zero =
+    {
+      steps = 0;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      duplicated = 0;
+      timer_fires = 0;
+      crashes = 0;
+      decides = 0;
+      queue_hwm = 0;
+    }
+
+  let pp fmt p =
+    Format.fprintf fmt
+      "steps %d, sent %d, delivered %d, dropped %d, duplicated %d, timers %d, crashes \
+       %d, decides %d, queue hwm %d"
+      p.steps p.sent p.delivered p.dropped p.duplicated p.timer_fires p.crashes p.decides
+      p.queue_hwm
+end
+
+(* Registry handles, resolved once at {!create}. When no registry is given
+   they come from {!Metrics.disabled}, so every update below is a single
+   branch on an immutable bool — the engine's hot path does not pay for
+   telemetry that nobody reads. *)
+type meters = {
+  mc_steps : Metrics.counter;
+  mc_sent : Metrics.counter;
+  mc_delivered : Metrics.counter;
+  mc_dropped : Metrics.counter;
+  mc_duplicated : Metrics.counter;
+  mc_timer_fires : Metrics.counter;
+  mc_crashes : Metrics.counter;
+  mc_decides : Metrics.counter;
+  mg_queue_hwm : Metrics.gauge;
+}
+
+let meters_of registry =
+  {
+    mc_steps = Metrics.counter registry "engine.steps";
+    mc_sent = Metrics.counter registry "engine.sent";
+    mc_delivered = Metrics.counter registry "engine.delivered";
+    mc_dropped = Metrics.counter registry "engine.dropped";
+    mc_duplicated = Metrics.counter registry "engine.duplicated";
+    mc_timer_fires = Metrics.counter registry "engine.timer_fires";
+    mc_crashes = Metrics.counter registry "engine.crashes";
+    mc_decides = Metrics.counter registry "engine.decides";
+    mg_queue_hwm = Metrics.gauge registry "engine.queue_hwm";
+  }
 
 type 'msg delivery = { src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
 
@@ -65,13 +129,35 @@ type ('state, 'msg, 'input, 'output) t = {
   mutable sends : int;  (* global send index, keys Fault.Script entries *)
   mutable faults_dropped : int;
   mutable faults_duplicated : int;
+  (* Probe state: event counters beyond the ones the engine already keeps
+     (steps, sends, fault counters), the event-queue high-water mark, and
+     per-pid first-input/first-output instants for decision latency. All of
+     it is cloned by value — ints via the functional record update, the
+     arrays explicitly — so a branched exploration's per-engine probes stay
+     independent. [meters] mirrors the counts into an optional shared
+     {!Metrics} registry (disabled handles by default); clones share it, so
+     registry totals aggregate across branches while probes stay per-run. *)
+  meters : meters;
+  mutable p_delivered : int;
+  mutable p_timer_fires : int;
+  mutable p_crashes : int;
+  mutable p_decides : int;
+  mutable p_queue_hwm : int;
+  first_input : Time.t option array;
+  first_output : Time.t option array;
 }
 
 type run_result = Quiescent | Reached_until | Step_budget_exhausted
 
 let record t entry = if t.record_trace then t.trace_rev <- entry :: t.trace_rev
 
-let push_event t ~at ev = Pqueue.push t.queue ~priority:(priority ~time:at ev) ev
+let push_event t ~at ev =
+  Pqueue.push t.queue ~priority:(priority ~time:at ev) ev;
+  let len = Pqueue.length t.queue in
+  if len > t.p_queue_hwm then begin
+    t.p_queue_hwm <- len;
+    Metrics.record_max t.meters.mg_queue_hwm len
+  end
 
 (* Offset mixing the engine seed into the fault stream's seed: the two
    SplitMix64 streams must differ even for seed 0, and stay reproducible
@@ -80,7 +166,7 @@ let fault_seed_mix = 0x2545F4914F6CDD1D
 
 let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
     ?(disable_timers = false) ?(max_steps = 5_000_000) ?(inputs = []) ?(crashes = [])
-    ?(faults = Network.Fault.none) () =
+    ?(faults = Network.Fault.none) ?(metrics = Metrics.disabled) () =
   if n < 1 then invalid_arg "Engine.create: n must be >= 1";
   Network.validate network;
   let t =
@@ -107,6 +193,14 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
       sends = 0;
       faults_dropped = 0;
       faults_duplicated = 0;
+      meters = meters_of metrics;
+      p_delivered = 0;
+      p_timer_fires = 0;
+      p_crashes = 0;
+      p_decides = 0;
+      p_queue_hwm = 0;
+      first_input = Array.make n None;
+      first_output = Array.make n None;
     }
   in
   List.iter (fun p -> push_event t ~at:Time.zero (Ev_init p)) (Pid.all ~n);
@@ -127,6 +221,8 @@ let clone t =
     states = Array.map (Option.map t.automaton.Automaton.state_copy) t.states;
     crashed_flags = Array.copy t.crashed_flags;
     queue = Pqueue.copy t.queue;
+    first_input = Array.copy t.first_input;
+    first_output = Array.copy t.first_output;
   }
 
 type ('state, 'msg, 'input, 'output) snapshot = ('state, 'msg, 'input, 'output) t
@@ -178,6 +274,8 @@ let do_crash t pid =
         t.states.(pid) <- Some s
     | Some _ -> ());
     t.crashed_flags.(pid) <- true;
+    t.p_crashes <- t.p_crashes + 1;
+    Metrics.incr t.meters.mc_crashes;
     record t (Trace.Crashed { time = t.now; pid })
   end
 
@@ -192,6 +290,7 @@ let send t ~src ~dst msg =
   if not t.crashed_flags.(src) then begin
     let index = t.sends in
     t.sends <- index + 1;
+    Metrics.incr t.meters.mc_sent;
     record t (Trace.Sent { time = t.now; src; dst; msg });
     let action =
       Network.Fault.decide t.fault_plan ~rng:t.fault_rng ~index
@@ -210,10 +309,12 @@ let send t ~src ~dst msg =
     | Network.Fault.Deliver -> schedule_original ()
     | Network.Fault.Drop ->
         t.faults_dropped <- t.faults_dropped + 1;
-        record t (Trace.Dropped { time = t.now; src; dst; msg })
+        Metrics.incr t.meters.mc_dropped;
+        record t (Trace.Dropped { time = t.now; src; dst; msg; sent_at = t.now })
     | Network.Fault.Duplicate { extra_delay } ->
         t.faults_duplicated <- t.faults_duplicated + 1;
-        record t (Trace.Duplicated { time = t.now; src; dst; msg; extra_delay });
+        Metrics.incr t.meters.mc_duplicated;
+        record t (Trace.Duplicated { time = t.now; src; dst; msg; sent_at = t.now; extra_delay });
         schedule_original ();
         (* The copy is timed as if re-sent [extra_delay] ticks later, and
            samples from the fault stream so the base stream stays aligned.
@@ -257,6 +358,9 @@ let apply_actions t ~pid actions =
     | Automaton.Cancel_timer id -> cancel_timer t ~pid ~id
     | Automaton.Output output ->
         t.outputs_rev <- (t.now, pid, output) :: t.outputs_rev;
+        t.p_decides <- t.p_decides + 1;
+        Metrics.incr t.meters.mc_decides;
+        if t.first_output.(pid) = None then t.first_output.(pid) <- Some t.now;
         record t (Trace.Output { time = t.now; pid; output })
   in
   List.iter apply actions
@@ -273,6 +377,8 @@ let step_process t ~pid transition =
 
 let handle_deliver t ~src ~dst ~msg ~sent_at =
   if not t.crashed_flags.(dst) then begin
+    t.p_delivered <- t.p_delivered + 1;
+    Metrics.incr t.meters.mc_delivered;
     record t (Trace.Delivered { time = t.now; src; dst; msg; sent_at });
     step_process t ~pid:dst (fun s -> t.automaton.on_message s ~src msg)
   end
@@ -331,6 +437,7 @@ let handle_event t ev =
       end
   | Ev_input (pid, input) ->
       if not t.crashed_flags.(pid) then begin
+        if t.first_input.(pid) = None then t.first_input.(pid) <- Some t.now;
         record t (Trace.Input { time = t.now; pid; input });
         step_process t ~pid (fun s -> t.automaton.on_input s input)
       end
@@ -344,6 +451,8 @@ let handle_event t ev =
   | Ev_timer { pid; id; epoch } ->
       let current = Tmap.find_opt (pid, id) t.timer_epochs in
       if current = Some epoch && not t.crashed_flags.(pid) then begin
+        t.p_timer_fires <- t.p_timer_fires + 1;
+        Metrics.incr t.meters.mc_timer_fires;
         record t (Trace.Timer_fired { time = t.now; pid; id });
         step_process t ~pid (fun s -> t.automaton.on_timer s id)
       end
@@ -363,6 +472,7 @@ let run ?until t =
               | None -> Quiescent
               | Some (_, ev) ->
                   t.steps <- t.steps + 1;
+                  Metrics.incr t.meters.mc_steps;
                   t.now <- max t.now time;
                   handle_event t ev;
                   loop ()
@@ -387,7 +497,10 @@ let drop_pending t ~id =
   (match Imap.find_opt id t.pending_pool with
   | Some p ->
       t.faults_dropped <- t.faults_dropped + 1;
-      record t (Trace.Dropped { time = t.now; src = p.src; dst = p.dst; msg = p.msg })
+      Metrics.incr t.meters.mc_dropped;
+      record t
+        (Trace.Dropped
+           { time = t.now; src = p.src; dst = p.dst; msg = p.msg; sent_at = p.sent_at })
   | None -> ());
   t.pending_pool <- Imap.remove id t.pending_pool
 
@@ -398,12 +511,42 @@ let duplicate_pending t ~id =
       let copy_id = t.next_pending_id in
       t.next_pending_id <- copy_id + 1;
       t.faults_duplicated <- t.faults_duplicated + 1;
+      Metrics.incr t.meters.mc_duplicated;
       record t
         (Trace.Duplicated
-           { time = t.now; src = p.src; dst = p.dst; msg = p.msg; extra_delay = 0 });
+           {
+             time = t.now;
+             src = p.src;
+             dst = p.dst;
+             msg = p.msg;
+             sent_at = p.sent_at;
+             extra_delay = 0;
+           });
       (* The copy keeps the original's sent_at: it is the same message on
          the wire twice, not a re-send by the automaton. *)
       t.pending_pool <- Imap.add copy_id { p with id = copy_id } t.pending_pool;
       copy_id
 
 let fault_counts t = (t.faults_dropped, t.faults_duplicated)
+
+let probe t =
+  {
+    Probe.steps = t.steps;
+    sent = t.sends;
+    delivered = t.p_delivered;
+    dropped = t.faults_dropped;
+    duplicated = t.faults_duplicated;
+    timer_fires = t.p_timer_fires;
+    crashes = t.p_crashes;
+    decides = t.p_decides;
+    queue_hwm = t.p_queue_hwm;
+  }
+
+let decision_latencies t =
+  let acc = ref [] in
+  for pid = t.n - 1 downto 0 do
+    match (t.first_input.(pid), t.first_output.(pid)) with
+    | Some in_t, Some out_t -> acc := (pid, out_t - in_t) :: !acc
+    | _ -> ()
+  done;
+  !acc

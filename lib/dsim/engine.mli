@@ -20,6 +20,30 @@
 
 type ('state, 'msg, 'input, 'output) t
 
+(** Per-engine telemetry probe: event counters the engine maintains
+    unconditionally (plain field increments — they cost nothing measurable
+    and make every run self-describing). Probe state is part of the
+    engine's cloneable state: {!clone}/{!snapshot}/{!restore} copy it by
+    value, so branched explorations carry independent per-branch probes
+    and replay-mode re-execution reproduces the identical probe. *)
+module Probe : sig
+  type t = {
+    steps : int;  (** events processed by {!run} *)
+    sent : int;  (** = {!Trace.message_count} of the trace *)
+    delivered : int;
+    dropped : int;  (** fault-injected losses, = {!Trace.drop_count} *)
+    duplicated : int;  (** fault-injected copies, = {!Trace.duplicate_count} *)
+    timer_fires : int;
+    crashes : int;
+    decides : int;  (** environment outputs, = {!Trace.decide_count} *)
+    queue_hwm : int;  (** event-queue high-water mark *)
+  }
+
+  val zero : t
+
+  val pp : Format.formatter -> t -> unit
+end
+
 type run_result =
   | Quiescent  (** Event queue drained. *)
   | Reached_until  (** Stopped at the [until] bound; events remain. *)
@@ -36,6 +60,7 @@ val create :
   ?inputs:(Time.t * Pid.t * 'input) list ->
   ?crashes:(Time.t * Pid.t) list ->
   ?faults:Network.Fault.plan ->
+  ?metrics:Stdext.Metrics.t ->
   unit ->
   ('state, 'msg, 'input, 'output) t
 (** Build a simulation of [n] processes. [inputs] schedules environment
@@ -46,7 +71,15 @@ val create :
     mid-broadcast sender crashes on top of [network]'s timing.
     [record_trace] defaults to [true]; [max_steps] defaults to 5_000_000
     events. Raises [Invalid_argument] if [network] fails
-    {!Network.validate}. *)
+    {!Network.validate}.
+
+    [metrics] (default {!Stdext.Metrics.disabled}) mirrors the {!Probe}
+    counters into a shared registry under the [engine.*] names ([steps],
+    [sent], [delivered], [dropped], [duplicated], [timer_fires],
+    [crashes], [decides] counters and the [queue_hwm] gauge). {!clone}s
+    share the registry, so registry totals aggregate across branches while
+    {!probe} stays per-engine; with the default disabled registry every
+    mirror update is one branch on an immutable bool. *)
 
 val run : ?until:Time.t -> ('state, 'msg, 'input, 'output) t -> run_result
 (** Process events until the queue is empty, the next event is strictly
@@ -134,3 +167,16 @@ val duplicate_pending : ('state, 'msg, 'input, 'output) t -> id:int -> int
 val fault_counts : ('state, 'msg, 'input, 'output) t -> int * int
 (** [(drops, duplications)] injected so far — by the fault plan or via
     {!drop_pending}/{!duplicate_pending}. *)
+
+(** {2 Telemetry} *)
+
+val probe : ('state, 'msg, 'input, 'output) t -> Probe.t
+(** Current probe counters. Available regardless of [record_trace] and of
+    whether a metrics registry was attached. *)
+
+val decision_latencies : ('state, 'msg, 'input, 'output) t -> (Pid.t * int) list
+(** For every pid that has both received an input and emitted an output:
+    the gap in ticks between its {e first} input and its {e first} output —
+    the per-process decision latency (divide by Δ for message delays).
+    Sorted by pid; agrees with {!Trace.decision_latencies} whenever the
+    trace is recorded. *)

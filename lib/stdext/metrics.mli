@@ -1,0 +1,95 @@
+(** Domain-safe telemetry registry: named counters, high-water gauges and
+    fixed-bucket histograms.
+
+    The simulator's observability substrate. A registry hands out metric
+    handles by name; handles are cheap to update from any domain
+    concurrently — every metric is sharded into a small fixed number of
+    atomic cells indexed by the calling domain, so parallel explorer
+    domains never contend on one cache line — and the shards are merged
+    only on the read side ({!snapshot}, {!dump_jsonl}, {!pp_table}).
+
+    Merge semantics per kind:
+    {ul
+    {- counters sum their shards (monotonic totals);}
+    {- gauges keep the {e maximum} value observed across all shards —
+       high-water semantics, which is what every gauge in this repository
+       records (queue depths, fan-out widths);}
+    {- histograms sum per-bucket counts, plus an exact [sum]/[count] pair
+       for mean computation.}}
+
+    A registry created with [~enabled:false] (or the shared {!disabled}
+    registry) hands out inert handles: every update is a single immediate
+    branch on an immutable bool, no allocation, no atomics — the disabled
+    path costs nothing measurable, which the bench suite's
+    [metrics-overhead] rows verify. Handle lookup ({!counter} etc.) takes
+    a lock and should be done once at set-up, not on hot paths. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** Fresh registry; [enabled] defaults to [true]. *)
+
+val disabled : t
+(** A shared always-disabled registry: all updates are no-ops and
+    {!snapshot} is empty. Useful as a default argument. *)
+
+val is_enabled : t -> bool
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : t -> string -> counter
+(** The counter registered under [name], created at 0 on first use.
+    Raises [Invalid_argument] if [name] is registered with another kind. *)
+
+val gauge : t -> string -> gauge
+
+val histogram : t -> buckets:int array -> string -> histogram
+(** [buckets] are strictly increasing inclusive upper bounds; one overflow
+    bucket is appended implicitly. Re-registering an existing histogram
+    with different bounds raises [Invalid_argument]. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val record_max : gauge -> int -> unit
+(** Raise the gauge to [v] if [v] exceeds the current shard value. *)
+
+val observe : histogram -> int -> unit
+(** Add one observation: bumps the first bucket whose bound is [>= v] (or
+    the overflow bucket) and accumulates [sum]/[count]. *)
+
+(** {2 Reading} *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { bounds : int array; counts : int array; sum : int; count : int }
+      (** [counts] has [length bounds + 1] entries; the last is overflow. *)
+
+val snapshot : t -> (string * value) list
+(** All registered metrics with shards merged, sorted by name. A disabled
+    registry always snapshots to []. *)
+
+val find : t -> string -> value option
+
+val get_counter : t -> string -> int
+(** Merged value of a registered counter; 0 if absent. *)
+
+val dump_jsonl : Format.formatter -> t -> unit
+(** One JSON object per line, sorted by name — the stable metrics schema:
+    {v
+    {"metric": NAME, "type": "counter", "value": N}
+    {"metric": NAME, "type": "gauge", "value": N}
+    {"metric": NAME, "type": "histogram", "le": [B1,...], "counts": [C1,...,Cover], "sum": N, "count": N}
+    v}
+    [le] holds the inclusive bucket upper bounds; [counts] has one extra
+    trailing overflow entry, and its entries sum to [count]. Validated in
+    CI by the [jsonl_check] tool. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Human-readable name/value table of {!snapshot}. *)

@@ -24,13 +24,19 @@ type t = {
   mutable njobs : int;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  (* Telemetry: jobs completed per worker domain, plus jobs executed by
+     non-worker callers through [try_run_one] ("stolen" — in inline mode,
+     submitted jobs also run in the caller and count here). Written by the
+     executing domain only (atomically), read by {!stats} at any time. *)
+  tasks_run : int Atomic.t array;
+  stolen : int Atomic.t;
 }
 
 let size t = List.length t.workers
 
 (* Jobs never raise: submit wraps the task so that any exception is stored
    in the promise instead of killing the worker. *)
-let rec worker_loop t =
+let rec worker_loop t index =
   Mutex.lock t.m;
   let rec next () =
     match t.jobs with
@@ -50,7 +56,8 @@ let rec worker_loop t =
   | Some job ->
       Mutex.unlock t.m;
       job ();
-      worker_loop t
+      Atomic.incr t.tasks_run.(index);
+      worker_loop t index
 
 let create ~domains =
   let t =
@@ -61,11 +68,17 @@ let create ~domains =
       njobs = 0;
       closed = false;
       workers = [];
+      tasks_run = Array.init (max domains 0) (fun _ -> Atomic.make 0);
+      stolen = Atomic.make 0;
     }
   in
   if domains > 1 then
-    t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t.workers <- List.init domains (fun i -> Domain.spawn (fun () -> worker_loop t i));
   t
+
+let stats t =
+  ( Array.map Atomic.get (Array.sub t.tasks_run 0 (List.length t.workers)),
+    Atomic.get t.stolen )
 
 let fulfill promise st =
   Mutex.lock promise.pm;
@@ -82,7 +95,8 @@ let submit t f =
   in
   if t.workers = [] then begin
     if t.closed then invalid_arg "Pool.submit: pool is shut down";
-    job ()
+    job ();
+    Atomic.incr t.stolen
   end
   else begin
     Mutex.lock t.m;
@@ -118,6 +132,7 @@ let try_run_one t =
   | None -> false
   | Some job ->
       job ();
+      Atomic.incr t.stolen;
       true
 
 let await promise =

@@ -42,6 +42,13 @@ val queued : t -> int
 (** Number of submitted tasks not yet picked up by any domain (always 0 in
     inline mode). A load signal for adaptive fan-out policies. *)
 
+val stats : t -> int array * int
+(** [(per_worker, stolen)]: tasks completed by each worker domain (indexed
+    by spawn order; [[||]] in inline mode), and tasks executed by
+    non-worker callers — {!try_run_one} steals, plus inline-mode submits.
+    Monotonic; safe to read concurrently with running tasks, in which case
+    the numbers are a moment's lower bound. *)
+
 val try_run_one : t -> bool
 (** Steal the newest queued task and run it in the calling domain; [false]
     if the queue was empty. Never blocks. Safe to call from any domain,

@@ -21,6 +21,7 @@ let outcome ?(n = 3) ?(proposals = []) ?(decisions = []) ?(crashes = []) () =
     messages = 0;
     dropped = 0;
     duplicated = 0;
+    latencies = [];
     engine_result = Dsim.Engine.Quiescent;
   }
 
@@ -283,6 +284,122 @@ let test_explore_budget_not_duplicated () =
   Alcotest.(check int) "sequential evals = explored" r1.explored evals1;
   Alcotest.(check int) "parallel evals = explored (exactly once)" r4.explored evals4
 
+(* -- telemetry: run reports and the fast-path report -------------------- *)
+
+module Report = Checker.Report
+module Metrics = Stdext.Metrics
+
+(* The Run_report determinism contract: [totals] is byte-identical across
+   sequential, parallel (unclamped domains), `Replay and `Snapshot
+   executions — with and without a budget cut mid-branch. [sched] is
+   explicitly scheduling-dependent and not compared. *)
+let test_run_report_totals_identical () =
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go ~mode ~domains ~budget =
+    snd
+      (Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3
+         ~budget ~mode ~domains ~clamp_domains:false
+         ~check:(fun o -> Scenario.decided_value o 0 = None)
+         ())
+  in
+  List.iter
+    (fun budget ->
+      let base = go ~mode:`Snapshot ~domains:1 ~budget in
+      Alcotest.(check bool) "non-trivial" true (base.Explore.Run_report.totals.explored > 10);
+      List.iter
+        (fun (label, mode, domains) ->
+          let r = go ~mode ~domains ~budget in
+          Alcotest.(check bool)
+            (Printf.sprintf "budget=%d %s: totals byte-identical" budget label)
+            true
+            (Explore.Run_report.totals_equal base.Explore.Run_report.totals
+               r.Explore.Run_report.totals
+            && base.Explore.Run_report.totals = r.Explore.Run_report.totals))
+        [
+          ("replay seq", `Replay, 1);
+          ("snapshot par", `Snapshot, 4);
+          ("replay par", `Replay, 3);
+        ])
+    [ 400; 2_000 ];
+  (* Derived figures come out of the shared totals. *)
+  let r = go ~mode:`Snapshot ~domains:2 ~budget:2_000 in
+  let t = r.Explore.Run_report.totals in
+  Alcotest.(check bool) "fast rate in [0,1]" true
+    (Explore.Run_report.fast_path_rate t >= 0. && Explore.Run_report.fast_path_rate t <= 1.);
+  Alcotest.(check int) "depth histogram covers explored" t.explored
+    (Array.fold_left ( + ) 0 t.depth_histogram)
+
+(* The headline telemetry numbers of `twostep report`: at the tight system
+   sizes the two-step protocols are fast for EVERY target (the existential
+   definition: each target decides in two delays in its favored run), while
+   leader-based Paxos is fast only for its leader. *)
+let test_report_fast_path_rates () =
+  let rate (p : Proto.Protocol.t) ~n =
+    let r = Report.conflict_free p ~n ~e:2 ~f:2 ~delta () in
+    Alcotest.(check int) (r.Report.protocol ^ ": all targets decide") n r.Report.decided;
+    r.Report.fast_path_rate
+  in
+  Alcotest.(check (float 0.001)) "rgs-task 1.0 at n=2e+f" 1.0 (rate Core.Rgs.task ~n:6);
+  Alcotest.(check (float 0.001)) "rgs-object 1.0 at n=2e+f-1" 1.0 (rate Core.Rgs.obj ~n:5);
+  Alcotest.(check (float 0.001)) "fast-paxos 1.0 at n=2e+f+1" 1.0
+    (rate Baselines.Fast_paxos.protocol ~n:7);
+  let paxos = rate Baselines.Paxos.protocol ~n:5 in
+  Alcotest.(check bool) "paxos below 1.0" true (paxos < 1.0);
+  Alcotest.(check (float 0.001)) "paxos fast only for its leader" 0.2 paxos;
+  (* default n is the protocol's tight bound *)
+  let d = Report.conflict_free Core.Rgs.task ~e:2 ~f:2 ~delta () in
+  Alcotest.(check int) "default n = min_n" 6 d.Report.n;
+  (* recording mirrors the report into report.* metrics *)
+  let registry = Metrics.create () in
+  let r = Report.conflict_free Core.Rgs.task ~n:6 ~e:2 ~f:2 ~delta ~metrics:registry () in
+  Alcotest.(check int) "report.fast counter" r.Report.fast
+    (Metrics.get_counter registry "report.rgs-task.fast");
+  Alcotest.(check int) "engine probe mirrored too" r.Report.messages
+    (Metrics.get_counter registry "engine.sent")
+
+(* Property: the engine's metrics mirror and the scenario outcome (itself
+   recomputed from the trace) agree on every counter, across protocols,
+   network modes, seeds and random fault plans. *)
+let metrics_match_trace_property =
+  QCheck.Test.make ~name:"metrics == trace counts (protocol x net x seed)" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let pick l k = List.nth l (seed / k mod List.length l) in
+      let protocol =
+        pick
+          [ Core.Rgs.task; Core.Rgs.obj; Baselines.Paxos.protocol;
+            Baselines.Fast_paxos.protocol ]
+          1
+      in
+      let n = 3 and e = 1 and f = 1 in
+      let net =
+        pick
+          [ Scenario.Sync `Arrival; Scenario.Sync (`Favor (seed mod n));
+            Scenario.Uniform { min_delay = 1; max_delay = delta } ]
+          4
+      in
+      let faults =
+        pick
+          [ Dsim.Network.Fault.none;
+            Dsim.Network.Fault.random ~drop_rate:0.1 ~dup_rate:0.1 ~max_drops:2
+              ~max_dups:2 ();
+          ]
+          12
+      in
+      let registry = Metrics.create () in
+      let outcome =
+        Scenario.run protocol ~n ~e ~f ~delta ~net
+          ~proposals:(Scenario.all_proposals_at_zero ~n [ 0; 1; 2 ])
+          ~seed ~faults ~metrics:registry ~until:(10 * delta) ()
+      in
+      let c name = Metrics.get_counter registry name in
+      c "engine.sent" = outcome.Scenario.messages
+      && c "engine.dropped" = outcome.Scenario.dropped
+      && c "engine.duplicated" = outcome.Scenario.duplicated
+      && c "engine.decides" = List.length outcome.Scenario.decisions
+      && c "engine.crashes" = List.length outcome.Scenario.crashes)
+
 let () =
   Alcotest.run "checker"
     [
@@ -314,5 +431,13 @@ let () =
           Alcotest.test_case "shared budget not duplicated" `Quick
             test_explore_budget_not_duplicated;
           QCheck_alcotest.to_alcotest explore_parallel_equiv_property;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "run report totals identical across modes" `Quick
+            test_run_report_totals_identical;
+          Alcotest.test_case "fast-path rates at the bounds" `Quick
+            test_report_fast_path_rates;
+          QCheck_alcotest.to_alcotest metrics_match_trace_property;
         ] );
     ]

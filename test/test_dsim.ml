@@ -532,6 +532,123 @@ let test_trace_contents () =
   | Some (10, 1, (0, 3)) -> ()
   | _ -> Alcotest.fail "unexpected first output"
 
+(* -- telemetry ---------------------------------------------------------- *)
+
+module Json = Stdext.Json
+
+(* One entry per constructor, with every field populated. *)
+let all_entry_kinds : (int, int, int) Trace.entry list =
+  [
+    Trace.Sent { time = 1; src = 0; dst = 1; msg = 7 };
+    Trace.Delivered { time = 2; src = 0; dst = 1; msg = 7; sent_at = 1 };
+    Trace.Input { time = 3; pid = 1; input = 5 };
+    Trace.Output { time = 4; pid = 1; output = 9 };
+    Trace.Timer_fired { time = 5; pid = 0; id = 3 };
+    Trace.Crashed { time = 6; pid = 2 };
+    Trace.Dropped { time = 7; src = 0; dst = 2; msg = 7; sent_at = 6 };
+    Trace.Duplicated { time = 8; src = 1; dst = 2; msg = 7; sent_at = 6; extra_delay = 4 };
+  ]
+
+let test_trace_pp_golden () =
+  let pi = Format.pp_print_int in
+  let got =
+    Format.asprintf "%a" (Trace.pp ~pp_msg:pi ~pp_input:pi ~pp_output:pi) all_entry_kinds
+  in
+  let expected =
+    String.concat "\n"
+      [
+        "t=1 p0 -> p1 send 7";
+        "t=2 p0 -> p1 recv 7 (sent t=1)";
+        "t=3 p1 input 5";
+        "t=4 p1 output 9";
+        "t=5 p0 timer 3";
+        "t=6 p2 CRASH";
+        "t=7 p0 -> p2 DROP 7 (sent t=6)";
+        "t=8 p1 -> p2 DUP(+4) 7 (sent t=6)";
+      ]
+  in
+  Alcotest.(check string) "pp covers every constructor" expected got
+
+let test_trace_jsonl_roundtrip () =
+  let enc i = Json.Int i in
+  let text =
+    Format.asprintf "%a" (Trace.to_jsonl ~msg:enc ~input:enc ~output:enc) all_entry_kinds
+  in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  Alcotest.(check int) "one line per entry" (List.length all_entry_kinds) (List.length lines);
+  List.iter2
+    (fun entry line ->
+      match Json.parse line with
+      | Error msg -> Alcotest.fail ("unparseable line: " ^ msg)
+      | Ok json ->
+          Alcotest.(check bool) "line parses back to entry_to_json" true
+            (json = Trace.entry_to_json ~msg:enc ~input:enc ~output:enc entry))
+    all_entry_kinds lines
+
+(* The engine's probe and the trace are two views of the same run; every
+   probe counter must equal the count recomputed from the trace. *)
+let test_probe_matches_trace () =
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:sync_net
+      ~inputs:[ (0, 0, 1); (0, 1, 2) ]
+      ~faults:
+        (Network.Fault.script
+           [ (0, Network.Fault.Drop); (2, Network.Fault.Duplicate { extra_delay = 2 }) ])
+      ()
+  in
+  ignore (Engine.run engine);
+  let trace = Engine.trace engine in
+  let p = Engine.probe engine in
+  let delivered_in_trace =
+    List.length (List.filter (function Trace.Delivered _ -> true | _ -> false) trace)
+  in
+  Alcotest.(check int) "sent" (Trace.message_count trace) p.Engine.Probe.sent;
+  Alcotest.(check int) "delivered" delivered_in_trace p.Engine.Probe.delivered;
+  Alcotest.(check int) "dropped" (Trace.drop_count trace) p.Engine.Probe.dropped;
+  Alcotest.(check int) "duplicated" (Trace.duplicate_count trace) p.Engine.Probe.duplicated;
+  Alcotest.(check int) "timer fires" (Trace.timer_fire_count trace) p.Engine.Probe.timer_fires;
+  Alcotest.(check int) "decides" (Trace.decide_count trace) p.Engine.Probe.decides;
+  Alcotest.(check int) "crashes" (List.length (Trace.crashes trace)) p.Engine.Probe.crashes;
+  Alcotest.(check int) "some deliveries happened" 1 (min 1 delivered_in_trace);
+  Alcotest.(check (list (pair int int)))
+    "decision latencies agree"
+    (Trace.decision_latencies trace)
+    (Engine.decision_latencies engine)
+
+(* Probe state is part of the execution state: clone and snapshot/restore
+   must carry it, so replay and snapshot exploration see identical totals. *)
+let test_probe_survives_clone_and_snapshot () =
+  let make () =
+    Engine.create ~automaton:echo ~n:3 ~network:sync_net
+      ~inputs:[ (0, 0, 1); (12, 1, 2) ]
+      ()
+  in
+  let base = make () in
+  ignore (Engine.run ~until:10 base);
+  let cloned = Engine.clone base in
+  let restored = Engine.restore (Engine.snapshot base) in
+  Alcotest.(check bool) "clone copies mid-run probe" true
+    (Engine.probe cloned = Engine.probe base);
+  Alcotest.(check bool) "restore copies mid-run probe" true
+    (Engine.probe restored = Engine.probe base);
+  ignore (Engine.run base);
+  ignore (Engine.run cloned);
+  ignore (Engine.run restored);
+  let fresh = make () in
+  ignore (Engine.run fresh);
+  Alcotest.(check bool) "probe nonzero" true (Engine.probe base <> Engine.Probe.zero);
+  List.iter
+    (fun (name, e) ->
+      Alcotest.(check bool) name true (Engine.probe e = Engine.probe base);
+      Alcotest.(check (list (pair int int)))
+        (name ^ " latencies")
+        (Engine.decision_latencies base)
+        (Engine.decision_latencies e))
+    [ ("clone finishes identically", cloned);
+      ("restore finishes identically", restored);
+      ("replay from scratch finishes identically", fresh);
+    ]
+
 let () =
   Alcotest.run "dsim"
     [
@@ -580,4 +697,12 @@ let () =
             test_crash_at_time_zero_is_well_defined;
         ] );
       ("trace", [ Alcotest.test_case "contents" `Quick test_trace_contents ]);
+      ( "telemetry",
+        [
+          Alcotest.test_case "trace pp golden" `Quick test_trace_pp_golden;
+          Alcotest.test_case "trace jsonl round-trip" `Quick test_trace_jsonl_roundtrip;
+          Alcotest.test_case "probe matches trace" `Quick test_probe_matches_trace;
+          Alcotest.test_case "probe survives clone/snapshot" `Quick
+            test_probe_survives_clone_and_snapshot;
+        ] );
     ]

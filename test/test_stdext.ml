@@ -6,6 +6,8 @@ module Rng = Stdext.Rng
 module Pqueue = Stdext.Pqueue
 module Combinat = Stdext.Combinat
 module Pool = Stdext.Pool
+module Metrics = Stdext.Metrics
+module Json = Stdext.Json
 
 let test_rng_deterministic () =
   let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
@@ -325,6 +327,152 @@ let test_choose_edges () =
   Alcotest.(check int) "C(0,0)" 1 (Combinat.choose 0 0);
   Alcotest.(check int) "C(10,5)" 252 (Combinat.choose 10 5)
 
+(* -- metrics ------------------------------------------------------------ *)
+
+let test_metrics_counter_gauge () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  let g = Metrics.gauge r "g" in
+  Metrics.record_max g 7;
+  Metrics.record_max g 3;
+  Alcotest.(check int) "counter sums" 42 (Metrics.get_counter r "c");
+  (match Metrics.find r "g" with
+  | Some (Metrics.Gauge 7) -> ()
+  | _ -> Alcotest.fail "gauge should keep the max (7)");
+  (* re-lookup returns the same underlying metric *)
+  Metrics.incr (Metrics.counter r "c");
+  Alcotest.(check int) "shared by name" 43 (Metrics.get_counter r "c");
+  Alcotest.(check int) "absent counter reads 0" 0 (Metrics.get_counter r "nope")
+
+let test_metrics_histogram () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r ~buckets:[| 1; 2; 4 |] "h" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
+  match Metrics.find r "h" with
+  | Some (Metrics.Histogram { bounds; counts; sum; count }) ->
+      Alcotest.(check (array int)) "bounds" [| 1; 2; 4 |] bounds;
+      (* <=1: {0,1}; <=2: {2}; <=4: {3,4}; overflow: {5,100} *)
+      Alcotest.(check (array int)) "bucket counts" [| 2; 1; 2; 2 |] counts;
+      Alcotest.(check int) "sum" 115 sum;
+      Alcotest.(check int) "count" 7 count
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_metrics_disabled () =
+  let c = Metrics.counter Metrics.disabled "c" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  let h = Metrics.histogram Metrics.disabled ~buckets:[| 1 |] "h" in
+  Metrics.observe h 5;
+  Alcotest.(check bool) "disabled" false (Metrics.is_enabled Metrics.disabled);
+  Alcotest.(check int) "no registrations" 0 (List.length (Metrics.snapshot Metrics.disabled))
+
+let test_metrics_kind_conflict () =
+  let r = Metrics.create () in
+  ignore (Metrics.counter r "x");
+  (match Metrics.gauge r "x" with
+  | _ -> Alcotest.fail "kind conflict should raise"
+  | exception Invalid_argument _ -> ());
+  ignore (Metrics.histogram r ~buckets:[| 1; 2 |] "h");
+  match Metrics.histogram r ~buckets:[| 3 |] "h" with
+  | _ -> Alcotest.fail "bounds conflict should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_metrics_multi_domain () =
+  let r = Metrics.create () in
+  let per_domain = 20_000 and domains = 4 in
+  let c = Metrics.counter r "hammered" in
+  let h = Metrics.histogram r ~buckets:[| 0; 1; 2 |] "lat" in
+  let worker () =
+    for i = 1 to per_domain do
+      Metrics.incr c;
+      Metrics.observe h (i mod 4)
+    done
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "all increments merged" (domains * per_domain)
+    (Metrics.get_counter r "hammered");
+  match Metrics.find r "lat" with
+  | Some (Metrics.Histogram { count; counts; _ }) ->
+      Alcotest.(check int) "all observations merged" (domains * per_domain) count;
+      Alcotest.(check int) "bucket totals merged" (domains * per_domain)
+        (Array.fold_left ( + ) 0 counts)
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_metrics_dump_jsonl () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "a.count") 3;
+  Metrics.record_max (Metrics.gauge r "b.hwm") 9;
+  Metrics.observe (Metrics.histogram r ~buckets:[| 1; 2 |] "c.hist") 2;
+  let text = Format.asprintf "%a" Metrics.dump_jsonl r in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  Alcotest.(check int) "one line per metric" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error msg -> Alcotest.fail ("unparseable line: " ^ msg)
+      | Ok json -> (
+          let str k =
+            match Option.bind (Json.member k json) Json.to_str with
+            | Some s -> s
+            | None -> Alcotest.fail ("missing string field " ^ k)
+          in
+          let int k =
+            match Option.bind (Json.member k json) Json.to_int with
+            | Some n -> n
+            | None -> Alcotest.fail ("missing int field " ^ k)
+          in
+          ignore (str "metric");
+          match str "type" with
+          | "counter" | "gauge" -> ignore (int "value")
+          | "histogram" ->
+              let counts =
+                match Json.member "counts" json with
+                | Some (Json.List l) -> List.filter_map Json.to_int l
+                | _ -> Alcotest.fail "counts not a list"
+              in
+              Alcotest.(check int) "counts sum to count" (int "count")
+                (List.fold_left ( + ) 0 counts)
+          | other -> Alcotest.fail ("unknown type " ^ other)))
+    lines
+
+(* -- json --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd\te\r \x01 é €");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error msg -> Alcotest.fail msg
+
+let test_json_parse_basics () =
+  Alcotest.(check bool) "unicode escape" true
+    (Json.parse {|"é😀"|} = Ok (Json.String "é😀"));
+  Alcotest.(check bool) "numbers" true
+    (Json.parse "[0, -1, 2.5, 1e3]"
+    = Ok (Json.List [ Json.Int 0; Json.Int (-1); Json.Float 2.5; Json.Float 1000. ]));
+  let bad s =
+    match Json.parse s with Ok _ -> Alcotest.fail ("accepted " ^ s) | Error _ -> ()
+  in
+  bad "{";
+  bad "[1,]";
+  bad "1 2";
+  bad "tru";
+  bad "\"unterminated";
+  bad "{\"a\" 1}"
+
 let () =
   Alcotest.run "stdext"
     [
@@ -369,5 +517,19 @@ let () =
           Alcotest.test_case "permutations" `Quick test_permutations;
           Alcotest.test_case "cartesian" `Quick test_cartesian;
           Alcotest.test_case "choose edge cases" `Quick test_choose_edges;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_metrics_counter_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+          Alcotest.test_case "disabled registry" `Quick test_metrics_disabled;
+          Alcotest.test_case "kind conflicts" `Quick test_metrics_kind_conflict;
+          Alcotest.test_case "multi-domain merge" `Quick test_metrics_multi_domain;
+          Alcotest.test_case "dump_jsonl schema" `Quick test_metrics_dump_jsonl;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse basics and errors" `Quick test_json_parse_basics;
         ] );
     ]
