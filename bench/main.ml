@@ -37,6 +37,12 @@ type explore_sample = {
   fast_path_rate : float;
   mean_depth : float;
   budget_waste_pct : float;
+  (* Deduplication columns (schema v5): visited-set policy of the row and
+     what it saw. [dedup_hit_rate] is the fraction of search-tree arrivals
+     that landed on an already-visited state — 0 with dedup off. *)
+  dedup : string;
+  distinct_states : int;
+  dedup_hit_rate : float;
 }
 
 (* Suites append here and each writes the union, so one invocation running
@@ -65,20 +71,31 @@ let default_domains_list () =
   | [] -> [ 1 ]
   | l -> l
 
-let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains =
+let dedup_name = function
+  | Checker.Explore.Off -> "off"
+  | Checker.Explore.Exact -> "exact"
+  | Checker.Explore.Symmetry -> "symmetry"
+
+let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains
+    ?(dedup = Checker.Explore.Off) () =
   let proposals =
     Checker.Scenario.all_proposals_at_zero ~n (List.init n (fun i -> n - 1 - i))
   in
   let t0 = Unix.gettimeofday () in
   let r, report =
     Checker.Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals
-      ~rounds ~budget ~faults ~mode ~domains
+      ~rounds ~budget ~faults ~mode ~domains ~dedup
       ~check:(fun o -> Checker.Safety.safe o)
       ()
   in
   let t1 = Unix.gettimeofday () in
   if r.Checker.Explore.violations > 0 then
     failwith "explore bench: unexpected safety violation";
+  let totals = report.Checker.Explore.Run_report.totals in
+  let arrivals =
+    totals.Checker.Explore.Run_report.distinct_states
+    + totals.Checker.Explore.Run_report.dedup_hits
+  in
   {
     experiment;
     protocol = "rgs-task";
@@ -91,12 +108,17 @@ let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains =
     max_dups = faults.Checker.Explore.max_dups;
     explored = r.Checker.Explore.explored;
     wall_ns = int_of_float ((t1 -. t0) *. 1e9);
-    fast_path_rate =
-      Checker.Explore.Run_report.fast_path_rate report.Checker.Explore.Run_report.totals;
-    mean_depth =
-      Checker.Explore.Run_report.mean_depth report.Checker.Explore.Run_report.totals;
+    fast_path_rate = Checker.Explore.Run_report.fast_path_rate totals;
+    mean_depth = Checker.Explore.Run_report.mean_depth totals;
     budget_waste_pct =
       Checker.Explore.Run_report.budget_waste_pct report.Checker.Explore.Run_report.sched;
+    dedup = dedup_name dedup;
+    distinct_states = totals.Checker.Explore.Run_report.distinct_states;
+    dedup_hit_rate =
+      (if arrivals = 0 then 0.
+       else
+         float_of_int totals.Checker.Explore.Run_report.dedup_hits
+         /. float_of_int arrivals);
   }
 
 (* Wall-clock of the domains=1 row with the same experiment/mode/budget,
@@ -106,7 +128,7 @@ let speedup_vs_seq samples s =
   List.find_opt
     (fun b ->
       b.domains = 1 && b.experiment = s.experiment && b.mode = s.mode
-      && b.budget = s.budget)
+      && b.budget = s.budget && b.dedup = s.dedup)
     samples
   |> Option.map (fun b ->
          if s.wall_ns = 0 then 1.0 else float_of_int b.wall_ns /. float_of_int s.wall_ns)
@@ -116,12 +138,12 @@ let write_explore_json path samples =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"suite\": \"explore\",\n";
-  out "  \"schema_version\": 4,\n";
+  out "  \"schema_version\": 5,\n";
   out
     "  \"schema\": [\"experiment\", \"protocol\", \"n\", \"mode\", \"domains\", \
      \"budget\", \"rounds\", \"max_drops\", \"max_dups\", \"explored\", \"wall_ns\", \
      \"states_per_sec\", \"speedup_vs_seq\", \"fast_path_rate\", \"mean_depth\", \
-     \"budget_waste_pct\"],\n";
+     \"budget_waste_pct\", \"dedup\", \"distinct_states\", \"dedup_hit_rate\"],\n";
   out "  \"rounds\": %d,\n" explore_rounds;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"results\": [\n";
@@ -137,30 +159,35 @@ let write_explore_json path samples =
          %d, \"budget\": %d, \"rounds\": %d, \"max_drops\": %d, \"max_dups\": %d, \
          \"explored\": %d, \"wall_ns\": %d, \"states_per_sec\": %.1f, \
          \"speedup_vs_seq\": %s, \"fast_path_rate\": %.4f, \"mean_depth\": %.2f, \
-         \"budget_waste_pct\": %.2f}%s\n"
+         \"budget_waste_pct\": %.2f, \"dedup\": %S, \"distinct_states\": %d, \
+         \"dedup_hit_rate\": %.4f}%s\n"
         s.experiment s.protocol s.n s.mode s.domains s.budget s.rounds s.max_drops
         s.max_dups s.explored s.wall_ns (states_per_sec s) speedup s.fast_path_rate
-        s.mean_depth s.budget_waste_pct
+        s.mean_depth s.budget_waste_pct s.dedup s.distinct_states s.dedup_hit_rate
         (if i = List.length samples - 1 then "" else ","))
     samples;
   out "  ]\n}\n";
   close_out oc
 
 let print_sample_table samples =
-  Format.fprintf fmt "%-20s %3s %-9s %7s %7s %5s %5s | %8s %10s %11s %8s %5s %6s %6s@."
-    "experiment" "n" "mode" "domains" "budget" "drops" "dups" "explored" "wall-ms"
-    "states/sec" "speedup" "fast" "depth" "waste%";
+  Format.fprintf fmt
+    "%-20s %3s %-9s %7s %7s %5s %5s %-8s | %8s %10s %11s %8s %5s %6s %6s %9s %6s@."
+    "experiment" "n" "mode" "domains" "budget" "drops" "dups" "dedup" "explored"
+    "wall-ms" "states/sec" "speedup" "fast" "depth" "waste%" "distinct" "hit%";
   List.iter
     (fun s ->
       Format.fprintf fmt
-        "%-20s %3d %-9s %7d %7d %5d %5d | %8d %10.1f %11.0f %8s %5.2f %6.2f %6.2f@."
-        s.experiment s.n s.mode s.domains s.budget s.max_drops s.max_dups s.explored
+        "%-20s %3d %-9s %7d %7d %5d %5d %-8s | %8d %10.1f %11.0f %8s %5.2f %6.2f %6.2f \
+         %9d %6.1f@."
+        s.experiment s.n s.mode s.domains s.budget s.max_drops s.max_dups s.dedup
+        s.explored
         (float_of_int s.wall_ns /. 1e6)
         (states_per_sec s)
         (match speedup_vs_seq samples s with
         | None -> "-"
         | Some x -> Printf.sprintf "%.2fx" x)
-        s.fast_path_rate s.mean_depth s.budget_waste_pct)
+        s.fast_path_rate s.mean_depth s.budget_waste_pct s.distinct_states
+        (100. *. s.dedup_hit_rate))
     samples
 
 let emit_samples samples =
@@ -188,20 +215,30 @@ let run_explore_suite ~domains_list ~budget_override () =
   let cases =
     List.concat_map
       (fun (n, e, f, b) ->
-        ((n, e, f, b), `Replay, 1)
-        :: List.map (fun d -> ((n, e, f, b), `Snapshot, d)) domains_list)
+        ((n, e, f, b), `Replay, 1, Checker.Explore.Off)
+        :: List.map (fun d -> ((n, e, f, b), `Snapshot, d, Checker.Explore.Off)) domains_list)
+      configs
+  in
+  (* The dedup trajectory: an explicit on-vs-off pair at every n >= 6
+     config (the off rows are above). The n=7 10k-budget pair is the
+     headline — dedup is what turns that budget-truncated search
+     exhaustive. *)
+  let dedup_cases =
+    List.filter_map
+      (fun (n, e, f, b) ->
+        if n >= 6 then Some ((n, e, f, b), `Snapshot, 1, Checker.Explore.Exact) else None)
       configs
   in
   let samples =
     List.map
-      (fun ((n, e, f, budget), mode, domains) ->
+      (fun ((n, e, f, budget), mode, domains, dedup) ->
         let experiment =
           Printf.sprintf "explore-n%d%s" n
             (if budget = 1_000 then "" else Printf.sprintf "-b%d" budget)
         in
         time_explore ~experiment ~n ~e ~f ~budget ~rounds:explore_rounds
-          ~faults:Checker.Explore.no_faults ~mode ~domains)
-      cases
+          ~faults:Checker.Explore.no_faults ~mode ~domains ~dedup ())
+      (cases @ dedup_cases)
   in
   emit_samples samples
 
@@ -243,7 +280,7 @@ let run_faults_suite ~domains_list ~budget_override () =
       (fun ((n, e, f, budget), mode, domains) ->
         time_explore
           ~experiment:(Printf.sprintf "faults-n%d" n)
-          ~n ~e ~f ~budget ~rounds:fault_rounds ~faults:fault_bounds ~mode ~domains)
+          ~n ~e ~f ~budget ~rounds:fault_rounds ~faults:fault_bounds ~mode ~domains ())
       cases
   in
   emit_samples samples
@@ -285,6 +322,9 @@ let run_metrics_overhead_suite ?(iters = 3_000) () =
       fast_path_rate = 0.;
       mean_depth = 0.;
       budget_waste_pct = 0.;
+      dedup = "off";
+      distinct_states = 0;
+      dedup_hit_rate = 0.;
     }
   in
   (* Warm-up evens out allocator/cache state so off vs on is a fair pair. *)

@@ -56,6 +56,45 @@ let domains_arg =
 
 let delta = 100
 
+(* -- dedup plumbing ------------------------------------------------------ *)
+
+let dedup_arg =
+  Arg.(
+    value
+    & opt (enum [ ("off", `Off); ("exact", `Exact); ("symmetry", `Symmetry) ]) `Exact
+    & info [ "dedup" ] ~docv:"MODE"
+        ~doc:
+          "State deduplication: $(b,off), $(b,exact) (the default) or $(b,symmetry). \
+           The explorer prunes subtrees rooted at already-visited engine states; the \
+           faults and report sweeps count distinct terminal states. $(b,symmetry) \
+           additionally canonicalises non-distinguished process ids before hashing.")
+
+let explore_dedup = function
+  | `Off -> Checker.Explore.Off
+  | `Exact -> Checker.Explore.Exact
+  | `Symmetry -> Checker.Explore.Symmetry
+
+let dedup_name = function `Off -> "off" | `Exact -> "exact" | `Symmetry -> "symmetry"
+
+(* Terminal-state dedup for seed/target sweeps: collect each run's final
+   engine fingerprint in a Stateset and summarise distinct-vs-repeated end
+   states. Returns the [?final_fingerprint] argument for {!Scenario.run}
+   and a printer for the summary line. *)
+let final_dedup dedup =
+  match dedup with
+  | `Off -> (None, fun _fmt -> ())
+  | (`Exact | `Symmetry) as d ->
+      let set = Stdext.Stateset.create () in
+      let runs = ref 0 and distinct = ref 0 in
+      let record fp =
+        incr runs;
+        if Stdext.Stateset.add set fp then incr distinct
+      in
+      ( Some (d = `Symmetry, record),
+        fun fmt ->
+          Format.fprintf fmt "end states (%s dedup): %d distinct over %d runs, %d hits@."
+            (dedup_name d) !distinct !runs (!runs - !distinct) )
+
 (* -- metrics plumbing --------------------------------------------------- *)
 
 let metrics_out_arg =
@@ -282,7 +321,7 @@ let explore_cmd =
       & opt (pairs_conv ~what:"crashes") []
       & info [ "crashes" ] ~docv:"T:P,..." ~doc:"Crash schedule as time:pid pairs.")
   in
-  let run protocol n e f rounds budget mode domains crashes metrics_out =
+  let run protocol n e f rounds budget mode domains dedup crashes metrics_out =
     let (module P : Proto.Protocol.S) = protocol in
     let n = Option.value ~default:(P.min_n ~e ~f) n in
     let proposals = Checker.Scenario.all_proposals_at_zero ~n (List.init n Fun.id) in
@@ -290,7 +329,8 @@ let explore_cmd =
       with_metrics metrics_out (fun registry ->
           let r, report =
             Checker.Explore.synchronous_report protocol ~n ~e ~f ~delta ~proposals
-              ~crashes ~rounds ~budget ~mode ~domains
+              ~crashes ~rounds ~budget ~mode ~domains ~dedup:(explore_dedup dedup)
+              ~metrics:registry
               ~check:(fun o -> Checker.Safety.safe o)
               ()
           in
@@ -298,10 +338,10 @@ let explore_cmd =
             Checker.Explore.Run_report.record registry report;
           (r, report))
     in
-    Format.printf "%s n=%d e=%d f=%d rounds=%d (%s, budget %d, domains %d)@." P.name n e
-      f rounds
+    Format.printf "%s n=%d e=%d f=%d rounds=%d (%s, budget %d, domains %d, dedup %s)@."
+      P.name n e f rounds
       (match mode with `Snapshot -> "snapshot" | `Replay -> "replay")
-      budget domains;
+      budget domains (dedup_name dedup);
     Format.printf "explored: %d schedules%s@." r.Checker.Explore.explored
       (if r.Checker.Explore.truncated then " (truncated)" else " (exhaustive)");
     Format.printf "%a@." Checker.Explore.Run_report.pp report;
@@ -319,7 +359,7 @@ let explore_cmd =
           every run.")
     Term.(
       const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ rounds_arg $ budget_arg
-      $ mode_arg $ domains_arg $ crashes_arg $ metrics_out_arg)
+      $ mode_arg $ domains_arg $ dedup_arg $ crashes_arg $ metrics_out_arg)
 
 (* -- faults -------------------------------------------------------------- *)
 
@@ -372,7 +412,7 @@ let faults_cmd =
     Arg.(value & opt int (60 * delta) & info [ "until" ] ~docv:"T" ~doc:"Horizon (ticks).")
   in
   let run protocol n e f drop_rate dup_rate max_drops max_dups max_extra_delay crashes
-      seeds seed until metrics_out =
+      seeds seed until dedup metrics_out =
     let (module P : Proto.Protocol.S) = protocol in
     let n = Option.value ~default:(P.min_n ~e ~f) n in
     let proposals = Checker.Scenario.all_proposals_at_zero ~n (List.init n Fun.id) in
@@ -385,6 +425,7 @@ let faults_cmd =
       n e f drop_rate max_drops dup_rate max_dups seeds
       (if seeds = 1 then "" else "s");
     let violations = ref 0 in
+    let final_fingerprint, pp_dedup = final_dedup dedup in
     with_metrics metrics_out (fun registry ->
         (* One registry across the sweep: the engine.* counters aggregate
            over all seeds. *)
@@ -392,7 +433,8 @@ let faults_cmd =
           let o =
             Checker.Scenario.run protocol ~n ~e ~f ~delta
               ~net:(Checker.Scenario.Partial { gst = 5 * delta; max_pre_gst = 3 * delta })
-              ~proposals ~crashes ~seed:s ~faults ~metrics:registry ~until ()
+              ~proposals ~crashes ~seed:s ~faults ~metrics:registry ?final_fingerprint
+              ~until ()
           in
           let verdict = Checker.Safety.check o in
           if not (Checker.Safety.safe o) then incr violations;
@@ -401,6 +443,7 @@ let faults_cmd =
             (List.length o.decisions)
             n Checker.Safety.pp_verdict verdict
         done);
+    pp_dedup Format.std_formatter;
     if !violations > 0 then begin
       Format.printf "%d of %d seeds violated safety@." !violations seeds;
       exit 1
@@ -415,7 +458,7 @@ let faults_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ drop_rate_arg $ dup_rate_arg
       $ max_drops_arg $ max_dups_arg $ max_extra_delay_arg $ crashes_arg $ seeds_arg
-      $ seed_arg $ until_arg $ metrics_out_arg)
+      $ seed_arg $ until_arg $ dedup_arg $ metrics_out_arg)
 
 (* -- report -------------------------------------------------------------- *)
 
@@ -426,15 +469,22 @@ let report_cmd =
       & info [ "json" ]
           ~doc:"Emit one JSON object per protocol (Checker.Report.to_json) instead of text.")
   in
-  let run n e f json metrics_out =
+  let run n e f json dedup metrics_out =
     with_metrics metrics_out (fun registry ->
         List.iter
           (fun (_, protocol) ->
+            (* Per-protocol set: the interesting number is how many distinct
+               end states the n favored runs of one protocol reach. *)
+            let final_fingerprint, pp_dedup = final_dedup dedup in
             let r =
-              Checker.Report.conflict_free protocol ?n ~e ~f ~delta ~metrics:registry ()
+              Checker.Report.conflict_free protocol ?n ~e ~f ~delta ~metrics:registry
+                ?final_fingerprint ()
             in
             if json then print_endline (Stdext.Json.to_string (Checker.Report.to_json r))
-            else Format.printf "%a@." Checker.Report.pp r)
+            else begin
+              Format.printf "%a@." Checker.Report.pp r;
+              pp_dedup Format.std_formatter
+            end)
           protocols)
   in
   Cmd.v
@@ -443,7 +493,7 @@ let report_cmd =
          "Per-protocol fast-path telemetry: run the conflict-free synchronous scenario \
           at each protocol's bound and print the fast-path rate and decision-latency \
           histogram — the two-step claim as numbers.")
-    Term.(const run $ n_arg $ e_arg $ f_arg $ json_arg $ metrics_out_arg)
+    Term.(const run $ n_arg $ e_arg $ f_arg $ json_arg $ dedup_arg $ metrics_out_arg)
 
 (* -- experiments --------------------------------------------------------- *)
 

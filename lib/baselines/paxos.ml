@@ -191,6 +191,34 @@ let on_ballot_timer s =
     (s, rearm :: resubmit)
   end
 
+(* Structural hash for the explorer's dedup (see {!Dsim.Fingerprint}):
+   pids through [relabel], unordered containers folded commutatively. *)
+let fingerprint ~relabel s =
+  let module Fp = Dsim.Fingerprint in
+  let pid p = Fp.int (relabel p) in
+  let leading_fp l =
+    let fp = Fp.mix 113L (Fp.int l.lballot) in
+    let fp =
+      Fp.mix fp
+        (Fp.map
+           (fun p (vbal, v) -> Fp.mix (Fp.mix (pid p) (Fp.int vbal)) (Fp.option Fp.int v))
+           ~fold:Pid.Map.fold l.one_bs)
+    in
+    let fp = Fp.mix fp (Fp.option Fp.int l.lvalue) in
+    Fp.mix fp (Fp.set pid ~fold:Pid.Set.fold l.two_bs)
+  in
+  let fp = Fp.mix 127L (pid s.self) in
+  let fp = Fp.mix fp (Fp.int s.f) in
+  let fp = Fp.mix fp (Fp.int s.bal) in
+  let fp = Fp.mix fp (Fp.int s.vbal) in
+  let fp = Fp.mix fp (Fp.option Fp.int s.value) in
+  let fp = Fp.mix fp (Fp.option Fp.int s.initial) in
+  let fp = Fp.mix fp (Fp.option Fp.int s.submitted) in
+  let fp = Fp.mix fp (Fp.option Fp.int s.decided) in
+  let fp = Fp.mix fp (Fp.option leading_fp s.leading) in
+  let fp = Fp.mix fp (Fp.bool s.grace_used) in
+  Fp.mix fp (Omega.fingerprint ~relabel s.omega)
+
 let make ~n ~f ~delta =
   let init ~self ~n:n' =
     assert (n = n');
@@ -239,7 +267,14 @@ let make ~n ~f ~delta =
     end
     else (s, [])
   in
-  { Automaton.init; on_message; on_input; on_timer; state_copy = Fun.id }
+  {
+    Automaton.init;
+    on_message;
+    on_input;
+    on_timer;
+    state_copy = Fun.id;
+    state_fingerprint = Some (fun ~relabel s -> fingerprint ~relabel s);
+  }
 
 let protocol : Proto.Protocol.t =
   (module struct

@@ -3,6 +3,8 @@ module Time = Dsim.Time
 module Combinat = Stdext.Combinat
 module Pool = Stdext.Pool
 module Metrics = Stdext.Metrics
+module Stateset = Stdext.Stateset
+module Fingerprint = Dsim.Fingerprint
 
 type result = {
   explored : int;
@@ -12,6 +14,14 @@ type result = {
 }
 
 type mode = [ `Replay | `Snapshot ]
+
+(* Visited-set policy. [Exact] keys each search-tree node on its engine
+   fingerprint and prunes the subtree below an already-seen state — sound
+   up to 62-bit hash-compaction collisions (see {!Stdext.Stateset}).
+   [Symmetry] additionally canonicalises the non-distinguished pids before
+   hashing ({!Dsim.Engine.fingerprint}'s [symmetry]), merging states equal
+   up to a pid permutation. *)
+type dedup = Off | Exact | Symmetry
 
 type fault_bounds = { max_drops : int; max_dups : int }
 
@@ -34,6 +44,9 @@ module Run_report = struct
     fault_runs : int;
     drops : int;
     dups : int;
+    distinct_states : int;  (* visited-set additions; 0 with dedup off *)
+    dedup_hits : int;  (* arrivals at an already-visited state *)
+    pruned_subtrees : int;  (* hits at interior nodes (a whole subtree cut) *)
   }
 
   type sched = {
@@ -74,12 +87,14 @@ module Run_report = struct
       "@[<v>runs: explored %d, violations %d, truncated %b@,\
        depth histogram: [%a] (mean %.2f)@,\
        fast runs: %d (rate %.3f); fault runs: %d (drops %d, dups %d)@,\
+       dedup: distinct states %d, hits %d, pruned subtrees %d@,\
        sched: domains %d, budget %d, leased %d, evals %d, wasted %d (%.1f%%), \
        top-ups %d, max fan-out %d@,\
        tasks/domain: [%a], stolen %d@]"
       t.totals.explored t.totals.violations t.totals.truncated pp_arr
       t.totals.depth_histogram (mean_depth t.totals) t.totals.fast_runs
       (fast_path_rate t.totals) t.totals.fault_runs t.totals.drops t.totals.dups
+      t.totals.distinct_states t.totals.dedup_hits t.totals.pruned_subtrees
       t.sched.domains t.sched.budget t.sched.leased t.sched.evals t.sched.wasted
       (budget_waste_pct t.sched) t.sched.top_ups t.sched.max_fanout pp_arr
       t.sched.tasks_per_domain t.sched.stolen
@@ -93,6 +108,9 @@ module Run_report = struct
     c "explore.fault_runs" t.totals.fault_runs;
     c "explore.drops" t.totals.drops;
     c "explore.dups" t.totals.dups;
+    c "explore.distinct_states" t.totals.distinct_states;
+    c "explore.dedup_hits" t.totals.dedup_hits;
+    c "explore.pruned_subtrees" t.totals.pruned_subtrees;
     c "explore.leased" t.sched.leased;
     c "explore.evals" t.sched.evals;
     c "explore.wasted" t.sched.wasted;
@@ -202,7 +220,7 @@ let rec take_n n = function
 let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
     ?(crashes = []) ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true)
     ?(mode = (`Snapshot : mode)) ?(domains = 1) ?(clamp_domains = true) ?eval_counter
-    ?(faults = no_faults) ~check () =
+    ?(faults = no_faults) ?(dedup = Off) ?(metrics = Metrics.disabled) ~check () =
   if faults.max_drops < 0 || faults.max_dups < 0 then
     invalid_arg "Explore.synchronous: fault bounds must be non-negative";
   (* Scheduling telemetry. These are observability-only: nothing below
@@ -218,6 +236,45 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
     let automaton = P.make ~n ~e ~f ~delta in
     Dsim.Engine.create ~automaton ~n ~network:Dsim.Network.Manual ~seed:0
       ~disable_timers ~record_trace:true ~inputs:proposals ~crashes ()
+  in
+  (* Visited set shared by every domain, plus the dedup totals. The
+     counters are schedule-independent whenever the traversal is
+     exhaustive: each distinct state is expanded by exactly one arrival
+     (the {!Stateset.add} CAS winner), so arrivals — and hence hits and
+     prunes — equal the edge count of the deduplicated state graph no
+     matter how domains interleave. *)
+  let symmetry = dedup = Symmetry in
+  let visited =
+    match dedup with
+    | Off -> None
+    | Exact | Symmetry ->
+        if not (Dsim.Engine.has_fingerprint (fresh ())) then
+          invalid_arg
+            "Explore.synchronous: dedup requires the automaton to supply state_fingerprint";
+        Some (Stateset.create ~capacity:4096 ~metrics ())
+  in
+  let distinct_total = Atomic.make 0 in
+  let hits_total = Atomic.make 0 in
+  let pruned_total = Atomic.make 0 in
+  (* [true] = first arrival (or dedup off): expand this node. The round
+     number is mixed into the key so a quiescent engine reached at two
+     different depths cannot alias (its clock may not have advanced). *)
+  let check_visited engine round =
+    match visited with
+    | None -> true
+    | Some vs ->
+        let key =
+          Fingerprint.mix (Dsim.Engine.fingerprint ~symmetry engine) (Fingerprint.int round)
+        in
+        if Stateset.add vs key then begin
+          Atomic.incr distinct_total;
+          true
+        end
+        else begin
+          Atomic.incr hits_total;
+          if round <= rounds then Atomic.incr pruned_total;
+          false
+        end
   in
   let boundary round = round * delta in
   (* Process everything strictly before [round]'s boundary (init and inputs
@@ -346,7 +403,8 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
      parent is dead, so interior nodes cost (children - 1) clones, not
      children. Only inline traversal may do this; fanned children share
      their parent engine across tasks and must clone (see [go_task]). *)
-  let explore_subtree ~lease ~refund ~skip ~fallback0 ~drops_left ~dups_left node round =
+  let explore_subtree ~lease ~refund ~skip ~fallback0 ?(root_checked = false) ~drops_left
+      ~dups_left node round =
     let explored = ref 0 in
     let tokens = ref 0 in
     let cut = ref false in
@@ -386,40 +444,49 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
         end
       end
     in
-    let rec dfs node round ~drops_left ~dups_left =
+    (* [checked] means the caller already ran this node through the
+       visited set (the fan path in [go_task] checks before enumerating
+       children); re-checking would find the node's own insertion and
+       wrongly prune it. A pruned node spends no token — the lease taken
+       by [have_token] stays in [tokens] for the next node, and any
+       surplus is refunded below — so pruned subtrees cost nothing from
+       the shared budget. *)
+    let rec dfs ~checked node round ~drops_left ~dups_left =
       if have_token () then begin
         let engine = materialize node in
-        if round > rounds then evaluate engine ~depth:rounds
-        else begin
-          match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
-          | None -> evaluate engine ~depth:(round - 1)
-          | Some choices ->
-              let last = List.length choices - 1 in
-              List.iteri
-                (fun i choice ->
-                  if have_token () then begin
-                    let child =
-                      match node with
-                      | Path rev_path -> Path (choice :: rev_path)
-                      | Engine _ when i = last ->
-                          apply_choice engine round choice;
-                          advance engine (round + 1);
-                          Engine engine
-                      | Engine _ ->
-                          let c = Dsim.Engine.clone engine in
-                          apply_choice c round choice;
-                          advance c (round + 1);
-                          Engine c
-                    in
-                    dfs child (round + 1)
-                      ~drops_left:(drops_left - List.length choice.drop)
-                      ~dups_left:(dups_left - List.length choice.dup)
-                  end)
-                choices
+        if checked || check_visited engine round then begin
+          if round > rounds then evaluate engine ~depth:rounds
+          else begin
+            match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
+            | None -> evaluate engine ~depth:(round - 1)
+            | Some choices ->
+                let last = List.length choices - 1 in
+                List.iteri
+                  (fun i choice ->
+                    if have_token () then begin
+                      let child =
+                        match node with
+                        | Path rev_path -> Path (choice :: rev_path)
+                        | Engine _ when i = last ->
+                            apply_choice engine round choice;
+                            advance engine (round + 1);
+                            Engine engine
+                        | Engine _ ->
+                            let c = Dsim.Engine.clone engine in
+                            apply_choice c round choice;
+                            advance c (round + 1);
+                            Engine c
+                      in
+                      dfs ~checked:false child (round + 1)
+                        ~drops_left:(drops_left - List.length choice.drop)
+                        ~dups_left:(dups_left - List.length choice.dup)
+                    end)
+                  choices
+          end
         end
       end
     in
-    dfs node round ~drops_left ~dups_left;
+    dfs ~checked:root_checked node round ~drops_left ~dups_left;
     if !tokens > 0 then refund !tokens;
     {
       b_explored = !explored;
@@ -465,6 +532,9 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
           fault_runs = !fault_runs;
           drops = !drops;
           dups = !dups;
+          distinct_states = Atomic.get distinct_total;
+          dedup_hits = Atomic.get hits_total;
+          pruned_subtrees = Atomic.get pruned_total;
         };
       sched =
         {
@@ -597,21 +667,42 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
             && (not (Budget.exhausted bpool))
             && Pool.queued pool < queue_cap
           in
-          let inline () =
+          let inline ~checked () =
             let b =
               explore_subtree ~lease:(lease_for rank) ~refund ~skip:0 ~fallback0
-                ~drops_left ~dups_left node round
+                ~root_checked:checked ~drops_left ~dups_left node round
             in
             deregister rank;
             Leaf (rev_path, round, b)
           in
-          if not fanable then inline ()
+          if not fanable then inline ~checked:false ()
           else begin
             let fallback = ref false in
             let engine = materialize node in
-            match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
-            | None -> inline ()
-            | Some combos ->
+            (* The fan path expands this node itself, so it must run the
+               visited check explore_subtree would have run — and its
+               children must NOT re-check it (hence [~checked:true] on the
+               inline fallback below, which re-enters the same node). An
+               already-visited fan node prunes to an empty leaf; only the
+               perm-limit flag it was carrying survives for the merge. *)
+            if not (check_visited engine round) then begin
+              deregister rank;
+              Leaf
+                ( rev_path,
+                  round,
+                  {
+                    b_explored = 0;
+                    b_violation_indices = [];
+                    b_first_violation = None;
+                    b_fallback = fallback0;
+                    b_cut = false;
+                    b_runs = [];
+                  } )
+            end
+            else begin
+              match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
+              | None -> inline ~checked:true ()
+              | Some combos ->
                 (* Workers clone the (now quiescent, shared) parent engine
                    inside their own task, off the coordinator's critical
                    path. Tasks are submitted in *reverse* DFS order: the
@@ -717,6 +808,7 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
                              Chunk leaves))
                        (List.rev chunks))
                 end
+            end
           end
         in
         (* Collect every leaf in DFS order; the coordinator steals queued
@@ -752,10 +844,20 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
         let counted_runs_rev = ref [] in
         List.iter
           (fun (rev_path, round, b) ->
-            if !remaining <= 0 then truncated := true  (* every subtree holds >= 1 run *)
+            if !remaining <= 0 then begin
+              (* With dedup off every subtree holds >= 1 run; with dedup on
+                 a fully pruned subtree is empty and cuts nothing. *)
+              if b.b_explored > 0 || b.b_cut then truncated := true
+            end
             else begin
               let b =
-                if b.b_cut && b.b_explored < !remaining then begin
+                (* Top-up re-runs are only sound with dedup off: the
+                   visited set already contains the starved subtree's
+                   states, so a re-run would be pruned at the root instead
+                   of resuming. Under dedup a cut subtree just reports
+                   truncation — the byte-identical-totals contract is
+                   scoped to explorations that finish within budget. *)
+                if b.b_cut && b.b_explored < !remaining && dedup = Off then begin
                   incr top_ups;
                   let node =
                     match mode with
@@ -814,8 +916,9 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
   end
 
 let synchronous protocol ~n ~e ~f ~delta ~proposals ?crashes ~rounds ?budget ?perm_limit
-    ?disable_timers ?mode ?domains ?clamp_domains ?eval_counter ?faults ~check () =
+    ?disable_timers ?mode ?domains ?clamp_domains ?eval_counter ?faults ?dedup ?metrics
+    ~check () =
   fst
     (synchronous_report protocol ~n ~e ~f ~delta ~proposals ?crashes ~rounds ?budget
        ?perm_limit ?disable_timers ?mode ?domains ?clamp_domains ?eval_counter ?faults
-       ~check ())
+       ?dedup ?metrics ~check ())

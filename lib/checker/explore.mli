@@ -41,7 +41,27 @@
     Batches larger than [perm_limit] messages fall back to two
     representative orders (arrival and reversed) to keep the product
     tractable; [truncated] reports whether any fallback or budget cut
-    occurred, i.e. whether the exploration was exhaustive. *)
+    occurred, i.e. whether the exploration was exhaustive.
+
+    {b Deduplication.} Many schedules converge to the same simulation
+    state (deliver two messages to different recipients in either order,
+    say). With [dedup] other than {!Off} the explorer keys every
+    search-tree node on its {!Dsim.Engine.fingerprint} in a shared
+    {!Stdext.Stateset} and prunes the subtree under a state it has
+    already expanded — turning the search over {e schedules} into a search
+    over {e distinct states}, which is what makes deep horizons exhaustive
+    within real budgets. Pruned branches spend no budget tokens (their
+    lease is kept for the next node or refunded). Soundness: exact dedup
+    can only merge genuinely identical states (up to the 62-bit
+    hash-compaction collision probability of {!Stdext.Stateset});
+    [Symmetry] additionally merges states equal up to a permutation of the
+    non-distinguished pids, which preserves the verdict of any
+    pid-agnostic property (agreement, validity) but may report a
+    different — permuted — [first_violation]. The byte-identical-totals
+    contract across modes/domains holds for explorations that complete
+    within budget; when the budget cuts a dedup'd search, merge top-ups
+    are disabled (a re-run would be pruned by its own earlier visit), so
+    totals near the cut can vary with scheduling. *)
 
 type result = {
   explored : int;  (** complete runs evaluated *)
@@ -75,6 +95,13 @@ module Run_report : sig
     fault_runs : int;  (** runs with at least one injected drop/duplication *)
     drops : int;  (** total dropped messages across counted runs *)
     dups : int;  (** total duplicated messages across counted runs *)
+    distinct_states : int;
+        (** search-tree nodes admitted by the visited set (0 with dedup
+            off). For an exhaustive exploration this is the number of
+            distinct reachable (state, round) pairs. *)
+    dedup_hits : int;  (** arrivals at an already-visited state *)
+    pruned_subtrees : int;
+        (** dedup hits at interior nodes — each cut a whole subtree *)
   }
 
   type sched = {
@@ -116,6 +143,14 @@ end
 
 type mode = [ `Replay | `Snapshot ]
 
+(** Visited-set policy: [Off] explores every schedule (the historical
+    behaviour and the library default); [Exact] prunes subtrees under
+    states already expanded; [Symmetry] also canonicalises
+    non-distinguished pids before hashing. Requires the protocol's
+    automaton to supply a [state_fingerprint] hook (all bundled protocols
+    do); [Invalid_argument] otherwise. *)
+type dedup = Off | Exact | Symmetry
+
 type fault_bounds = { max_drops : int; max_dups : int }
 (** Bounds on the fault choices the explorer may enumerate per run: the
     adversary may lose at most [max_drops] messages and duplicate at most
@@ -143,12 +178,17 @@ val synchronous :
   ?clamp_domains:bool ->
   ?eval_counter:int Atomic.t ->
   ?faults:fault_bounds ->
+  ?dedup:dedup ->
+  ?metrics:Stdext.Metrics.t ->
   check:(Scenario.outcome -> bool) ->
   unit ->
   result
 (** [check] returns [false] on a violating run. [budget] defaults to 20_000
     runs, [perm_limit] to 4, [disable_timers] to [true], [mode] to
-    [`Snapshot], [domains] to 1 (sequential), [faults] to {!no_faults}.
+    [`Snapshot], [domains] to 1 (sequential), [faults] to {!no_faults},
+    [dedup] to {!Off}. [metrics] (default disabled) receives the visited
+    set's [stateset.*] counters; the [explore.*] report metrics are still
+    recorded separately via {!Run_report.record}.
 
     With non-zero [faults] bounds, each round boundary additionally
     branches on which pending messages are dropped and which are
@@ -192,6 +232,8 @@ val synchronous_report :
   ?clamp_domains:bool ->
   ?eval_counter:int Atomic.t ->
   ?faults:fault_bounds ->
+  ?dedup:dedup ->
+  ?metrics:Stdext.Metrics.t ->
   check:(Scenario.outcome -> bool) ->
   unit ->
   result * Run_report.t

@@ -40,6 +40,7 @@ val conflict_free :
   delta:int ->
   ?value:Proto.Value.t ->
   ?metrics:Stdext.Metrics.t ->
+  ?final_fingerprint:bool * (int64 -> unit) ->
   unit ->
   t
 (** Run the conflict-free synchronous scenario once per target process
@@ -49,7 +50,10 @@ val conflict_free :
     disabled) is threaded to the engines (the [engine.*] probe mirror
     aggregates over the [n] runs) and additionally receives the report
     itself under [report.<protocol>.*] names (counters for
-    [decided]/[fast]/[messages] and the [latency_delays] histogram). *)
+    [decided]/[fast]/[messages] and the [latency_delays] histogram).
+    [final_fingerprint] is forwarded to each {!Scenario.run} — the
+    callback fires once per target run with the terminal engine
+    fingerprint, letting callers count distinct end states. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human rendering: the rate line and the latency histogram. *)

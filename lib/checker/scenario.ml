@@ -37,7 +37,7 @@ let to_network ~delta net : _ Dsim.Network.t =
 
 let run (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~net ~proposals ?(crashes = [])
     ?(seed = 0) ?(disable_timers = false) ?(faults = Dsim.Network.Fault.none)
-    ?(metrics = Stdext.Metrics.disabled) ~until () =
+    ?(metrics = Stdext.Metrics.disabled) ?final_fingerprint ~until () =
   let automaton = P.make ~n ~e ~f ~delta in
   let engine =
     Dsim.Engine.create ~automaton ~n
@@ -46,6 +46,10 @@ let run (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~net ~proposals ?(crashes 
       ()
   in
   let engine_result = Dsim.Engine.run ~until engine in
+  (match final_fingerprint with
+  | Some (symmetry, k) when Dsim.Engine.has_fingerprint engine ->
+      k (Dsim.Engine.fingerprint ~symmetry engine)
+  | Some _ | None -> ());
   let trace = Dsim.Engine.trace engine in
   let dropped, duplicated = Dsim.Engine.fault_counts engine in
   {

@@ -42,6 +42,17 @@ type ('state, 'msg, 'input, 'output) t = {
           (hash tables, arrays) inside its state must deep-copy it here.
           Must only read its argument: the parallel explorer clones one
           engine from several domains concurrently. *)
+  state_fingerprint : (relabel:(Pid.t -> Pid.t) -> 'state -> Fingerprint.t) option;
+      (** Optional structural hash of a process state, enabling
+          {!Engine.fingerprint} and hence the explorer's visited-set
+          deduplication. Must be a pure function of the state's logical
+          content — independent of construction history (fold unordered
+          containers commutatively, see {!Fingerprint}) — and must route
+          {e every} pid-valued field (including [self] and pids inside
+          sets, maps and options) through [relabel], which the engine
+          instantiates as the identity for exact dedup and as a pid
+          permutation for symmetry reduction. [None] disables
+          fingerprinting for this automaton. *)
 }
 
 val no_input : 'state -> 'input -> 'state * ('msg, 'output) action list

@@ -136,8 +136,23 @@ type ('state, 'msg, 'input, 'output) t = {
      arrays explicitly — so a branched exploration's per-engine probes stay
      independent. [meters] mirrors the counts into an optional shared
      {!Metrics} registry (disabled handles by default); clones share it, so
-     registry totals aggregate across branches while probes stay per-run. *)
+     registry totals aggregate across branches while probes stay per-run.
+     The registry is fed in batches: [run] flushes the delta between each
+     probe counter and its [f_*] last-flushed watermark on exit, instead of
+     one atomic fetch-and-add (plus a [Domain.self] lookup) per event — the
+     per-event cost dominated metrics-on overhead. A clone starts its
+     watermarks at the source's current counters, so the parent flushes its
+     own unflushed delta and the clone only flushes what happened after the
+     branch point: nothing is double-counted. *)
   meters : meters;
+  mutable f_steps : int;
+  mutable f_sent : int;
+  mutable f_delivered : int;
+  mutable f_dropped : int;
+  mutable f_duplicated : int;
+  mutable f_timer_fires : int;
+  mutable f_crashes : int;
+  mutable f_decides : int;
   mutable p_delivered : int;
   mutable p_timer_fires : int;
   mutable p_crashes : int;
@@ -154,10 +169,7 @@ let record t entry = if t.record_trace then t.trace_rev <- entry :: t.trace_rev
 let push_event t ~at ev =
   Pqueue.push t.queue ~priority:(priority ~time:at ev) ev;
   let len = Pqueue.length t.queue in
-  if len > t.p_queue_hwm then begin
-    t.p_queue_hwm <- len;
-    Metrics.record_max t.meters.mg_queue_hwm len
-  end
+  if len > t.p_queue_hwm then t.p_queue_hwm <- len
 
 (* Offset mixing the engine seed into the fault stream's seed: the two
    SplitMix64 streams must differ even for seed 0, and stay reproducible
@@ -194,6 +206,14 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
       faults_dropped = 0;
       faults_duplicated = 0;
       meters = meters_of metrics;
+      f_steps = 0;
+      f_sent = 0;
+      f_delivered = 0;
+      f_dropped = 0;
+      f_duplicated = 0;
+      f_timer_fires = 0;
+      f_crashes = 0;
+      f_decides = 0;
       p_delivered = 0;
       p_timer_fires = 0;
       p_crashes = 0;
@@ -223,6 +243,17 @@ let clone t =
     queue = Pqueue.copy t.queue;
     first_input = Array.copy t.first_input;
     first_output = Array.copy t.first_output;
+    (* The clone's flush watermarks start at the source's current counters:
+       whatever the source has not flushed yet remains the source's delta
+       to flush, and the clone reports only its own post-branch activity. *)
+    f_steps = t.steps;
+    f_sent = t.sends;
+    f_delivered = t.p_delivered;
+    f_dropped = t.faults_dropped;
+    f_duplicated = t.faults_duplicated;
+    f_timer_fires = t.p_timer_fires;
+    f_crashes = t.p_crashes;
+    f_decides = t.p_decides;
   }
 
 type ('state, 'msg, 'input, 'output) snapshot = ('state, 'msg, 'input, 'output) t
@@ -275,7 +306,6 @@ let do_crash t pid =
     | Some _ -> ());
     t.crashed_flags.(pid) <- true;
     t.p_crashes <- t.p_crashes + 1;
-    Metrics.incr t.meters.mc_crashes;
     record t (Trace.Crashed { time = t.now; pid })
   end
 
@@ -290,7 +320,6 @@ let send t ~src ~dst msg =
   if not t.crashed_flags.(src) then begin
     let index = t.sends in
     t.sends <- index + 1;
-    Metrics.incr t.meters.mc_sent;
     record t (Trace.Sent { time = t.now; src; dst; msg });
     let action =
       Network.Fault.decide t.fault_plan ~rng:t.fault_rng ~index
@@ -309,11 +338,9 @@ let send t ~src ~dst msg =
     | Network.Fault.Deliver -> schedule_original ()
     | Network.Fault.Drop ->
         t.faults_dropped <- t.faults_dropped + 1;
-        Metrics.incr t.meters.mc_dropped;
         record t (Trace.Dropped { time = t.now; src; dst; msg; sent_at = t.now })
     | Network.Fault.Duplicate { extra_delay } ->
         t.faults_duplicated <- t.faults_duplicated + 1;
-        Metrics.incr t.meters.mc_duplicated;
         record t (Trace.Duplicated { time = t.now; src; dst; msg; sent_at = t.now; extra_delay });
         schedule_original ();
         (* The copy is timed as if re-sent [extra_delay] ticks later, and
@@ -359,7 +386,6 @@ let apply_actions t ~pid actions =
     | Automaton.Output output ->
         t.outputs_rev <- (t.now, pid, output) :: t.outputs_rev;
         t.p_decides <- t.p_decides + 1;
-        Metrics.incr t.meters.mc_decides;
         if t.first_output.(pid) = None then t.first_output.(pid) <- Some t.now;
         record t (Trace.Output { time = t.now; pid; output })
   in
@@ -378,7 +404,6 @@ let step_process t ~pid transition =
 let handle_deliver t ~src ~dst ~msg ~sent_at =
   if not t.crashed_flags.(dst) then begin
     t.p_delivered <- t.p_delivered + 1;
-    Metrics.incr t.meters.mc_delivered;
     record t (Trace.Delivered { time = t.now; src; dst; msg; sent_at });
     step_process t ~pid:dst (fun s -> t.automaton.on_message s ~src msg)
   end
@@ -452,10 +477,31 @@ let handle_event t ev =
       let current = Tmap.find_opt (pid, id) t.timer_epochs in
       if current = Some epoch && not t.crashed_flags.(pid) then begin
         t.p_timer_fires <- t.p_timer_fires + 1;
-        Metrics.incr t.meters.mc_timer_fires;
         record t (Trace.Timer_fired { time = t.now; pid; id });
         step_process t ~pid (fun s -> t.automaton.on_timer s id)
       end
+
+(* Push the registry the delta accumulated since the previous flush. One
+   fetch-and-add per counter per [run] call replaces one per event; probes
+   and traces are unaffected (they read the live per-engine counters). *)
+let flush_meters t =
+  let flush handle current last set =
+    if current <> last then begin
+      Metrics.add handle (current - last);
+      set current
+    end
+  in
+  flush t.meters.mc_steps t.steps t.f_steps (fun v -> t.f_steps <- v);
+  flush t.meters.mc_sent t.sends t.f_sent (fun v -> t.f_sent <- v);
+  flush t.meters.mc_delivered t.p_delivered t.f_delivered (fun v -> t.f_delivered <- v);
+  flush t.meters.mc_dropped t.faults_dropped t.f_dropped (fun v -> t.f_dropped <- v);
+  flush t.meters.mc_duplicated t.faults_duplicated t.f_duplicated (fun v ->
+      t.f_duplicated <- v);
+  flush t.meters.mc_timer_fires t.p_timer_fires t.f_timer_fires (fun v ->
+      t.f_timer_fires <- v);
+  flush t.meters.mc_crashes t.p_crashes t.f_crashes (fun v -> t.f_crashes <- v);
+  flush t.meters.mc_decides t.p_decides t.f_decides (fun v -> t.f_decides <- v);
+  Metrics.record_max t.meters.mg_queue_hwm t.p_queue_hwm
 
 let run ?until t =
   let rec loop () =
@@ -472,7 +518,6 @@ let run ?until t =
               | None -> Quiescent
               | Some (_, ev) ->
                   t.steps <- t.steps + 1;
-                  Metrics.incr t.meters.mc_steps;
                   t.now <- max t.now time;
                   handle_event t ev;
                   loop ()
@@ -480,7 +525,9 @@ let run ?until t =
         end
     end
   in
-  loop ()
+  let result = loop () in
+  flush_meters t;
+  result
 
 (* Imap.bindings is ascending in id, i.e. send order. *)
 let pending t = List.map snd (Imap.bindings t.pending_pool)
@@ -497,7 +544,6 @@ let drop_pending t ~id =
   (match Imap.find_opt id t.pending_pool with
   | Some p ->
       t.faults_dropped <- t.faults_dropped + 1;
-      Metrics.incr t.meters.mc_dropped;
       record t
         (Trace.Dropped
            { time = t.now; src = p.src; dst = p.dst; msg = p.msg; sent_at = p.sent_at })
@@ -511,7 +557,6 @@ let duplicate_pending t ~id =
       let copy_id = t.next_pending_id in
       t.next_pending_id <- copy_id + 1;
       t.faults_duplicated <- t.faults_duplicated + 1;
-      Metrics.incr t.meters.mc_duplicated;
       record t
         (Trace.Duplicated
            {
@@ -541,6 +586,109 @@ let probe t =
     decides = t.p_decides;
     queue_hwm = t.p_queue_hwm;
   }
+
+(* -- fingerprinting ----------------------------------------------------- *)
+
+let has_fingerprint t = Option.is_some t.automaton.Automaton.state_fingerprint
+
+module Fp = Fingerprint
+
+(* Constructor tags below are small odd constants; each case mixes its tag
+   first so different event shapes can't alias. *)
+let event_fp ~relabel = function
+  | Ev_crash pid -> Fp.mix 31L (Fp.int (relabel pid))
+  | Ev_init pid -> Fp.mix 37L (Fp.int (relabel pid))
+  | Ev_input (pid, input) -> Fp.mix (Fp.mix 41L (Fp.int (relabel pid))) (Fp.structural input)
+  | Ev_deliver { src; dst; msg; sent_at } ->
+      Fp.mix
+        (Fp.mix (Fp.mix (Fp.mix 43L (Fp.int (relabel src))) (Fp.int (relabel dst)))
+           (Fp.structural msg))
+        (Fp.int sent_at)
+  | Ev_timer { pid; id; epoch } ->
+      Fp.mix (Fp.mix (Fp.mix 47L (Fp.int (relabel pid))) (Fp.int id)) (Fp.int epoch)
+
+(* Everything pid-local: protocol state, crash flag, latency probes. Also
+   the symmetry sort key (with a pid-blind [relabel]) — so two processes
+   tie only when their whole local content matches, and ties keep their
+   original relative order, which at worst under-merges (sound). *)
+let local_fp t state_fp ~relabel pid =
+  let st =
+    match t.states.(pid) with
+    | None -> 53L
+    | Some s -> Fp.mix 59L (state_fp ~relabel s)
+  in
+  let fp = Fp.mix st (Fp.bool t.crashed_flags.(pid)) in
+  let fp = Fp.mix fp (Fp.option Fp.int t.first_input.(pid)) in
+  Fp.mix fp (Fp.option Fp.int t.first_output.(pid))
+
+(* The digest covers every field that can influence the engine's future
+   observable behaviour under a deterministic network model: clock, fault
+   bookkeeping (the send index keys fault scripts), per-process local
+   state, the pending pool (a multiset — ids are allocation accidents),
+   the event queue in pop order (the only order with semantics), and live
+   timer epochs. Excluded: step/trace/output history (past, not future)
+   and the RNG streams (opaque; under the explorer's [Manual] network and
+   scripted faults they are never consulted, see the .mli). *)
+let fold_engine t state_fp ~relabel ~order =
+  let fp = Fp.mix (Fp.int t.n) (Fp.int t.now) in
+  let fp = Fp.mix fp (Fp.int t.sends) in
+  let fp = Fp.mix fp (Fp.int t.faults_dropped) in
+  let fp = Fp.mix fp (Fp.int t.faults_duplicated) in
+  let fp =
+    Array.fold_left (fun acc pid -> Fp.mix acc (local_fp t state_fp ~relabel pid)) fp order
+  in
+  let pend =
+    Imap.fold
+      (fun _ p acc ->
+        Fp.commute acc
+          (Fp.mix
+             (Fp.mix (Fp.mix (Fp.mix 61L (Fp.int (relabel p.src))) (Fp.int (relabel p.dst)))
+                (Fp.structural p.msg))
+             (Fp.int p.sent_at)))
+      t.pending_pool 67L
+  in
+  let fp = Fp.mix fp pend in
+  let fp =
+    List.fold_left
+      (fun acc (prio, ev) -> Fp.mix (Fp.mix acc (Fp.int prio)) (event_fp ~relabel ev))
+      fp (Pqueue.to_list t.queue)
+  in
+  let timers =
+    Tmap.fold
+      (fun (pid, id) epoch acc ->
+        Fp.commute acc
+          (Fp.mix (Fp.mix (Fp.mix 71L (Fp.int (relabel pid))) (Fp.int id)) (Fp.int epoch)))
+      t.timer_epochs 73L
+  in
+  Fp.mix fp timers
+
+let fingerprint ?(symmetry = false) t =
+  match t.automaton.Automaton.state_fingerprint with
+  | None -> invalid_arg "Engine.fingerprint: automaton has no state_fingerprint hook"
+  | Some state_fp ->
+      if (not symmetry) || t.n <= 2 then
+        (* n <= 2 has no non-distinguished pair to permute. *)
+        fold_engine t state_fp ~relabel:Fun.id ~order:(Array.init t.n Fun.id)
+      else begin
+        (* Canonical orbit representative: pid 0 (the distinguished
+           proposer proxy / default coordinator) keeps its identity; pids
+           1..n-1 are sorted by their pid-blind local content. [relabel]
+           collapsing every pid to -1 makes the key depend only on content,
+           never on the labels being permuted away. *)
+        let blind _ = -1 in
+        let keys = Array.init t.n (fun p -> local_fp t state_fp ~relabel:blind p) in
+        let rest = Array.init (t.n - 1) (fun i -> i + 1) in
+        Array.sort
+          (fun a b ->
+            let c = Int64.compare keys.(a) keys.(b) in
+            if c <> 0 then c else compare a b)
+          rest;
+        let order = Array.make t.n 0 in
+        Array.iteri (fun i old -> order.(i + 1) <- old) rest;
+        let perm = Array.make t.n 0 in
+        Array.iteri (fun canonical old -> perm.(old) <- canonical) order;
+        fold_engine t state_fp ~relabel:(fun p -> perm.(p)) ~order
+      end
 
 let decision_latencies t =
   let acc = ref [] in

@@ -79,7 +79,10 @@ val create :
     [crashes], [decides] counters and the [queue_hwm] gauge). {!clone}s
     share the registry, so registry totals aggregate across branches while
     {!probe} stays per-engine; with the default disabled registry every
-    mirror update is one branch on an immutable bool. *)
+    mirror update is one branch on an immutable bool. The mirror is fed in
+    batches — {!run} flushes the counter deltas accumulated since the
+    previous flush when it returns — so registry totals lag the live
+    {!probe} between [run] calls but always catch up at the next return. *)
 
 val run : ?until:Time.t -> ('state, 'msg, 'input, 'output) t -> run_result
 (** Process events until the queue is empty, the next event is strictly
@@ -180,3 +183,42 @@ val decision_latencies : ('state, 'msg, 'input, 'output) t -> (Pid.t * int) list
     the per-process decision latency (divide by Δ for message delays).
     Sorted by pid; agrees with {!Trace.decision_latencies} whenever the
     trace is recorded. *)
+
+(** {2 Fingerprinting}
+
+    Structural digest of the engine's {e future-relevant} state, keying
+    the explorer's visited set ({!Checker.Explore}'s dedup modes). *)
+
+val has_fingerprint : ('state, 'msg, 'input, 'output) t -> bool
+(** Whether the automaton supplies a [state_fingerprint] hook. *)
+
+val fingerprint : ?symmetry:bool -> ('state, 'msg, 'input, 'output) t -> Fingerprint.t
+(** Digest of everything that can influence the engine's remaining
+    behaviour under a deterministic network model: the clock, [n], the
+    send index and fault counters (they key fault scripts and budgets),
+    every process's state (via the automaton hook), crash flag and
+    first-input/first-output instants, the pending pool as a multiset
+    (pending {e ids} are allocation accidents with no semantics), the
+    event queue in pop order, and live timer epochs. Excluded: step count,
+    trace and output history (past, not future), and the RNG streams —
+    they are opaque, and under the explorer's setting ({!Network.Manual}
+    timing with scripted faults) never consulted, so two engines with
+    equal fingerprints behave identically there. Under a {e stochastic}
+    network model equal fingerprints do not imply equal futures; don't key
+    dedup on them in that setting.
+
+    With [symmetry] (default [false]), processes [1 .. n-1] are first
+    relabelled to a canonical order — sorted by their pid-blind local
+    content — and every pid occurrence (including inside protocol states,
+    via the hook's [relabel] argument) is rewritten accordingly, so any
+    two engines equal up to a permutation of the non-distinguished pids
+    digest identically. Pid 0 is never relabelled: it is the proposal
+    proxy / default coordinator in this repository's protocols, so it is
+    not interchangeable with the rest. Sound when initial states are
+    pid-symmetric and message payloads carry no pid values (true for the
+    explorer's timer-free runs of the bundled protocols — see the README's
+    state-space-reduction notes); ties in the sort keep original order,
+    which at worst under-merges.
+
+    Raises [Invalid_argument] when the automaton has no
+    [state_fingerprint] hook ({!has_fingerprint} is [false]). *)

@@ -1,0 +1,34 @@
+type t = int64
+
+let zero = 0L
+
+(* SplitMix64 finalizer: the standard full-avalanche 64-bit mixer. *)
+let finalize z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Absorb-then-avalanche: multiplying the accumulator by an odd constant
+   before adding the next word makes the combiner order-sensitive, and the
+   finalizer spreads every input bit over the word. *)
+let mix acc x = finalize (Int64.add (Int64.mul acc 6364136223846793005L) x)
+
+(* Addition of finalized element hashes: commutative and associative, so
+   any fold order over an unordered container yields the same value. Each
+   element is avalanched first so that structured element values don't
+   cancel each other. *)
+let commute a b = Int64.add a b
+
+let int i = finalize (Int64.of_int i)
+
+let bool b = if b then 3L else 5L
+
+let option f = function None -> 7L | Some x -> mix 11L (f x)
+
+let list f l = List.fold_left (fun acc x -> mix acc (f x)) 13L l
+
+let set elt ~fold s = fold (fun x acc -> commute acc (finalize (elt x))) s 17L
+
+let map binding ~fold m = fold (fun k v acc -> commute acc (finalize (binding k v))) m 19L
+
+let structural v = finalize (Int64.of_int (Hashtbl.hash_param 256 256 v))

@@ -1,0 +1,61 @@
+(** 64-bit structural fingerprint combinators.
+
+    The building blocks for {!Automaton.t}'s [state_fingerprint] hook and
+    {!Engine.fingerprint}: protocols fold their state fields through these
+    to produce a fast structural hash that the explorer's visited set
+    ({!Stdext.Stateset}) keys on.
+
+    Two disciplines matter for soundness of the resulting dedup:
+    {ul
+    {- {b Order-independence for unordered containers.} [Pid.Set]/[Pid.Map]
+       values must be folded with the {e commutative} combiner ({!commute},
+       or the [set]/[map] helpers), never with the sequential {!mix} over
+       the container's internal iteration order — balanced-tree shapes
+       depend on insertion history, and [relabel] (below) can reorder keys.
+       Ordered content (lists, sequential fields) uses {!mix}, which is
+       order-{e sensitive} by design.}
+    {- {b Pid relabelling.} Hooks receive a [relabel : Pid.t -> Pid.t]
+       function and must apply it to {e every} pid-valued field (including
+       [self] and pids inside sets/maps/options). The engine uses it to
+       canonicalise process identities for symmetry reduction: with
+       [relabel = Fun.id] the fingerprint is the exact one; with a
+       collapsing function it becomes pid-blind (the sort key); with a
+       permutation it is the canonical orbit representative.}} *)
+
+type t = int64
+
+val zero : t
+
+val mix : t -> t -> t
+(** Sequential combiner: [mix acc x] absorbs [x] into [acc]. Order
+    sensitive — [mix (mix z a) b <> mix (mix z b) a] in general. *)
+
+val commute : t -> t -> t
+(** Commutative, associative combiner for multisets: fold container
+    elements' fingerprints with [commute] and the result is independent of
+    iteration order. Absorb the result into the running accumulator with
+    {!mix} afterwards. *)
+
+val int : int -> t
+
+val bool : bool -> t
+
+val option : ('a -> t) -> 'a option -> t
+(** Distinguishes [None] from [Some x] for every [x]. *)
+
+val list : ('a -> t) -> 'a list -> t
+(** Order-sensitive fold (lists are ordered content). *)
+
+val set : ('a -> t) -> fold:(('a -> t -> t) -> 's -> t -> t) -> 's -> t
+(** Order-independent fingerprint of a set given its [fold]:
+    [set elt ~fold:Pid.Set.fold s]. *)
+
+val map : ('k -> 'v -> t) -> fold:(('k -> 'v -> t -> t) -> 'm -> t -> t) -> 'm -> t
+(** Order-independent fingerprint of a map's bindings given its [fold]. *)
+
+val structural : 'a -> t
+(** Generic structural hash (via [Hashtbl.hash_param]) for values without
+    a hand-written fingerprint — e.g. message payloads. Deterministic, but
+    only ~30 bits of entropy and sensitive to the internal shape of any
+    balanced-tree container inside the value; acceptable for payloads
+    mixed into a wider key, not for whole states. *)

@@ -528,6 +528,65 @@ let on_progress_timer s =
   in
   (s, rearm :: actions)
 
+(* Structural hash for the explorer's dedup (see {!Dsim.Fingerprint}):
+   pids through [relabel] — instance ids are origin pids, so map keys and
+   dependency sets are relabelled too; unordered containers fold
+   commutatively, the executed log sequentially (execution order is
+   semantics). *)
+let fingerprint ~relabel s =
+  let module Fp = Dsim.Fingerprint in
+  let pid p = Fp.int (relabel p) in
+  let cmd (c : Cmd.t) = Fp.mix (Fp.mix (pid c.origin) (Fp.int c.key)) (Fp.int c.payload) in
+  let attrs_fp a = Fp.mix (Fp.int a.seq) (Fp.set pid ~fold:Pid.Set.fold a.deps) in
+  let status_fp = function
+    | S_preaccepted -> 0
+    | S_accepted -> 1
+    | S_committed -> 2
+    | S_executed -> 3
+  in
+  let inst_fp i =
+    let fp = Fp.mix 137L (Fp.option cmd i.cmd) in
+    let fp = Fp.mix fp (attrs_fp i.attrs) in
+    let fp = Fp.mix fp (Fp.int (status_fp i.status)) in
+    let fp = Fp.mix fp (Fp.int i.ballot) in
+    let fp = Fp.mix fp (Fp.int i.vballot) in
+    Fp.mix fp (Fp.bool i.pristine)
+  in
+  let phase_fp = function
+    | Idle -> 139L
+    | Collecting { attrs; oks } ->
+        Fp.mix
+          (Fp.mix 149L (attrs_fp attrs))
+          (Fp.map (fun p a -> Fp.mix (pid p) (attrs_fp a)) ~fold:Pid.Map.fold oks)
+    | Accepting { attrs; cmd = c; bal; oks } ->
+        Fp.mix
+          (Fp.mix (Fp.mix (Fp.mix 151L (attrs_fp attrs)) (Fp.option cmd c)) (Fp.int bal))
+          (Fp.set pid ~fold:Pid.Set.fold oks)
+    | Settled -> 157L
+  in
+  let recovery_fp r =
+    let fp = Fp.mix 163L (Fp.int r.rbal) in
+    let fp =
+      Fp.mix fp
+        (Fp.map
+           (fun p (st, c, a, vb, pr) ->
+             Fp.mix
+               (Fp.mix
+                  (Fp.mix (Fp.mix (Fp.mix (pid p) (Fp.int (status_fp st))) (Fp.option cmd c))
+                     (attrs_fp a))
+                  (Fp.int vb))
+               (Fp.bool pr))
+           ~fold:Pid.Map.fold r.oks)
+    in
+    Fp.mix fp (Fp.bool r.acted)
+  in
+  let fp = Fp.mix 167L (pid s.self) in
+  let fp = Fp.mix fp (Fp.int s.f) in
+  let fp = Fp.mix fp (Fp.map (fun j i -> Fp.mix (pid j) (inst_fp i)) ~fold:Pid.Map.fold s.instances) in
+  let fp = Fp.mix fp (phase_fp s.phase) in
+  let fp = Fp.mix fp (Fp.map (fun j r -> Fp.mix (pid j) (recovery_fp r)) ~fold:Pid.Map.fold s.recoveries) in
+  Fp.mix fp (Fp.list cmd s.executed_rev)
+
 let make ~n ~f ~delta =
   let init ~self ~n:n' =
     assert (n = n');
@@ -584,7 +643,14 @@ let make ~n ~f ~delta =
   in
   let on_input s cmd = on_client s cmd in
   let on_timer s id = if id = progress_timer then on_progress_timer s else (s, []) in
-  { Automaton.init; on_message; on_input; on_timer; state_copy = Fun.id }
+  {
+    Automaton.init;
+    on_message;
+    on_input;
+    on_timer;
+    state_copy = Fun.id;
+    state_fingerprint = Some (fun ~relabel s -> fingerprint ~relabel s);
+  }
 
 let debug_instances s =
   Pid.Map.bindings s.instances

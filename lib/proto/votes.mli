@@ -13,6 +13,11 @@ val add : Value.t -> Dsim.Pid.t -> t -> t
     This is the delivery-contract obligation that makes the quorum
     protocols safe under message duplication (see {!Mutation}). *)
 
+val fingerprint : relabel:(Dsim.Pid.t -> Dsim.Pid.t) -> t -> Dsim.Fingerprint.t
+(** Structural hash (order-independent over both the value map and each
+    supporter set) for [state_fingerprint] hooks; supporter pids go
+    through [relabel]. *)
+
 val count : Value.t -> t -> int
 
 val supporters : Value.t -> t -> Dsim.Pid.Set.t

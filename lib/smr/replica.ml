@@ -156,7 +156,9 @@ let make (type pm ps) (module P : Proto.Protocol.S with type msg = pm and type s
   (* The record itself is immutable; only the inner per-slot states may
      need deep-copying, which the inner automaton knows how to do. *)
   let state_copy s = { s with slots = Imap.map inner.Automaton.state_copy s.slots } in
-  { Automaton.init; on_message; on_input; on_timer; state_copy }
+  (* Not explored with dedup: the SMR wrapper runs under stochastic
+     networks, where engine fingerprints must not key a visited set. *)
+  { Automaton.init; on_message; on_input; on_timer; state_copy; state_fingerprint = None }
 
 module Instance = struct
   type t =

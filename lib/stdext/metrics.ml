@@ -32,6 +32,9 @@ type gauge = { g_enabled : bool; g_cells : int Atomic.t array }
 type histogram = {
   h_enabled : bool;
   h_bounds : int array;
+  h_table : int array;
+      (* direct value -> bucket-index map for values in [0, max bound];
+         empty when the bounds don't admit a small dense table *)
   h_cells : int Atomic.t array;  (* nshards rows of (#bounds + 3): buckets, overflow, sum, count *)
   h_row : int;
 }
@@ -90,9 +93,29 @@ let gauge t name =
     let m = register t name Kgauge ~bounds:[||] ~cells_per_shard:1 in
     { g_enabled = true; g_cells = m.cells }
 
+let scan_bucket bounds v =
+  let nb = Array.length bounds in
+  let rec bucket i = if i >= nb || v <= bounds.(i) then i else bucket (i + 1) in
+  bucket 0
+
+(* Largest top bound for which [observe] precomputes a direct
+   value -> bucket table. Every histogram in this repository (depth and
+   latency buckets) is far below it; histograms with huge bounds fall
+   back to the linear scan. *)
+let max_bucket_table = 4096
+
+let bucket_table bounds =
+  let nb = Array.length bounds in
+  if nb = 0 then [||]
+  else begin
+    let maxb = bounds.(nb - 1) in
+    if maxb < 0 || maxb > max_bucket_table then [||]
+    else Array.init (maxb + 1) (fun v -> scan_bucket bounds v)
+  end
+
 let histogram t ~buckets name =
   if not t.reg_enabled then
-    { h_enabled = false; h_bounds = [||]; h_cells = [||]; h_row = 0 }
+    { h_enabled = false; h_bounds = [||]; h_table = [||]; h_cells = [||]; h_row = 0 }
   else begin
     Array.iteri
       (fun i b ->
@@ -103,7 +126,13 @@ let histogram t ~buckets name =
     (* Row layout per shard: one cell per bound, overflow, sum, count. *)
     let row = Array.length bounds + 3 in
     let m = register t name Khistogram ~bounds ~cells_per_shard:row in
-    { h_enabled = true; h_bounds = bounds; h_cells = m.cells; h_row = row }
+    {
+      h_enabled = true;
+      h_bounds = bounds;
+      h_table = bucket_table bounds;
+      h_cells = m.cells;
+      h_row = row;
+    }
   end
 
 let add c n =
@@ -124,9 +153,15 @@ let record_max g v =
 let observe h v =
   if h.h_enabled then begin
     let nb = Array.length h.h_bounds in
-    let rec bucket i = if i >= nb || v <= h.h_bounds.(i) then i else bucket (i + 1) in
+    (* In-range observations resolve in one branchless array load; only
+       negative values or bounds too large for the table pay the scan. *)
+    let bucket =
+      if v >= 0 && v < Array.length h.h_table then Array.unsafe_get h.h_table v
+      else if nb > 0 && Array.length h.h_table > 0 && v > h.h_bounds.(nb - 1) then nb
+      else scan_bucket h.h_bounds v
+    in
     let base = shard_index () * h.h_row in
-    ignore (Atomic.fetch_and_add h.h_cells.(base + bucket 0) 1);
+    ignore (Atomic.fetch_and_add h.h_cells.(base + bucket) 1);
     ignore (Atomic.fetch_and_add h.h_cells.(base + nb + 1) v);
     ignore (Atomic.fetch_and_add h.h_cells.(base + nb + 2) 1)
   end

@@ -284,6 +284,130 @@ let test_explore_budget_not_duplicated () =
   Alcotest.(check int) "sequential evals = explored" r1.explored evals1;
   Alcotest.(check int) "parallel evals = explored (exactly once)" r4.explored evals4
 
+(* -- dedup: state-space deduplication soundness and determinism --------- *)
+
+let test_explore_dedup_prunes_and_agrees () =
+  (* n = 6 at the task bound: exact dedup must merge converging schedules
+     (hits > 0), evaluate strictly fewer runs than the undedup'd search,
+     and reach the same verdict. distinct_states < explored(off) is the CI
+     smoke assertion: the state graph is smaller than the schedule tree. *)
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go dedup =
+    Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3
+      ~budget:1_000_000 ~dedup
+      ~check:(fun o -> Safety.safe o)
+      ()
+  in
+  let off, _ = go Explore.Off in
+  let exact, rx = go Explore.Exact in
+  let t = rx.Explore.Run_report.totals in
+  Alcotest.(check int) "same verdict" off.Explore.violations exact.Explore.violations;
+  Alcotest.(check bool) "distinct states counted" true
+    (t.Explore.Run_report.distinct_states > 0);
+  Alcotest.(check bool) "dedup hits at n=6" true (t.Explore.Run_report.dedup_hits > 0);
+  Alcotest.(check bool) "subtrees pruned" true (t.Explore.Run_report.pruned_subtrees > 0);
+  Alcotest.(check bool) "fewer runs evaluated" true
+    (exact.Explore.explored < off.Explore.explored);
+  Alcotest.(check bool) "state graph smaller than schedule tree" true
+    (t.Explore.Run_report.distinct_states < off.Explore.explored
+     + t.Explore.Run_report.dedup_hits)
+
+(* Soundness property: with an ample budget, [Exact] dedup reaches the same
+   verdict as [Off] AND finds the identical first violation — the pruned
+   subtrees hang off states already expanded earlier in DFS order, so the
+   earliest violating schedule is never pruned and is executed identically.
+   [Symmetry] must agree on the verdict for pid-agnostic properties (the
+   witness may be a pid permutation of Off's, so it is not compared). *)
+let explore_dedup_sound_property =
+  QCheck.Test.make ~name:"explore: dedup preserves verdict and canonical witness"
+    ~count:12
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let pick l k = List.nth l (seed / k mod List.length l) in
+      let n, e, f = pick [ (3, 1, 1); (4, 1, 1) ] 1 in
+      let rounds = pick [ 2; 3 ] 2 in
+      let values = pick [ List.init n (fun i -> n - i); List.init n (fun _ -> 5) ] 4 in
+      let crashes = pick [ []; [ (delta + 1, n - 1) ] ] 8 in
+      let check =
+        pick
+          [ (fun o -> Safety.safe o); (fun o -> Scenario.decided_value o 0 = None) ]
+          16
+      in
+      let proposals = Scenario.all_proposals_at_zero ~n values in
+      let go dedup =
+        Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta ~proposals ~crashes ~rounds
+          ~budget:1_000_000 ~dedup ~check ()
+      in
+      let off = go Explore.Off in
+      let exact = go Explore.Exact in
+      let sym = go Explore.Symmetry in
+      (off.Explore.violations > 0) = (exact.Explore.violations > 0)
+      && off.Explore.first_violation = exact.Explore.first_violation
+      && off.Explore.truncated = exact.Explore.truncated
+      && (off.Explore.violations > 0) = (sym.Explore.violations > 0))
+
+let test_explore_symmetry_merges_more () =
+  (* Unanimous proposals leave pids 1..n-1 fully interchangeable, so pid
+     canonicalisation must collapse strictly more states than exact
+     hashing — with the same (clean) verdict. *)
+  let n = 4 and e = 1 and f = 1 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 5; 5; 5 ] in
+  let go dedup =
+    Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3
+      ~budget:1_000_000 ~dedup
+      ~check:(fun o -> Safety.safe o)
+      ()
+  in
+  let exact, re = go Explore.Exact in
+  let sym, rs = go Explore.Symmetry in
+  Alcotest.(check int) "both clean" exact.Explore.violations sym.Explore.violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "symmetry merges more states (%d < %d)"
+       rs.Explore.Run_report.totals.distinct_states
+       re.Explore.Run_report.totals.distinct_states)
+    true
+    (rs.Explore.Run_report.totals.distinct_states
+    < re.Explore.Run_report.totals.distinct_states)
+
+let test_explore_dedup_totals_identical () =
+  (* The byte-identical-totals contract extended to dedup'd explorations:
+     for a fixed dedup mode, all four strategy combinations (Replay /
+     Snapshot x sequential / parallel) must report the same totals —
+     including the distinct_states / dedup_hits / pruned_subtrees counts,
+     which only stay deterministic because exactly one Stateset.add wins
+     per key and arrivals are the edges of the (schedule-independent)
+     dedup'd state graph. Budget ample: the contract is scoped to
+     within-budget-exhaustive explorations. *)
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go ~mode ~domains dedup =
+    snd
+      (Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3
+         ~budget:1_000_000 ~mode ~domains ~clamp_domains:false ~dedup
+         ~check:(fun o -> Scenario.decided_value o 0 = None)
+         ())
+  in
+  List.iter
+    (fun (name, dedup) ->
+      let base = go ~mode:`Snapshot ~domains:1 dedup in
+      Alcotest.(check bool)
+        (name ^ ": dedup active") true
+        (base.Explore.Run_report.totals.distinct_states > 0);
+      List.iter
+        (fun (label, mode, domains) ->
+          let r = go ~mode ~domains dedup in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: totals byte-identical" name label)
+            true
+            (base.Explore.Run_report.totals = r.Explore.Run_report.totals))
+        [
+          ("replay seq", `Replay, 1);
+          ("snapshot par", `Snapshot, 4);
+          ("replay par", `Replay, 3);
+        ])
+    [ ("exact", Explore.Exact); ("symmetry", Explore.Symmetry) ]
+
 (* -- telemetry: run reports and the fast-path report -------------------- *)
 
 module Report = Checker.Report
@@ -431,6 +555,15 @@ let () =
           Alcotest.test_case "shared budget not duplicated" `Quick
             test_explore_budget_not_duplicated;
           QCheck_alcotest.to_alcotest explore_parallel_equiv_property;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "prunes and agrees at n=6" `Quick
+            test_explore_dedup_prunes_and_agrees;
+          Alcotest.test_case "symmetry merges more" `Quick test_explore_symmetry_merges_more;
+          Alcotest.test_case "totals identical across strategies" `Quick
+            test_explore_dedup_totals_identical;
+          QCheck_alcotest.to_alcotest explore_dedup_sound_property;
         ] );
       ( "telemetry",
         [

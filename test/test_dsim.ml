@@ -21,6 +21,7 @@ let echo : (echo_state, int, int, Pid.t * int) Automaton.t =
     on_input = (fun s v -> (s, [ Automaton.Broadcast v ]));
     on_timer = Automaton.no_timer;
     state_copy = Fun.id;
+    state_fingerprint = None;
   }
 
 let sync_net = Network.Sync_rounds { delta = 10; order = Network.Arrival }
@@ -125,6 +126,7 @@ let test_timer_fires_and_cancel () =
           fired := id :: !fired;
           (s, []));
       state_copy = Fun.id;
+      state_fingerprint = None;
     }
   in
   let engine = Engine.create ~automaton:auto ~n:2 ~network:sync_net () in
@@ -149,6 +151,7 @@ let test_timer_rearm_replaces () =
           incr fired;
           (s, []));
       state_copy = Fun.id;
+      state_fingerprint = None;
     }
   in
   let engine = Engine.create ~automaton:auto ~n:1 ~network:sync_net () in
@@ -241,6 +244,7 @@ let test_step_budget () =
       on_input = Automaton.no_input;
       on_timer = (fun s _ -> (s, [ Automaton.Set_timer { id = 1; after = 1 } ]));
       state_copy = Fun.id;
+      state_fingerprint = None;
     }
   in
   let engine = Engine.create ~automaton:auto ~n:1 ~network:sync_net ~max_steps:100 () in
@@ -649,6 +653,88 @@ let test_probe_survives_clone_and_snapshot () =
       ("replay from scratch finishes identically", fresh);
     ]
 
+(* -- fingerprinting ------------------------------------------------------ *)
+
+module Fp = Dsim.Fingerprint
+
+(* Fold a list right-to-left with the element-first signature Fp.set/Fp.map
+   expect, so the same physical elements can be folded in two different
+   iteration orders. *)
+let fold_list f l init = List.fold_left (fun acc x -> f x acc) init l
+
+let test_fingerprint_order_independence () =
+  (* set/map use the commutative combiner: any iteration order of the same
+     elements must hash identically — the property that makes Pid.Set /
+     Pid.Map folds safe regardless of internal tree shape. *)
+  let elems = [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  let shuffled = [ 6; 2; 9; 5; 1; 4; 1; 3 ] in
+  Alcotest.(check int64)
+    "set: iteration order invisible"
+    (Fp.set Fp.int ~fold:fold_list elems)
+    (Fp.set Fp.int ~fold:fold_list shuffled);
+  let bindings = [ (1, 10); (2, 20); (3, 30) ] in
+  let binding (k, v) = Fp.mix (Fp.int k) (Fp.int v) in
+  let fold_bindings f l init = List.fold_left (fun acc kv -> f kv () acc) init l in
+  Alcotest.(check int64)
+    "map: iteration order invisible"
+    (Fp.map (fun kv () -> binding kv) ~fold:fold_bindings bindings)
+    (Fp.map (fun kv () -> binding kv) ~fold:fold_bindings (List.rev bindings));
+  (* mix, by contrast, is order-sensitive — sequences must not commute. *)
+  Alcotest.(check bool) "mix is order-sensitive" true
+    (Fp.mix (Fp.int 1) (Fp.int 2) <> Fp.mix (Fp.int 2) (Fp.int 1));
+  (* and distinct multisets must not collide just because sums commute. *)
+  Alcotest.(check bool) "set distinguishes multisets" true
+    (Fp.set Fp.int ~fold:fold_list [ 1; 1; 2 ] <> Fp.set Fp.int ~fold:fold_list [ 1; 2; 2 ])
+
+let test_fingerprint_golden () =
+  (* Hard-coded values pin the fingerprint function itself: any change to
+     the mixing constants or fold order silently invalidates every visited
+     set written by other components, so it must be deliberate and loud. *)
+  Alcotest.(check int64) "int 1" 0x5692161D100B05E5L (Fp.int 1);
+  Alcotest.(check int64) "int 42" 0xA759EA27D4727622L (Fp.int 42);
+  Alcotest.(check int64) "mix 1 2" 0x8675A45D4D251026L (Fp.mix (Fp.int 1) (Fp.int 2));
+  Alcotest.(check int64) "list [1;2;3]" 0x3A44398B6D263063L (Fp.list Fp.int [ 1; 2; 3 ]);
+  Alcotest.(check int64) "option None" 7L (Fp.option Fp.int None);
+  Alcotest.(check int64) "bool true" 3L (Fp.bool true)
+
+let test_engine_fingerprint_stability () =
+  (* Same construction, run to the same point -> same fingerprint;
+     divergent histories -> (almost surely) different fingerprints; and a
+     clone fingerprints identically to its source at every point. *)
+  let fp_automaton : (echo_state, int, int, Pid.t * int) Automaton.t =
+    {
+      echo with
+      state_fingerprint = Some (fun ~relabel s -> Fp.int (relabel s.self));
+    }
+  in
+  let make inputs =
+    Engine.create ~automaton:fp_automaton ~n:3 ~network:sync_net ~seed:0 ~inputs ()
+  in
+  let a = make [ (0, 0, 7) ] and b = make [ (0, 0, 7) ] in
+  Alcotest.(check bool) "hook detected" true (Engine.has_fingerprint a);
+  Alcotest.(check int64) "fresh engines agree" (Engine.fingerprint a) (Engine.fingerprint b);
+  ignore (Engine.run ~until:10 a);
+  ignore (Engine.run ~until:10 b);
+  Alcotest.(check int64) "same run, same fingerprint" (Engine.fingerprint a)
+    (Engine.fingerprint b);
+  let c = Engine.clone a in
+  Alcotest.(check int64) "clone fingerprints like source" (Engine.fingerprint a)
+    (Engine.fingerprint c);
+  (* Echo state records nothing, so divergent histories only show while
+     their messages are still in flight: stop before the round boundary
+     and the queued payloads (7 vs 8) must separate the fingerprints. *)
+  let a5 = make [ (0, 0, 7) ] and d5 = make [ (0, 0, 8) ] in
+  ignore (Engine.run ~until:5 a5);
+  ignore (Engine.run ~until:5 d5);
+  Alcotest.(check bool) "in-flight payloads distinguish" true
+    (Engine.fingerprint a5 <> Engine.fingerprint d5);
+  (* No hook -> fingerprinting is a loud error, not a silent constant. *)
+  let plain = Engine.create ~automaton:echo ~n:3 ~network:sync_net ~seed:0 ~inputs:[] () in
+  Alcotest.(check bool) "no hook" false (Engine.has_fingerprint plain);
+  match Engine.fingerprint plain with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "dsim"
     [
@@ -704,5 +790,12 @@ let () =
           Alcotest.test_case "probe matches trace" `Quick test_probe_matches_trace;
           Alcotest.test_case "probe survives clone/snapshot" `Quick
             test_probe_survives_clone_and_snapshot;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "order independence" `Quick test_fingerprint_order_independence;
+          Alcotest.test_case "golden constants" `Quick test_fingerprint_golden;
+          Alcotest.test_case "engine fingerprint stability" `Quick
+            test_engine_fingerprint_stability;
         ] );
     ]

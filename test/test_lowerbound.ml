@@ -17,6 +17,7 @@ let echo : (echo_state, int, int, Pid.t * int) Automaton.t =
     on_input = (fun s v -> (s, [ Automaton.Broadcast v ]));
     on_timer = Automaton.no_timer;
     state_copy = Fun.id;
+    state_fingerprint = None;
   }
 
 let test_deliver_round_order_and_drop () =

@@ -137,6 +137,7 @@ let omega_auto ~delta : (omega_state, Omega.msg, int, unit) Automaton.t =
     on_input = Automaton.no_input;
     on_timer = (fun s id -> if Omega.owns_timer s id then Omega.on_timer s id else (s, []));
     state_copy = Fun.id;
+    state_fingerprint = None;
   }
 
 let test_omega_initial_leader () =

@@ -439,6 +439,99 @@ let test_metrics_dump_jsonl () =
           | other -> Alcotest.fail ("unknown type " ^ other)))
     lines
 
+(* -- stateset ----------------------------------------------------------- *)
+
+module Stateset = Stdext.Stateset
+
+let test_stateset_add_mem () =
+  let s = Stateset.create () in
+  Alcotest.(check bool) "absent before add" false (Stateset.mem s 42L);
+  Alcotest.(check bool) "first add wins" true (Stateset.add s 42L);
+  Alcotest.(check bool) "second add loses" false (Stateset.add s 42L);
+  Alcotest.(check bool) "member after add" true (Stateset.mem s 42L);
+  Alcotest.(check bool) "other key absent" false (Stateset.mem s 43L);
+  Alcotest.(check bool) "negative fingerprints work" true (Stateset.add s (-7L));
+  Alcotest.(check bool) "zero works (remapped off the empty slot)" true
+    (Stateset.add s 0L);
+  Alcotest.(check int) "cardinal" 3 (Stateset.cardinal s)
+
+let test_stateset_hash_compaction () =
+  (* Slots retain 62 bits of the fingerprint: keys differing only in bits
+     62/63 are deliberately identified (SPIN-style hash compaction). *)
+  let s = Stateset.create () in
+  let base = 0x123456789ABCL in
+  Alcotest.(check bool) "base inserts" true (Stateset.add s base);
+  Alcotest.(check bool) "bit 62 aliases" false
+    (Stateset.add s (Int64.logor base (Int64.shift_left 1L 62)));
+  Alcotest.(check bool) "bit 63 aliases" false
+    (Stateset.add s (Int64.logor base (Int64.shift_left 1L 63)));
+  Alcotest.(check bool) "bit 61 does not alias" true
+    (Stateset.add s (Int64.logor base (Int64.shift_left 1L 61)))
+
+let test_stateset_probing_and_resize () =
+  (* A single tiny shard forces long probe chains and repeated doublings;
+     contents must survive both. *)
+  let metrics = Metrics.create () in
+  let s = Stateset.create ~shards:1 ~capacity:2 ~metrics () in
+  let key i = Int64.of_int ((i * 2654435761) + 17) in
+  for i = 0 to 999 do
+    Alcotest.(check bool) "new key inserts" true (Stateset.add s (key i))
+  done;
+  for i = 0 to 999 do
+    Alcotest.(check bool) "still present after resizes" true (Stateset.mem s (key i));
+    Alcotest.(check bool) "re-add refused" false (Stateset.add s (key i))
+  done;
+  Alcotest.(check int) "cardinal" 1000 (Stateset.cardinal s);
+  Alcotest.(check int) "misses = inserts" 1000 (Metrics.get_counter metrics "stateset.misses");
+  Alcotest.(check int) "hits = duplicate adds" 1000 (Metrics.get_counter metrics "stateset.hits");
+  Alcotest.(check bool) "resizes happened" true
+    (Metrics.get_counter metrics "stateset.resizes" > 0)
+
+let test_stateset_concurrent_determinism () =
+  (* Every domain races to insert the same key set; exactly one add per key
+     may win across all domains, and the final membership is the key set —
+     regardless of scheduling. Tiny initial capacity keeps resizes in the
+     race window. *)
+  let keys = Array.init 5_000 (fun i -> Int64.of_int ((i * 0x9E3779B1) + 3)) in
+  let s = Stateset.create ~shards:4 ~capacity:8 () in
+  let domains = 4 in
+  let wins = Array.make domains 0 in
+  let worker d () =
+    let w = ref 0 in
+    Array.iter (fun k -> if Stateset.add s k then incr w) keys;
+    wins.(d) <- !w
+  in
+  let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "exactly one winner per key" (Array.length keys)
+    (Array.fold_left ( + ) 0 wins);
+  Alcotest.(check int) "cardinal = distinct keys" (Array.length keys) (Stateset.cardinal s);
+  Array.iter (fun k -> Alcotest.(check bool) "member" true (Stateset.mem s k)) keys
+
+let test_stateset_concurrent_disjoint () =
+  (* Disjoint ranges from each domain: no insert may be lost to a
+     concurrent resize. *)
+  let per_domain = 4_000 and domains = 4 in
+  let s = Stateset.create ~shards:2 ~capacity:4 () in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      let k = Int64.of_int ((d * per_domain) + i + 1) in
+      assert (Stateset.add s k)
+    done
+  in
+  let spawned = List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "nothing lost under resize contention" (domains * per_domain)
+    (Stateset.cardinal s);
+  for d = 0 to domains - 1 do
+    for i = 0 to per_domain - 1 do
+      let k = Int64.of_int ((d * per_domain) + i + 1) in
+      if not (Stateset.mem s k) then Alcotest.failf "lost key %Ld" k
+    done
+  done
+
 (* -- json --------------------------------------------------------------- *)
 
 let test_json_roundtrip () =
@@ -526,6 +619,16 @@ let () =
           Alcotest.test_case "kind conflicts" `Quick test_metrics_kind_conflict;
           Alcotest.test_case "multi-domain merge" `Quick test_metrics_multi_domain;
           Alcotest.test_case "dump_jsonl schema" `Quick test_metrics_dump_jsonl;
+        ] );
+      ( "stateset",
+        [
+          Alcotest.test_case "add and mem" `Quick test_stateset_add_mem;
+          Alcotest.test_case "62-bit hash compaction" `Quick test_stateset_hash_compaction;
+          Alcotest.test_case "probing and resize" `Quick test_stateset_probing_and_resize;
+          Alcotest.test_case "concurrent insert determinism" `Quick
+            test_stateset_concurrent_determinism;
+          Alcotest.test_case "concurrent disjoint inserts" `Quick
+            test_stateset_concurrent_disjoint;
         ] );
       ( "json",
         [
