@@ -43,6 +43,13 @@ type explore_sample = {
   dedup : string;
   distinct_states : int;
   dedup_hit_rate : float;
+  (* Engine-throughput columns (schema v6), filled by the [engine] suite
+     (zero elsewhere): raw engine events processed by the row's workload
+     and the minor-heap words it allocated, from which the JSON derives
+     events_per_sec and minor_words_per_event — the two numbers the
+     hot-path rewrites are steered by. *)
+  events : int;
+  minor_words : float;
 }
 
 (* Suites append here and each writes the union, so one invocation running
@@ -119,6 +126,8 @@ let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains
        else
          float_of_int totals.Checker.Explore.Run_report.dedup_hits
          /. float_of_int arrivals);
+    events = 0;
+    minor_words = 0.;
   }
 
 (* Wall-clock of the domains=1 row with the same experiment/mode/budget,
@@ -133,17 +142,26 @@ let speedup_vs_seq samples s =
   |> Option.map (fun b ->
          if s.wall_ns = 0 then 1.0 else float_of_int b.wall_ns /. float_of_int s.wall_ns)
 
+(* events/sec of an engine-suite row; 0 for rows without engine columns. *)
+let events_per_sec s =
+  if s.wall_ns = 0 || s.events = 0 then 0.0
+  else float_of_int s.events /. (float_of_int s.wall_ns /. 1e9)
+
+let minor_words_per_event s =
+  if s.events = 0 then 0.0 else s.minor_words /. float_of_int s.events
+
 let write_explore_json path samples =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"suite\": \"explore\",\n";
-  out "  \"schema_version\": 5,\n";
+  out "  \"schema_version\": 6,\n";
   out
     "  \"schema\": [\"experiment\", \"protocol\", \"n\", \"mode\", \"domains\", \
      \"budget\", \"rounds\", \"max_drops\", \"max_dups\", \"explored\", \"wall_ns\", \
      \"states_per_sec\", \"speedup_vs_seq\", \"fast_path_rate\", \"mean_depth\", \
-     \"budget_waste_pct\", \"dedup\", \"distinct_states\", \"dedup_hit_rate\"],\n";
+     \"budget_waste_pct\", \"dedup\", \"distinct_states\", \"dedup_hit_rate\", \
+     \"events_per_sec\", \"minor_words_per_event\"],\n";
   out "  \"rounds\": %d,\n" explore_rounds;
   out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"results\": [\n";
@@ -160,10 +178,12 @@ let write_explore_json path samples =
          \"explored\": %d, \"wall_ns\": %d, \"states_per_sec\": %.1f, \
          \"speedup_vs_seq\": %s, \"fast_path_rate\": %.4f, \"mean_depth\": %.2f, \
          \"budget_waste_pct\": %.2f, \"dedup\": %S, \"distinct_states\": %d, \
-         \"dedup_hit_rate\": %.4f}%s\n"
+         \"dedup_hit_rate\": %.4f, \"events_per_sec\": %.1f, \
+         \"minor_words_per_event\": %.2f}%s\n"
         s.experiment s.protocol s.n s.mode s.domains s.budget s.rounds s.max_drops
         s.max_dups s.explored s.wall_ns (states_per_sec s) speedup s.fast_path_rate
         s.mean_depth s.budget_waste_pct s.dedup s.distinct_states s.dedup_hit_rate
+        (events_per_sec s) (minor_words_per_event s)
         (if i = List.length samples - 1 then "" else ","))
     samples;
   out "  ]\n}\n";
@@ -325,6 +345,8 @@ let run_metrics_overhead_suite ?(iters = 3_000) () =
       dedup = "off";
       distinct_states = 0;
       dedup_hit_rate = 0.;
+      events = 0;
+      minor_words = 0.;
     }
   in
   (* Warm-up evens out allocator/cache state so off vs on is a fair pair. *)
@@ -339,9 +361,200 @@ let run_metrics_overhead_suite ?(iters = 3_000) () =
   Format.fprintf fmt "enabled-registry overhead vs disabled: %+.1f%%@." overhead_pct;
   emit_samples [ off; on_ ]
 
-(* -- Bechamel microbenchmarks ------------------------------------------ *)
+(* -- Engine throughput suite -------------------------------------------- *)
+
+(* Raw Dsim.Engine stepping speed, isolated from the checker's schedule
+   enumeration: every frontier in ROADMAP.md multiplies event volume
+   through this loop, so its events/sec — and its allocations/event, the
+   other axis the int-packed rewrite moves — get their own trajectory rows.
+   Three workloads:
+     engine-n6-sync      full synchronous-round runs, no trace recording
+                         (the SMR/sweep configuration);
+     engine-n6-trace     the same runs with trace recording on (the
+                         explorer's configuration — shows the trace tax);
+     engine-n6-snapshot  the explorer's snapshot-mode inner loop: clone a
+                         mid-run engine, deliver its pending round, run to
+                         quiescence (Manual network, trace on);
+     engine-n6-timers    partial synchrony with live timers (exercises the
+                         timer table and the stochastic-delay path).
+   Events are the engine's own probe steps, so the number is comparable
+   across engine rewrites by construction. *)
+
+let engine_iters_default = 2_000
 
 let delta = 100
+
+let engine_protocol = Core.Rgs.task
+
+let engine_n, engine_e, engine_f = (6, 2, 2)
+
+let run_engine_workload (module P : Proto.Protocol.S) ~kind ~iters =
+  let n, e, f = (engine_n, engine_e, engine_f) in
+  let automaton = P.make ~n ~e ~f ~delta in
+  let inputs = List.init n (fun i -> (0, i, n - 1 - i)) in
+  let mk network ~record_trace ~disable_timers ~seed =
+    Dsim.Engine.create ~automaton ~n ~network ~seed ~record_trace ~disable_timers
+      ~inputs ()
+  in
+  let events = ref 0 in
+  let steps engine = (Dsim.Engine.probe engine).Dsim.Engine.Probe.steps in
+  (match kind with
+  | `Sync record_trace ->
+      for seed = 1 to iters do
+        let engine =
+          mk
+            (Dsim.Network.Sync_rounds { delta; order = Dsim.Network.Arrival })
+            ~record_trace ~disable_timers:true ~seed
+        in
+        ignore (Dsim.Engine.run ~until:(3 * delta) engine : Dsim.Engine.run_result);
+        events := !events + steps engine
+      done
+  | `Timers ->
+      (* Fewer, longer runs: each takes ~15 rounds to quiesce. *)
+      for seed = 1 to max 1 (iters / 10) do
+        let engine =
+          mk
+            (Dsim.Network.Partial_sync { delta; gst = 3 * delta; max_pre_gst = 150 })
+            ~record_trace:false ~disable_timers:false ~seed
+        in
+        ignore (Dsim.Engine.run ~until:(40 * delta) engine : Dsim.Engine.run_result);
+        events := !events + steps engine
+      done
+  | `Snapshot ->
+      let base = mk Dsim.Network.Manual ~record_trace:true ~disable_timers:true ~seed:0 in
+      ignore (Dsim.Engine.run ~until:(delta - 1) base : Dsim.Engine.run_result);
+      let base_steps = steps base in
+      for _ = 1 to iters do
+        let engine = Dsim.Engine.clone base in
+        for round = 1 to 3 do
+          let ids =
+            List.rev
+              (Dsim.Engine.fold_pending engine ~init:[]
+                 ~f:(fun acc ~id ~src:_ ~dst:_ ~msg:_ ~sent_at:_ -> id :: acc))
+          in
+          List.iter
+            (fun id -> Dsim.Engine.deliver_pending engine ~id ~at:(round * delta))
+            ids;
+          ignore (Dsim.Engine.run ~until:(((round + 1) * delta) - 1) engine
+                   : Dsim.Engine.run_result)
+        done;
+        events := !events + (steps engine - base_steps)
+      done);
+  !events
+
+let time_engine_workload ~experiment ~kind ~iters =
+  (* One untimed pass warms caches and stretches the minor heap so the
+     measured pass sees the steady state. *)
+  ignore (run_engine_workload engine_protocol ~kind ~iters:(max 1 (iters / 10)) : int);
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let events = run_engine_workload engine_protocol ~kind ~iters in
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  {
+    experiment;
+    protocol = "rgs-task";
+    n = engine_n;
+    mode = "engine";
+    domains = 1;
+    budget = iters;
+    rounds = 0;
+    max_drops = 0;
+    max_dups = 0;
+    explored = 0;
+    wall_ns = int_of_float ((t1 -. t0) *. 1e9);
+    fast_path_rate = 0.;
+    mean_depth = 0.;
+    budget_waste_pct = 0.;
+    dedup = "off";
+    distinct_states = 0;
+    dedup_hit_rate = 0.;
+    events;
+    minor_words = w1 -. w0;
+  }
+
+let engine_workloads =
+  [
+    ("engine-n6-sync", `Sync false);
+    ("engine-n6-trace", `Sync true);
+    ("engine-n6-snapshot", `Snapshot);
+    ("engine-n6-timers", `Timers);
+  ]
+
+let run_engine_suite ~engine_iters () =
+  let iters = Option.value ~default:engine_iters_default engine_iters in
+  Format.fprintf fmt "@.%s@.B5. Engine throughput (events/sec, minor words/event; %d iters)@.%s@."
+    (String.make 78 '-') iters (String.make 78 '-');
+  let samples =
+    List.map
+      (fun (experiment, kind) -> time_engine_workload ~experiment ~kind ~iters)
+      engine_workloads
+  in
+  Format.fprintf fmt "%-20s | %12s %12s %14s@." "workload" "events" "events/sec"
+    "minor w/event";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-20s | %12d %12.0f %14.2f@." s.experiment s.events
+        (events_per_sec s) (minor_words_per_event s))
+    samples;
+  emit_samples samples;
+  samples
+
+(* Regression guard for CI: compare the engine suite's events/sec against
+   the committed baseline rows (BENCH_baseline.json at the repo root,
+   deliberately conservative so runner-to-runner noise does not trip it)
+   and fail the run on a >30% drop. *)
+let check_engine_baseline ~baseline_path samples =
+  let fail msg =
+    Printf.eprintf "baseline check: %s\n" msg;
+    exit 1
+  in
+  let contents =
+    try In_channel.with_open_text baseline_path In_channel.input_all
+    with Sys_error e -> fail (Printf.sprintf "cannot read %s: %s" baseline_path e)
+  in
+  let json =
+    match Stdext.Json.parse contents with
+    | Ok j -> j
+    | Error e -> fail (Printf.sprintf "cannot parse %s: %s" baseline_path e)
+  in
+  let rows =
+    match Stdext.Json.member "baseline" json with
+    | Some (Stdext.Json.List rows) -> rows
+    | _ -> fail (Printf.sprintf "%s: missing \"baseline\" array" baseline_path)
+  in
+  let baseline_of name =
+    List.find_map
+      (fun row ->
+        match
+          ( Stdext.Json.member "experiment" row,
+            Stdext.Json.member "events_per_sec" row )
+        with
+        | Some (Stdext.Json.String e), Some (Stdext.Json.Float v) when e = name -> Some v
+        | Some (Stdext.Json.String e), Some (Stdext.Json.Int v) when e = name ->
+            Some (float_of_int v)
+        | _ -> None)
+      rows
+  in
+  List.iter
+    (fun s ->
+      match baseline_of s.experiment with
+      | None -> Format.fprintf fmt "baseline check: %s has no baseline row, skipped@." s.experiment
+      | Some base ->
+          let current = events_per_sec s in
+          let floor = 0.7 *. base in
+          if current < floor then
+            fail
+              (Printf.sprintf
+                 "%s regressed: %.0f events/sec < 70%% of baseline %.0f" s.experiment
+                 current base)
+          else
+            Format.fprintf fmt "baseline check: %s ok (%.0f events/sec vs baseline %.0f)@."
+              s.experiment current base)
+    samples
+
+(* -- Bechamel microbenchmarks ------------------------------------------ *)
 
 let bench_sync_fast_path protocol name =
   let run () =
@@ -436,10 +649,12 @@ let run_bechamel () =
 let usage () =
   print_endline
     "usage: main.exe [--domains N] [--domains-list N,N,...] [--explore-budget N] \
-     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|overhead|all]...";
+     [--engine-iters N] [--check-baseline FILE] \
+     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|overhead|engine|all]...";
   exit 1
 
-let run_experiment ~domains ~domains_list ~budget_override = function
+let run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~check_baseline
+    = function
   | "t1" -> Experiments.t1_bounds_table fmt
   | "t2" -> Experiments.t2_twostep_verification ~domains fmt
   | "t3" -> Experiments.t3_tightness_witnesses ~domains fmt
@@ -464,23 +679,32 @@ let run_experiment ~domains ~domains_list ~budget_override = function
   | "explore" -> run_explore_suite ~domains_list ~budget_override ()
   | "faults" -> run_faults_suite ~domains_list ~budget_override ()
   | "overhead" -> run_metrics_overhead_suite ()
+  | "engine" ->
+      let samples = run_engine_suite ~engine_iters () in
+      Option.iter (fun baseline_path -> check_engine_baseline ~baseline_path samples)
+        check_baseline
   | "all" ->
       Experiments.all ~domains fmt;
       run_bechamel ();
       run_explore_suite ~domains_list ~budget_override ();
       run_faults_suite ~domains_list ~budget_override ();
-      run_metrics_overhead_suite ()
+      run_metrics_overhead_suite ();
+      ignore (run_engine_suite ~engine_iters () : explore_sample list)
   | arg ->
       Printf.eprintf "unknown experiment %S\n" arg;
       usage ()
 
-(* Extract leading/interspersed [--domains N], [--domains-list N,N,...] and
-   [--explore-budget N] flags; everything else is an experiment name. *)
-let rec parse_args ~domains ~domains_list ~budget_override acc = function
-  | [] -> (domains, domains_list, budget_override, List.rev acc)
+(* Extract leading/interspersed [--domains N], [--domains-list N,N,...],
+   [--explore-budget N], [--engine-iters N] and [--check-baseline FILE]
+   flags; everything else is an experiment name. *)
+let rec parse_args ~domains ~domains_list ~budget_override ~engine_iters ~check_baseline
+    acc = function
+  | [] -> (domains, domains_list, budget_override, engine_iters, check_baseline, List.rev acc)
   | "--domains" :: value :: rest -> begin
       match int_of_string_opt value with
-      | Some d when d >= 1 -> parse_args ~domains:d ~domains_list ~budget_override acc rest
+      | Some d when d >= 1 ->
+          parse_args ~domains:d ~domains_list ~budget_override ~engine_iters
+            ~check_baseline acc rest
       | _ ->
           Printf.eprintf "--domains expects a positive integer, got %S\n" value;
           usage ()
@@ -495,25 +719,46 @@ let rec parse_args ~domains ~domains_list ~budget_override acc = function
         usage ()
       end;
       let l = List.filter_map Fun.id parsed in
-      parse_args ~domains ~domains_list:(Some l) ~budget_override acc rest
+      parse_args ~domains ~domains_list:(Some l) ~budget_override ~engine_iters
+        ~check_baseline acc rest
     end
   | "--explore-budget" :: value :: rest -> begin
       match int_of_string_opt value with
       | Some b when b >= 1 ->
-          parse_args ~domains ~domains_list ~budget_override:(Some b) acc rest
+          parse_args ~domains ~domains_list ~budget_override:(Some b) ~engine_iters
+            ~check_baseline acc rest
       | _ ->
           Printf.eprintf "--explore-budget expects a positive integer, got %S\n" value;
           usage ()
     end
-  | (("--domains" | "--domains-list" | "--explore-budget") as flag) :: [] ->
+  | "--engine-iters" :: value :: rest -> begin
+      match int_of_string_opt value with
+      | Some b when b >= 1 ->
+          parse_args ~domains ~domains_list ~budget_override ~engine_iters:(Some b)
+            ~check_baseline acc rest
+      | _ ->
+          Printf.eprintf "--engine-iters expects a positive integer, got %S\n" value;
+          usage ()
+    end
+  | "--check-baseline" :: value :: rest ->
+      parse_args ~domains ~domains_list ~budget_override ~engine_iters
+        ~check_baseline:(Some value) acc rest
+  | (("--domains" | "--domains-list" | "--explore-budget" | "--engine-iters"
+     | "--check-baseline") as flag)
+    :: [] ->
       Printf.eprintf "%s expects a value\n" flag;
       usage ()
-  | arg :: rest -> parse_args ~domains ~domains_list ~budget_override (arg :: acc) rest
+  | arg :: rest ->
+      parse_args ~domains ~domains_list ~budget_override ~engine_iters ~check_baseline
+        (arg :: acc) rest
 
 let () =
-  let domains, domains_list, budget_override, args =
-    parse_args ~domains:1 ~domains_list:None ~budget_override:None []
+  let domains, domains_list, budget_override, engine_iters, check_baseline, args =
+    parse_args ~domains:1 ~domains_list:None ~budget_override:None ~engine_iters:None
+      ~check_baseline:None []
       (List.tl (Array.to_list Sys.argv))
   in
-  let run = run_experiment ~domains ~domains_list ~budget_override in
+  let run =
+    run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~check_baseline
+  in
   match args with [] -> run "all" | args -> List.iter run args

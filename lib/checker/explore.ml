@@ -338,8 +338,7 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
      processes are irrelevant and are appended in arrival order. Returns
      [None] when nothing is pending. *)
   let round_choices ~truncated engine ~drops_left ~dups_left =
-    let pending = Dsim.Engine.pending engine in
-    if pending = [] then None
+    if Dsim.Engine.pending_count engine = 0 then None
     else begin
       let orders_for_batch ids =
         if List.length ids <= perm_limit then Combinat.permutations ids
@@ -348,20 +347,22 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
           [ ids; List.rev ids ]
         end
       in
-      let to_live, to_crashed =
-        List.partition
-          (fun (p : _ Dsim.Engine.pending) -> not (Dsim.Engine.crashed engine p.dst))
-          pending
+      (* One fold over the pool (send order) partitions ids by recipient
+         liveness and records each live id's destination — no pending-record
+         list is materialised. *)
+      let tbl = Hashtbl.create 16 in
+      let live_rev, crashed_rev =
+        Dsim.Engine.fold_pending engine ~init:([], [])
+          ~f:(fun (live, dead) ~id ~src:_ ~dst ~msg:_ ~sent_at:_ ->
+            if Dsim.Engine.crashed engine dst then (live, id :: dead)
+            else begin
+              Hashtbl.replace tbl id dst;
+              (id :: live, dead)
+            end)
       in
-      let crashed_ids = List.map (fun (p : _ Dsim.Engine.pending) -> p.id) to_crashed in
-      let live_ids = List.map (fun (p : _ Dsim.Engine.pending) -> p.id) to_live in
-      let dst_of =
-        let tbl = Hashtbl.create 16 in
-        List.iter
-          (fun (p : _ Dsim.Engine.pending) -> Hashtbl.replace tbl p.id p.dst)
-          to_live;
-        fun id -> Hashtbl.find tbl id
-      in
+      let live_ids = List.rev live_rev in
+      let crashed_ids = List.rev crashed_rev in
+      let dst_of id = Hashtbl.find tbl id in
       let choices =
         List.concat_map
           (fun drop ->

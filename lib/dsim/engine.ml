@@ -65,13 +65,18 @@ let meters_of registry =
     mg_queue_hwm = Metrics.gauge registry "engine.queue_hwm";
   }
 
-type 'msg delivery = { src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
+(* Disabled handles are inert, so all engines without a registry can share
+   one meters record instead of allocating ten per [create]. *)
+let disabled_meters = meters_of Metrics.disabled
 
 type ('msg, 'input) event =
   | Ev_crash of Pid.t
   | Ev_init of Pid.t
   | Ev_input of Pid.t * 'input
-  | Ev_deliver of 'msg delivery
+  (* Inline record: a queued delivery is one block, not a variant pointing
+     at a separate record. Deliveries dominate the queue, so this halves
+     the hot path's event allocations. *)
+  | Ev_deliver of { src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
   | Ev_timer of { pid : Pid.t; id : Automaton.timer_id; epoch : int }
 
 (* Events at equal time are processed by rank; see the .mli. *)
@@ -84,21 +89,32 @@ let rank = function
 
 let priority ~time ev = (time * 8) + rank ev
 
-let time_of_priority prio = prio / 8
+(* Times are non-negative, so the arithmetic shift is exact. *)
+let time_of_priority prio = prio asr 3
 
 type 'msg pending = { id : int; src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
 
-(* The pending pool and the timer-epoch table are immutable maps held in
-   mutable fields: updates rebind the field, and [clone] — the explorer's
-   hot path, executed once per search-tree edge — shares both in O(1)
-   instead of copying hash tables. *)
-module Imap = Map.Make (Int)
+(* The pending pool is a structure of arrays indexed by pending id: a
+   send claims a slot (LIFO freelist first, then the high-water mark), a
+   delivery/drop releases it. [pd_src.(s) = -1] marks a free slot, whose
+   [pd_sent] cell holds the next freelist link instead of a timestamp.
+   Send order is recovered from the [pd_seq] stamps — ids are reused, so
+   slot order is not send order. At most [2^pd_slot_bits] slots may be
+   live at once (the seq/slot packing in [live_slots_in_send_order]);
+   each id is at most that many ints plus one payload pointer, and
+   [clone] copies the live prefix with five [Array.sub] calls. *)
+let pd_slot_bits = 20
 
-module Tmap = Map.Make (struct
-  type t = Pid.t * Automaton.timer_id
+let pd_slot_limit = 1 lsl pd_slot_bits
 
-  let compare = Stdlib.compare
-end)
+let no_slot = -1
+
+(* The timer table is a flat int array: [(pid, timer_id)] packs to index
+   [pid * tt_stride + timer_id], epoch 0 means "never armed" (live epochs
+   start at 1). The stride grows to the next power of two when a larger
+   timer id first appears, so lookups are two loads and no comparison
+   function — the Map this replaces compared keys with the polymorphic
+   [Stdlib.compare]. *)
 
 type ('state, 'msg, 'input, 'output) t = {
   automaton : ('state, 'msg, 'input, 'output) Automaton.t;
@@ -108,7 +124,8 @@ type ('state, 'msg, 'input, 'output) t = {
   states : 'state option array;  (* None until Ev_init ran *)
   crashed_flags : bool array;
   queue : (('msg, 'input) event) Pqueue.t;
-  mutable timer_epochs : int Tmap.t;
+  mutable tt_epochs : int array;
+  mutable tt_stride : int;
   mutable now : Time.t;
   mutable trace_rev : ('msg, 'input, 'output) Trace.entry list;
   record_trace : bool;
@@ -116,8 +133,19 @@ type ('state, 'msg, 'input, 'output) t = {
   max_steps : int;
   mutable steps : int;
   mutable outputs_rev : (Time.t * Pid.t * 'output) list;
-  mutable pending_pool : 'msg pending Imap.t;
-  mutable next_pending_id : int;
+  mutable pd_src : int array;  (* -1 = free slot *)
+  mutable pd_dst : int array;
+  mutable pd_sent : int array;  (* sent_at, or next freelist link when free *)
+  mutable pd_seq : int array;  (* send-order stamp *)
+  mutable pd_msgs : 'msg array;
+  mutable pd_hwm : int;  (* slots 0 .. pd_hwm-1 have been allocated at least once *)
+  mutable pd_free : int;  (* freelist head, -1 when empty *)
+  mutable pd_live : int;
+  mutable pd_next_seq : int;
+  (* Per-destination scratch used by [handle_deliver_batch], reverse
+     arrival order. Contents are transient — cleared before the batch is
+     processed — so [clone] just allocates fresh empties. *)
+  batch_scratch : (Pid.t * 'msg * Time.t) list array;
   (* Fault-injection state. The decision stream draws from [fault_rng], a
      stream derived from (but disjoint from) the engine seed, so enabling
      faults never perturbs the base network model's delay samples. The
@@ -190,7 +218,8 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
       states = Array.make n None;
       crashed_flags = Array.make n false;
       queue = Pqueue.create ();
-      timer_epochs = Tmap.empty;
+      tt_epochs = [||];
+      tt_stride = 0;
       now = Time.zero;
       trace_rev = [];
       record_trace;
@@ -198,14 +227,22 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
       max_steps;
       steps = 0;
       outputs_rev = [];
-      pending_pool = Imap.empty;
-      next_pending_id = 0;
+      pd_src = [||];
+      pd_dst = [||];
+      pd_sent = [||];
+      pd_seq = [||];
+      pd_msgs = [||];
+      pd_hwm = 0;
+      pd_free = no_slot;
+      pd_live = 0;
+      pd_next_seq = 0;
+      batch_scratch = Array.make n [];
       fault_plan = faults;
       fault_rng = Rng.create ~seed:(seed lxor fault_seed_mix);
       sends = 0;
       faults_dropped = 0;
       faults_duplicated = 0;
-      meters = meters_of metrics;
+      meters = (if metrics == Metrics.disabled then disabled_meters else meters_of metrics);
       f_steps = 0;
       f_sent = 0;
       f_delivered = 0;
@@ -229,10 +266,12 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
   t
 
 (* Branch a run: duplicate every piece of mutable engine state. Immutable
-   payloads (trace entries, queued events, pending records, timer epochs)
-   are shared; process states go through the automaton's [state_copy]
-   hook. Reads the source engine only, so several domains may clone the
-   same (quiescent) engine concurrently. *)
+   payloads (trace entries, queued events, pending payloads) are shared;
+   process states go through the automaton's [state_copy] hook. The flat
+   pool and timer table are copied up to their live prefix — straight-line
+   [Array.sub]/[Array.copy] blits of unboxed ints, sized by what the run
+   actually used, not by retained capacity. Reads the source engine only,
+   so several domains may clone the same (quiescent) engine concurrently. *)
 let clone t =
   {
     t with
@@ -241,6 +280,13 @@ let clone t =
     states = Array.map (Option.map t.automaton.Automaton.state_copy) t.states;
     crashed_flags = Array.copy t.crashed_flags;
     queue = Pqueue.copy t.queue;
+    tt_epochs = Array.copy t.tt_epochs;
+    pd_src = Array.sub t.pd_src 0 t.pd_hwm;
+    pd_dst = Array.sub t.pd_dst 0 t.pd_hwm;
+    pd_sent = Array.sub t.pd_sent 0 t.pd_hwm;
+    pd_seq = Array.sub t.pd_seq 0 t.pd_hwm;
+    pd_msgs = Array.sub t.pd_msgs 0 t.pd_hwm;
+    batch_scratch = Array.make t.n [];
     first_input = Array.copy t.first_input;
     first_output = Array.copy t.first_output;
     (* The clone's flush watermarks start at the source's current counters:
@@ -309,10 +355,100 @@ let do_crash t pid =
     record t (Trace.Crashed { time = t.now; pid })
   end
 
-let add_pending t ~src ~dst msg =
-  let id = t.next_pending_id in
-  t.next_pending_id <- id + 1;
-  t.pending_pool <- Imap.add id { id; src; dst; msg; sent_at = t.now } t.pending_pool
+(* -- pending pool ------------------------------------------------------- *)
+
+let grow_pending t msg =
+  let cap = Array.length t.pd_src in
+  let new_cap = min pd_slot_limit (max 16 (2 * cap)) in
+  if new_cap = cap then invalid_arg "Engine: more than 2^20 live pending messages";
+  let sub a fill =
+    let b = Array.make new_cap fill in
+    Array.blit a 0 b 0 t.pd_hwm;
+    b
+  in
+  t.pd_src <- sub t.pd_src no_slot;
+  t.pd_dst <- sub t.pd_dst 0;
+  t.pd_sent <- sub t.pd_sent 0;
+  t.pd_seq <- sub t.pd_seq 0;
+  t.pd_msgs <- sub t.pd_msgs msg
+
+(* Claim a slot and fill it; returns the new pending id. Freed slots are
+   reused LIFO — deterministic, so branched explorations assign identical
+   ids along identical paths. *)
+let add_pending t ~src ~dst ~sent_at msg =
+  let s =
+    if t.pd_free >= 0 then begin
+      let s = t.pd_free in
+      t.pd_free <- t.pd_sent.(s);
+      s
+    end
+    else begin
+      if t.pd_hwm = Array.length t.pd_src then grow_pending t msg;
+      let s = t.pd_hwm in
+      t.pd_hwm <- s + 1;
+      s
+    end
+  in
+  t.pd_live <- t.pd_live + 1;
+  t.pd_src.(s) <- src;
+  t.pd_dst.(s) <- dst;
+  t.pd_sent.(s) <- sent_at;
+  t.pd_seq.(s) <- t.pd_next_seq;
+  t.pd_next_seq <- t.pd_next_seq + 1;
+  t.pd_msgs.(s) <- msg;
+  s
+
+(* The payload pointer stays in [pd_msgs] until the slot is reused; pool
+   payloads are small immutable protocol messages, so the retention is
+   bounded by the pool's high-water mark and harmless. *)
+let free_pending t s =
+  t.pd_src.(s) <- no_slot;
+  t.pd_sent.(s) <- t.pd_free;
+  t.pd_free <- s;
+  t.pd_live <- t.pd_live - 1
+
+let pending_live t s = s >= 0 && s < t.pd_hwm && t.pd_src.(s) >= 0
+
+(* Live slots in send order: the (unique, monotone) seq stamp and the slot
+   pack into one int, so a single monomorphic sort recovers both. *)
+let live_slots_in_send_order t =
+  let a = Array.make t.pd_live 0 in
+  let j = ref 0 in
+  for s = 0 to t.pd_hwm - 1 do
+    if t.pd_src.(s) >= 0 then begin
+      a.(!j) <- (t.pd_seq.(s) lsl pd_slot_bits) lor s;
+      incr j
+    end
+  done;
+  Array.sort Int.compare a;
+  a
+
+let pending_count t = t.pd_live
+
+let iter_pending t f =
+  let slots = live_slots_in_send_order t in
+  Array.iter
+    (fun packed ->
+      let s = packed land (pd_slot_limit - 1) in
+      f ~id:s ~src:t.pd_src.(s) ~dst:t.pd_dst.(s) ~msg:t.pd_msgs.(s)
+        ~sent_at:t.pd_sent.(s))
+    slots
+
+let fold_pending t ~init ~f =
+  let slots = live_slots_in_send_order t in
+  Array.fold_left
+    (fun acc packed ->
+      let s = packed land (pd_slot_limit - 1) in
+      f acc ~id:s ~src:t.pd_src.(s) ~dst:t.pd_dst.(s) ~msg:t.pd_msgs.(s)
+        ~sent_at:t.pd_sent.(s))
+    init slots
+
+let pending t =
+  List.rev
+    (fold_pending t ~init:[] ~f:(fun acc ~id ~src ~dst ~msg ~sent_at ->
+         { id; src; dst; msg; sent_at } :: acc))
+
+(* -- sending ------------------------------------------------------------ *)
 
 let send t ~src ~dst msg =
   (* A crashed process sends nothing: [Crash_sender] flips the flag
@@ -332,7 +468,7 @@ let send t ~src ~dst msg =
     let schedule_original () =
       match delivery with
       | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now })
-      | None -> add_pending t ~src ~dst msg
+      | None -> ignore (add_pending t ~src ~dst ~sent_at:t.now msg : int)
     in
     match action with
     | Network.Fault.Deliver -> schedule_original ()
@@ -353,34 +489,62 @@ let send t ~src ~dst msg =
              ~now:(t.now + extra_delay) ~src ~dst
          with
         | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now })
-        | None -> add_pending t ~src ~dst msg)
+        | None -> ignore (add_pending t ~src ~dst ~sent_at:t.now msg : int))
     | Network.Fault.Crash_sender ->
         schedule_original ();
         do_crash t src
   end
 
+(* -- timers ------------------------------------------------------------- *)
+
+let grow_timers t ~id =
+  let stride = ref (max 4 t.tt_stride) in
+  while !stride <= id do
+    stride := 2 * !stride
+  done;
+  let stride = !stride in
+  let arr = Array.make (t.n * stride) 0 in
+  for p = 0 to t.n - 1 do
+    Array.blit t.tt_epochs (p * t.tt_stride) arr (p * stride) t.tt_stride
+  done;
+  t.tt_epochs <- arr;
+  t.tt_stride <- stride
+
+(* Both arming and cancelling bump the epoch: a queued Ev_timer fires only
+   when it still carries the current epoch. *)
+let bump_timer_epoch t ~pid ~id =
+  if id < 0 then invalid_arg "Engine: negative timer id";
+  if id >= t.tt_stride then grow_timers t ~id;
+  let k = (pid * t.tt_stride) + id in
+  let epoch = t.tt_epochs.(k) + 1 in
+  t.tt_epochs.(k) <- epoch;
+  epoch
+
+let timer_epoch t ~pid ~id =
+  if id < t.tt_stride then t.tt_epochs.((pid * t.tt_stride) + id) else 0
+
 let set_timer t ~pid ~id ~after =
   if not t.disable_timers then begin
-    let key = (pid, id) in
-    let epoch = 1 + Option.value ~default:0 (Tmap.find_opt key t.timer_epochs) in
-    t.timer_epochs <- Tmap.add key epoch t.timer_epochs;
+    let epoch = bump_timer_epoch t ~pid ~id in
     push_event t ~at:(t.now + max 0 after) (Ev_timer { pid; id; epoch })
   end
 
 let cancel_timer t ~pid ~id =
   (* With timers disabled no Ev_timer is ever queued, so the epoch
      bookkeeping would be dead weight cloned into every snapshot. *)
-  if not t.disable_timers then begin
-    let key = (pid, id) in
-    let epoch = 1 + Option.value ~default:0 (Tmap.find_opt key t.timer_epochs) in
-    t.timer_epochs <- Tmap.add key epoch t.timer_epochs
-  end
+  if not t.disable_timers then ignore (bump_timer_epoch t ~pid ~id : int)
+
+(* -- event processing --------------------------------------------------- *)
 
 let apply_actions t ~pid actions =
   let apply = function
     | Automaton.Send (dst, msg) -> send t ~src:pid ~dst msg
     | Automaton.Broadcast msg ->
-        List.iter (fun dst -> send t ~src:pid ~dst msg) (Pid.others ~n:t.n pid)
+        (* Same order as [Pid.others] (ascending, skipping self), without
+           materialising the recipient list per broadcast. *)
+        for dst = 0 to t.n - 1 do
+          if dst <> pid then send t ~src:pid ~dst msg
+        done
     | Automaton.Set_timer { id; after } -> set_timer t ~pid ~id ~after
     | Automaton.Cancel_timer id -> cancel_timer t ~pid ~id
     | Automaton.Output output ->
@@ -408,50 +572,41 @@ let handle_deliver t ~src ~dst ~msg ~sent_at =
     step_process t ~pid:dst (fun s -> t.automaton.on_message s ~src msg)
   end
 
-(* Collect every further Ev_deliver sharing [prio] (same instant), reorder
-   per recipient with the synchronous order policy, then process. *)
-let handle_deliver_batch t ~order ~(first : _ delivery) ~prio =
-  let rec collect (acc : _ delivery list) =
-    match Pqueue.peek t.queue with
-    | Some (p, Ev_deliver _) when p = prio -> begin
-        match Pqueue.pop t.queue with
-        | Some (_, Ev_deliver d) -> collect (d :: acc)
-        | _ -> assert false
-      end
-    | _ -> List.rev acc
-  in
-  let batch = collect [ first ] in
-  let by_dst = Hashtbl.create 8 in
-  List.iter
-    (fun (d : _ delivery) ->
-      let existing = Option.value ~default:[] (Hashtbl.find_opt by_dst d.dst) in
-      Hashtbl.replace by_dst d.dst (d :: existing))
-    batch;
-  let dsts = List.sort_uniq Pid.compare (List.map (fun (d : _ delivery) -> d.dst) batch) in
-  List.iter
-    (fun dst ->
-      let group = List.rev (Option.value ~default:[] (Hashtbl.find_opt by_dst dst)) in
-      let pairs = List.map (fun (d : _ delivery) -> (d.src, d.msg)) group in
-      let ordered = Network.order_batch order ~rng:t.rng pairs in
-      (* Re-attach sent_at by matching deliveries back in order; sent_at is
-         only informational so we pair ordered (src, msg) with the original
-         record found first. *)
-      List.iter
-        (fun (src, msg) ->
-          let sent_at =
-            match
-              List.find_opt
-                (fun (d : _ delivery) -> Pid.equal d.src src && d.msg == msg)
-                group
-            with
-            | Some d -> d.sent_at
-            | None -> t.now
-          in
-          handle_deliver t ~src ~dst ~msg ~sent_at)
-        ordered)
-    dsts
+(* Collect every further Ev_deliver sharing [prio] (same instant, and the
+   delivery rank — so any event at equal priority is a delivery), bucket
+   them into the per-destination scratch lists, reorder each group with
+   the synchronous order policy, then process groups by ascending
+   destination. The scratch array replaces a per-batch hash table; the
+   RNG-visible order (one [order_batch_by] call per non-empty destination,
+   ascending) is identical, and sent_at rides along instead of being
+   re-matched after the fact. *)
+let handle_deliver_batch t ~order ~src ~dst ~msg ~sent_at ~prio =
+  let scratch = t.batch_scratch in
+  scratch.(dst) <- (src, msg, sent_at) :: scratch.(dst);
+  while (not (Pqueue.is_empty t.queue)) && Pqueue.peek_prio t.queue = prio do
+    match Pqueue.pop_exn t.queue with
+    | Ev_deliver { src; dst; msg; sent_at } ->
+        scratch.(dst) <- (src, msg, sent_at) :: scratch.(dst)
+    | _ -> assert false  (* delivery rank at this instant: always Ev_deliver *)
+  done;
+  for d = 0 to t.n - 1 do
+    match scratch.(d) with
+    | [] -> ()
+    | rev_group ->
+        scratch.(d) <- [];
+        let group = List.rev rev_group in
+        let ordered =
+          Network.order_batch_by order ~rng:t.rng
+            ~src:(fun (s, _, _) -> s)
+            ~payload:(fun (_, m, _) -> m)
+            group
+        in
+        List.iter
+          (fun (src, msg, sent_at) -> handle_deliver t ~src ~dst:d ~msg ~sent_at)
+          ordered
+  done
 
-let handle_event t ev =
+let handle_event t ~prio ev =
   match ev with
   | Ev_crash pid -> do_crash t pid
   | Ev_init pid ->
@@ -466,16 +621,14 @@ let handle_event t ev =
         record t (Trace.Input { time = t.now; pid; input });
         step_process t ~pid (fun s -> t.automaton.on_input s input)
       end
-  | Ev_deliver d -> begin
+  | Ev_deliver { src; dst; msg; sent_at } -> begin
       match t.network with
       | Network.Sync_rounds { order; _ } ->
-          let prio = priority ~time:t.now ev in
-          handle_deliver_batch t ~order ~first:d ~prio
-      | _ -> handle_deliver t ~src:d.src ~dst:d.dst ~msg:d.msg ~sent_at:d.sent_at
+          handle_deliver_batch t ~order ~src ~dst ~msg ~sent_at ~prio
+      | _ -> handle_deliver t ~src ~dst ~msg ~sent_at
     end
   | Ev_timer { pid; id; epoch } ->
-      let current = Tmap.find_opt (pid, id) t.timer_epochs in
-      if current = Some epoch && not t.crashed_flags.(pid) then begin
+      if timer_epoch t ~pid ~id = epoch && not t.crashed_flags.(pid) then begin
         t.p_timer_fires <- t.p_timer_fires + 1;
         record t (Trace.Timer_fired { time = t.now; pid; id });
         step_process t ~pid (fun s -> t.automaton.on_timer s id)
@@ -503,74 +656,66 @@ let flush_meters t =
   flush t.meters.mc_decides t.p_decides t.f_decides (fun v -> t.f_decides <- v);
   Metrics.record_max t.meters.mg_queue_hwm t.p_queue_hwm
 
+(* The stepping loop allocates nothing per event: the bound is hoisted to
+   a plain int, the next event's time is read off the packed priority
+   without building an option, and pop returns the payload directly. *)
 let run ?until t =
+  let ubound = match until with None -> max_int | Some u -> u in
   let rec loop () =
     if t.steps >= t.max_steps then Step_budget_exhausted
+    else if Pqueue.is_empty t.queue then Quiescent
     else begin
-      match Pqueue.peek t.queue with
-      | None -> Quiescent
-      | Some (prio, _) -> begin
-          let time = time_of_priority prio in
-          match until with
-          | Some u when time > u -> Reached_until
-          | _ -> begin
-              match Pqueue.pop t.queue with
-              | None -> Quiescent
-              | Some (_, ev) ->
-                  t.steps <- t.steps + 1;
-                  t.now <- max t.now time;
-                  handle_event t ev;
-                  loop ()
-            end
-        end
+      let prio = Pqueue.peek_prio t.queue in
+      let time = time_of_priority prio in
+      if time > ubound then Reached_until
+      else begin
+        let ev = Pqueue.pop_exn t.queue in
+        t.steps <- t.steps + 1;
+        if time > t.now then t.now <- time;
+        handle_event t ~prio ev;
+        loop ()
+      end
     end
   in
   let result = loop () in
   flush_meters t;
   result
 
-(* Imap.bindings is ascending in id, i.e. send order. *)
-let pending t = List.map snd (Imap.bindings t.pending_pool)
+(* -- manual network control --------------------------------------------- *)
 
 let deliver_pending t ~id ~at =
-  match Imap.find_opt id t.pending_pool with
-  | None -> raise Not_found
-  | Some p ->
-      if at < t.now then invalid_arg "Engine.deliver_pending: at < now";
-      t.pending_pool <- Imap.remove id t.pending_pool;
-      push_event t ~at (Ev_deliver { src = p.src; dst = p.dst; msg = p.msg; sent_at = p.sent_at })
+  if not (pending_live t id) then raise Not_found;
+  if at < t.now then invalid_arg "Engine.deliver_pending: at < now";
+  let src = t.pd_src.(id) and dst = t.pd_dst.(id) and sent_at = t.pd_sent.(id) in
+  let msg = t.pd_msgs.(id) in
+  free_pending t id;
+  push_event t ~at (Ev_deliver { src; dst; msg; sent_at })
 
 let drop_pending t ~id =
-  (match Imap.find_opt id t.pending_pool with
-  | Some p ->
-      t.faults_dropped <- t.faults_dropped + 1;
-      record t
-        (Trace.Dropped
-           { time = t.now; src = p.src; dst = p.dst; msg = p.msg; sent_at = p.sent_at })
-  | None -> ());
-  t.pending_pool <- Imap.remove id t.pending_pool
+  if pending_live t id then begin
+    t.faults_dropped <- t.faults_dropped + 1;
+    record t
+      (Trace.Dropped
+         {
+           time = t.now;
+           src = t.pd_src.(id);
+           dst = t.pd_dst.(id);
+           msg = t.pd_msgs.(id);
+           sent_at = t.pd_sent.(id);
+         });
+    free_pending t id
+  end
 
 let duplicate_pending t ~id =
-  match Imap.find_opt id t.pending_pool with
-  | None -> raise Not_found
-  | Some p ->
-      let copy_id = t.next_pending_id in
-      t.next_pending_id <- copy_id + 1;
-      t.faults_duplicated <- t.faults_duplicated + 1;
-      record t
-        (Trace.Duplicated
-           {
-             time = t.now;
-             src = p.src;
-             dst = p.dst;
-             msg = p.msg;
-             sent_at = p.sent_at;
-             extra_delay = 0;
-           });
-      (* The copy keeps the original's sent_at: it is the same message on
-         the wire twice, not a re-send by the automaton. *)
-      t.pending_pool <- Imap.add copy_id { p with id = copy_id } t.pending_pool;
-      copy_id
+  if not (pending_live t id) then raise Not_found;
+  (* Read before allocating: the copy's slot claim may grow the arrays. *)
+  let src = t.pd_src.(id) and dst = t.pd_dst.(id) and sent_at = t.pd_sent.(id) in
+  let msg = t.pd_msgs.(id) in
+  t.faults_duplicated <- t.faults_duplicated + 1;
+  record t (Trace.Duplicated { time = t.now; src; dst; msg; sent_at; extra_delay = 0 });
+  (* The copy keeps the original's sent_at: it is the same message on
+     the wire twice, not a re-send by the automaton. *)
+  add_pending t ~src ~dst ~sent_at msg
 
 let fault_counts t = (t.faults_dropped, t.faults_duplicated)
 
@@ -624,11 +769,13 @@ let local_fp t state_fp ~relabel pid =
 (* The digest covers every field that can influence the engine's future
    observable behaviour under a deterministic network model: clock, fault
    bookkeeping (the send index keys fault scripts), per-process local
-   state, the pending pool (a multiset — ids are allocation accidents),
-   the event queue in pop order (the only order with semantics), and live
-   timer epochs. Excluded: step/trace/output history (past, not future)
-   and the RNG streams (opaque; under the explorer's [Manual] network and
-   scripted faults they are never consulted, see the .mli). *)
+   state, the pending pool (a multiset folded commutatively — slot ids
+   and seq stamps are allocation accidents), the event queue in pop order
+   (the only order with semantics), and live timer epochs (epoch 0 cells
+   are never-armed, i.e. absent). Excluded: step/trace/output history
+   (past, not future) and the RNG streams (opaque; under the explorer's
+   [Manual] network and scripted faults they are never consulted, see the
+   .mli). *)
 let fold_engine t state_fp ~relabel ~order =
   let fp = Fp.mix (Fp.int t.n) (Fp.int t.now) in
   let fp = Fp.mix fp (Fp.int t.sends) in
@@ -637,30 +784,35 @@ let fold_engine t state_fp ~relabel ~order =
   let fp =
     Array.fold_left (fun acc pid -> Fp.mix acc (local_fp t state_fp ~relabel pid)) fp order
   in
-  let pend =
-    Imap.fold
-      (fun _ p acc ->
-        Fp.commute acc
+  let pend = ref 67L in
+  for s = 0 to t.pd_hwm - 1 do
+    if t.pd_src.(s) >= 0 then
+      pend :=
+        Fp.commute !pend
           (Fp.mix
-             (Fp.mix (Fp.mix (Fp.mix 61L (Fp.int (relabel p.src))) (Fp.int (relabel p.dst)))
-                (Fp.structural p.msg))
-             (Fp.int p.sent_at)))
-      t.pending_pool 67L
-  in
-  let fp = Fp.mix fp pend in
-  let fp =
-    List.fold_left
-      (fun acc (prio, ev) -> Fp.mix (Fp.mix acc (Fp.int prio)) (event_fp ~relabel ev))
-      fp (Pqueue.to_list t.queue)
-  in
-  let timers =
-    Tmap.fold
-      (fun (pid, id) epoch acc ->
-        Fp.commute acc
-          (Fp.mix (Fp.mix (Fp.mix 71L (Fp.int (relabel pid))) (Fp.int id)) (Fp.int epoch)))
-      t.timer_epochs 73L
-  in
-  Fp.mix fp timers
+             (Fp.mix
+                (Fp.mix (Fp.mix 61L (Fp.int (relabel t.pd_src.(s))))
+                   (Fp.int (relabel t.pd_dst.(s))))
+                (Fp.structural t.pd_msgs.(s)))
+             (Fp.int t.pd_sent.(s)))
+  done;
+  let fp = Fp.mix fp !pend in
+  let qfp = ref fp in
+  Pqueue.iter_in_order t.queue (fun prio ev ->
+      qfp := Fp.mix (Fp.mix !qfp (Fp.int prio)) (event_fp ~relabel ev));
+  let fp = !qfp in
+  let timers = ref 73L in
+  for pid = 0 to t.n - 1 do
+    for id = 0 to t.tt_stride - 1 do
+      let epoch = t.tt_epochs.((pid * t.tt_stride) + id) in
+      if epoch > 0 then
+        timers :=
+          Fp.commute !timers
+            (Fp.mix (Fp.mix (Fp.mix 71L (Fp.int (relabel pid))) (Fp.int id))
+               (Fp.int epoch))
+    done
+  done;
+  Fp.mix fp !timers
 
 let fingerprint ?(symmetry = false) t =
   match t.automaton.Automaton.state_fingerprint with

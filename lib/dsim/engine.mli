@@ -16,7 +16,19 @@
     Crashes are well-defined at every instant including time 0: a process
     crashed before its initialisation event still receives its initial
     state (its init actions are dropped — it never takes a step), so
-    {!state}, {!clone} and {!correct_pids} agree on crashed processes. *)
+    {!state}, {!clone} and {!correct_pids} agree on crashed processes.
+
+    {b Hot-path representation (packing invariants).} The stepping core is
+    flat-array and int-packed, which fixes a few widths: event priorities
+    pack as [time * 8 + rank] into {!Stdext.Pqueue}'s keys (priorities
+    within ±2^38, i.e. virtual times up to ~2^35 ticks); the pending pool
+    is a slot-indexed structure of arrays whose send-order recovery packs
+    [(seq, slot)] into one int, capping {e live} pending messages at 2^20;
+    the timer table is a flat array indexed by [pid * stride + timer_id]
+    with epoch 0 meaning "never armed" (the stride grows to cover the
+    largest timer id seen, so huge sparse timer ids waste space —
+    automata should number timers densely from 0). Exceeding a width
+    raises [Invalid_argument] rather than corrupting state. *)
 
 type ('state, 'msg, 'input, 'output) t
 
@@ -98,13 +110,16 @@ val run : ?until:Time.t -> ('state, 'msg, 'input, 'output) t -> run_result
 val clone : ('state, 'msg, 'input, 'output) t -> ('state, 'msg, 'input, 'output) t
 (** Independent deep copy of the engine at its current instant: states
     (via {!Automaton.t}'s [state_copy]), event queue, pending pool, timer
-    epochs, RNGs (including the fault stream), fault counters and trace. Stepping either engine never affects the other,
-    and running both identically gives bit-identical results. O(n + queued
-    events): the pending pool, timer table, trace and outputs are
-    persistent structures shared in O(1). [clone] only reads its argument,
-    so multiple domains may clone the same engine concurrently as long as
-    nobody steps it meanwhile (and [state_copy] is pure, which the
-    {!Automaton.t} contract requires). *)
+    epochs, RNGs (including the fault stream), fault counters and trace.
+    Stepping either engine never affects the other, and running both
+    identically gives bit-identical results. O(n + queued events + live
+    prefix): the event queue, pending pool and timer table are flat arrays
+    copied up to their high-water mark with straight blits of unboxed ints
+    (message payloads, trace entries and outputs stay shared — they are
+    immutable). [clone] only reads its argument, so multiple domains may
+    clone the same engine concurrently as long as nobody steps it
+    meanwhile (and [state_copy] is pure, which the {!Automaton.t} contract
+    requires). *)
 
 type ('state, 'msg, 'input, 'output) snapshot
 (** An immutable capture of an engine, taken with {!snapshot} and
@@ -148,7 +163,28 @@ val schedule_crash : ('state, 'msg, 'input, 'output) t -> at:Time.t -> Pid.t -> 
 type 'msg pending = { id : int; src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
 
 val pending : ('state, 'msg, 'input, 'output) t -> 'msg pending list
-(** Undelivered sends, in send order. *)
+(** Undelivered sends, in send order. Allocates one record per entry;
+    {!iter_pending}/{!fold_pending} walk the pool without materialising
+    the list. *)
+
+val pending_count : ('state, 'msg, 'input, 'output) t -> int
+(** Number of undelivered sends, O(1). *)
+
+val iter_pending :
+  ('state, 'msg, 'input, 'output) t ->
+  (id:int -> src:Pid.t -> dst:Pid.t -> msg:'msg -> sent_at:Time.t -> unit) ->
+  unit
+(** Visit every undelivered send in send order without building the
+    {!pending} list (no per-entry allocation). The pool must not be
+    mutated during the iteration. *)
+
+val fold_pending :
+  ('state, 'msg, 'input, 'output) t ->
+  init:'acc ->
+  f:('acc -> id:int -> src:Pid.t -> dst:Pid.t -> msg:'msg -> sent_at:Time.t -> 'acc) ->
+  'acc
+(** Fold over undelivered sends in send order; same contract as
+    {!iter_pending}. *)
 
 val deliver_pending : ('state, 'msg, 'input, 'output) t -> id:int -> at:Time.t -> unit
 (** Schedule pending message [id] for delivery at [at] (must be [>= now]).
@@ -158,12 +194,16 @@ val drop_pending : ('state, 'msg, 'input, 'output) t -> id:int -> unit
 (** Discard a pending message (models asynchrony: delayed past the
     horizon, or an explored message-loss fault). Recorded as a
     {!Trace.entry.Dropped} entry and counted in {!fault_counts}; unknown
-    ids are ignored. *)
+    ids are ignored. The id becomes reusable: ids are pool slots,
+    deterministically recycled (most recently freed first), so a later
+    send or duplication may receive it — treat ids as valid only until
+    the next pool mutation. *)
 
 val duplicate_pending : ('state, 'msg, 'input, 'output) t -> id:int -> int
 (** Add a second pending copy of message [id] (same payload, same
     [sent_at] — the message is on the wire twice, not re-sent) and return
-    the copy's fresh id. Used by the explorer to enumerate duplication
+    the copy's id (a currently-unused slot, possibly one freed earlier —
+    see {!drop_pending}). Used by the explorer to enumerate duplication
     faults. Recorded as a {!Trace.entry.Duplicated} entry and counted in
     {!fault_counts}. Raises [Not_found] for unknown ids. *)
 

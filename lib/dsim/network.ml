@@ -26,7 +26,6 @@ let delivery_time t ~rng ~now ~src ~dst =
       (* Delivered precisely at the next round boundary. *)
       Some (((now / delta) + 1) * delta)
   | Partial_sync { delta; gst; max_pre_gst } ->
-      validate t;
       if now >= gst then Some (now + Stdext.Rng.int_in rng 1 delta)
       else
         (* Chaotic delay, capped by the documented contract: every message
@@ -36,25 +35,32 @@ let delivery_time t ~rng ~now ~src ~dst =
            the model promises to force, weakening the adversary. *)
         Some (min (now + Stdext.Rng.int_in rng 1 max_pre_gst) (gst + delta))
   | Uniform { min_delay; max_delay } ->
-      validate t;
       Some (now + Stdext.Rng.int_in rng min_delay max_delay)
   | Wan { latency; jitter } ->
       let j = if jitter <= 0 then 0 else Stdext.Rng.int rng (jitter + 1) in
       Some (now + max 1 (latency ~src ~dst) + j)
   | Manual -> None
 
-let order_batch order ~rng batch =
+(* Generic over the batch element: the engine passes (src, msg, sent_at)
+   triples straight through instead of projecting to pairs and matching
+   timestamps back afterwards. RNG consumption depends only on the batch
+   length (one shuffle for [Random_order]), so the element type never
+   perturbs the stream. *)
+let order_batch_by order ~rng ~src ~payload batch =
   match order with
   | Arrival -> batch
   | Random_order -> Stdext.Rng.shuffle rng batch
   | Favor p ->
-      let favored, rest = List.partition (fun (src, _) -> Pid.equal src p) batch in
+      let favored, rest = List.partition (fun x -> Pid.equal (src x) p) batch in
       favored @ rest
   | Sort_by key ->
       (* Stable sort keeps arrival order among equal keys. *)
       List.stable_sort
-        (fun (src1, m1) (src2, m2) -> Int.compare (key ~src:src1 m1) (key ~src:src2 m2))
+        (fun x y -> Int.compare (key ~src:(src x) (payload x)) (key ~src:(src y) (payload y)))
         batch
+
+let order_batch order ~rng batch =
+  order_batch_by order ~rng ~src:fst ~payload:snd batch
 
 module Fault = struct
   type action =

@@ -38,15 +38,15 @@ type 'msg t =
           message takes at most [delta] ticks; before [gst] delays are
           random up to [max_pre_gst] ticks, but every message is delivered
           by [gst + delta] at the latest. Requires [delta >= 1],
-          [gst >= 0] and [max_pre_gst >= 1] — {!delivery_time} (and
-          {!validate}) raise [Invalid_argument] otherwise, the same
-          validation contract as {!Uniform}. *)
+          [gst >= 0] and [max_pre_gst >= 1] — {!validate} raises
+          [Invalid_argument] otherwise, the same validation contract as
+          {!Uniform}. *)
   | Uniform of { min_delay : int; max_delay : int }
       (** Every message delayed uniformly in [\[min_delay, max_delay\]];
           used for randomized safety testing. Requires
           [0 < min_delay <= max_delay] (links are causal: zero and negative
           delays are meaningless, and an empty range is a configuration
-          error) — {!delivery_time} raises [Invalid_argument] otherwise. *)
+          error) — {!validate} raises [Invalid_argument] otherwise. *)
   | Wan of { latency : src:Pid.t -> dst:Pid.t -> int; jitter : int }
       (** Deterministic one-way latency matrix plus uniform jitter in
           [\[0, jitter\]]; ticks are interpreted as milliseconds. *)
@@ -66,15 +66,30 @@ val validate : 'msg t -> unit
 val delivery_time :
   'msg t -> rng:Stdext.Rng.t -> now:Time.t -> src:Pid.t -> dst:Pid.t -> Time.t option
 (** Delivery time for a message sent at [now], or [None] for {!Manual}
-    (pending pool). The result is always [> now]. *)
+    (pending pool). The result is always [> now]. Called once per send on
+    the engine's hot path, so it does {e not} re-validate the model —
+    construct engines through {!Engine.create} (which calls {!validate})
+    or call {!validate} yourself. *)
+
+val order_batch_by :
+  'msg order ->
+  rng:Stdext.Rng.t ->
+  src:('a -> Pid.t) ->
+  payload:('a -> 'msg) ->
+  'a list ->
+  'a list
+(** Reorder one recipient's batch of same-instant deliveries, generic over
+    the batch element ([src]/[payload] project the sender and the message
+    out of an element). The engine passes [(src, msg, sent_at)] triples so
+    delivery metadata rides along with the ordering. RNG consumption
+    depends only on the batch length, never on the element type. *)
 
 val order_batch :
   'msg order ->
   rng:Stdext.Rng.t ->
   (Pid.t * 'msg) list ->
   (Pid.t * 'msg) list
-(** Reorder one recipient's batch of same-instant deliveries (elements are
-    [(src, msg)] in arrival order). *)
+(** [order_batch_by] specialised to [(src, msg)] pairs in arrival order. *)
 
 (** {2 Fault injection}
 

@@ -1,87 +1,162 @@
-type 'a entry = { prio : int; seq : int; value : 'a }
+(* Structure-of-arrays binary min-heap with int-packed keys.
+
+   Each entry's (priority, insertion sequence) pair is packed into one
+   OCaml int — [key = (priority lsl seq_bits) lor seq] — so the heap order
+   is a single monomorphic [<] on an unboxed int array, and a push
+   allocates nothing beyond (amortised) array growth. The parallel [vals]
+   array carries the payloads; there are no per-entry records to allocate
+   or chase, which is what makes this the simulation engine's hot-path
+   queue. Packing invariants (see the .mli): [seq_bits = 24] bits of
+   sequence, priorities within +-2^38. The sequence counter is renumbered
+   in place (pop order preserved) when it overflows, so FIFO-within-
+   priority survives arbitrarily long runs. *)
+
+let seq_bits = 24
+
+let seq_limit = 1 lsl seq_bits
+
+let prio_limit = 1 lsl 38
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { keys = [||]; vals = [||]; size = 0; next_seq = 0 }
 
-(* Entries are immutable records, so a shallow array copy suffices; only
-   the live prefix is copied, so cloning a drained queue with a large
+(* Only the live prefix is copied, so cloning a drained queue with a large
    retained capacity costs (almost) nothing. *)
-let copy t = { data = Array.sub t.data 0 t.size; size = t.size; next_seq = t.next_seq }
+let copy t =
+  {
+    keys = Array.sub t.keys 0 t.size;
+    vals = Array.sub t.vals 0 t.size;
+    size = t.size;
+    next_seq = t.next_seq;
+  }
 
 let is_empty t = t.size = 0
 
 let length t = t.size
 
-let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let prio_of_key k = k asr seq_bits
 
-let grow t e =
-  let cap = Array.length t.data in
+(* Renumber sequence stamps 0..size-1 in pop order. A sorted key array is
+   already a valid min-heap, so the rebuilt arrays need no sifting. Runs
+   once every [seq_limit] pushes at worst. *)
+let compact t =
+  let n = t.size in
+  if n = 0 then t.next_seq <- 0
+  else begin
+    let idx = Array.init n Fun.id in
+    let keys = t.keys in
+    Array.sort (fun a b -> Int.compare keys.(a) keys.(b)) idx;
+    let new_keys = Array.make (Array.length t.keys) 0 in
+    let new_vals = Array.make (Array.length t.vals) t.vals.(0) in
+    for i = 0 to n - 1 do
+      new_keys.(i) <- (prio_of_key keys.(idx.(i)) lsl seq_bits) lor i;
+      new_vals.(i) <- t.vals.(idx.(i))
+    done;
+    t.keys <- new_keys;
+    t.vals <- new_vals;
+    t.next_seq <- n
+  end
+
+let grow t v =
+  let cap = Array.length t.keys in
   if t.size = cap then begin
     let new_cap = max 16 (2 * cap) in
-    let data = Array.make new_cap e in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
-  end
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+    let keys = Array.make new_cap 0 in
+    let vals = Array.make new_cap v in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.vals 0 vals 0 t.size;
+    t.keys <- keys;
+    t.vals <- vals
   end
 
 let push t ~priority value =
-  let e = { prio = priority; seq = t.next_seq; value } in
+  if priority < -prio_limit || priority >= prio_limit then
+    invalid_arg "Pqueue.push: priority outside +-2^38 (packing invariant)";
+  if t.next_seq >= seq_limit then compact t;
+  grow t value;
+  let key = (priority lsl seq_bits) lor t.next_seq in
   t.next_seq <- t.next_seq + 1;
-  grow t e;
-  t.data.(t.size) <- e;
+  (* Hole-based sift-up: slide ancestors down, write once. *)
+  let keys = t.keys and vals = t.vals in
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if key < keys.(parent) then begin
+      keys.(!i) <- keys.(parent);
+      vals.(!i) <- vals.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  keys.(!i) <- key;
+  vals.(!i) <- value
+
+(* Remove the root, re-seat the last entry with a hole-based sift-down. *)
+let remove_min t =
+  let size = t.size - 1 in
+  t.size <- size;
+  if size > 0 then begin
+    let keys = t.keys and vals = t.vals in
+    let key = keys.(size) and v = vals.(size) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= size then continue := false
+      else begin
+        let r = l + 1 in
+        let c = if r < size && keys.(r) < keys.(l) then r else l in
+        if keys.(c) < key then begin
+          keys.(!i) <- keys.(c);
+          vals.(!i) <- vals.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    keys.(!i) <- key;
+    vals.(!i) <- v
+  end
+
+let peek_prio t =
+  if t.size = 0 then invalid_arg "Pqueue.peek_prio: empty queue";
+  prio_of_key t.keys.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Pqueue.pop_exn: empty queue";
+  let v = t.vals.(0) in
+  remove_min t;
+  v
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.prio, top.value)
+    let prio = prio_of_key t.keys.(0) in
+    let v = t.vals.(0) in
+    remove_min t;
+    Some (prio, v)
   end
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+let peek t = if t.size = 0 then None else Some (prio_of_key t.keys.(0), t.vals.(0))
+
+let iter_in_order t f =
+  let c = copy t in
+  while c.size > 0 do
+    let prio = prio_of_key c.keys.(0) in
+    let v = c.vals.(0) in
+    remove_min c;
+    f prio v
+  done
 
 let to_list t =
-  let copy =
-    {
-      data = Array.sub t.data 0 t.size;
-      size = t.size;
-      next_seq = t.next_seq;
-    }
-  in
-  let rec drain acc =
-    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
-  in
-  drain []
+  let acc = ref [] in
+  iter_in_order t (fun prio v -> acc := (prio, v) :: !acc);
+  List.rev !acc

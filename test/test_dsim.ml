@@ -222,6 +222,55 @@ let test_manual_pending_and_deliver () =
   Alcotest.(check int) "exactly one delivered" 1 (List.length (Engine.outputs engine));
   Alcotest.(check int) "pool drained" 0 (List.length (Engine.pending engine))
 
+let test_pending_slot_reuse () =
+  (* Pending ids are pool slots recycled LIFO: dropping a message frees
+     its slot for the next allocation, and send order (reported by
+     [pending]) follows send-order stamps, not id order. *)
+  let engine =
+    Engine.create ~automaton:echo ~n:3 ~network:Network.Manual ~inputs:[ (0, 0, 9) ] ()
+  in
+  ignore (Engine.run engine);
+  let a, b =
+    match Engine.pending engine with
+    | [ a; b ] -> (a, b)
+    | _ -> Alcotest.fail "expected two pending broadcasts"
+  in
+  Alcotest.(check int) "pending_count" 2 (Engine.pending_count engine);
+  Engine.drop_pending engine ~id:a.id;
+  Alcotest.(check int) "one live after drop" 1 (Engine.pending_count engine);
+  let copy_id = Engine.duplicate_pending engine ~id:b.id in
+  Alcotest.(check int) "dropped slot reused for the copy" a.id copy_id;
+  (match Engine.pending engine with
+  | [ first; second ] ->
+      Alcotest.(check int) "original first in send order" b.id first.id;
+      Alcotest.(check int) "copy last despite smaller id" copy_id second.id;
+      Alcotest.(check int) "copy keeps sent_at" b.sent_at second.sent_at
+  | _ -> Alcotest.fail "expected two pending after duplication");
+  (* A dropped id is no longer addressable until reallocated. *)
+  Engine.drop_pending engine ~id:copy_id;
+  Alcotest.check_raises "stale id raises" Not_found (fun () ->
+      ignore (Engine.duplicate_pending engine ~id:copy_id : int))
+
+let test_pending_fold_iter_agree () =
+  let engine =
+    Engine.create ~automaton:echo ~n:4 ~network:Network.Manual
+      ~inputs:[ (0, 0, 1); (0, 2, 7) ] ()
+  in
+  ignore (Engine.run engine);
+  let records = Engine.pending engine in
+  Alcotest.(check int) "six pending broadcasts" 6 (List.length records);
+  let of_record (p : _ Engine.pending) = (p.id, p.src, p.dst, p.msg, p.sent_at) in
+  let via_fold =
+    List.rev
+      (Engine.fold_pending engine ~init:[] ~f:(fun acc ~id ~src ~dst ~msg ~sent_at ->
+           (id, src, dst, msg, sent_at) :: acc))
+  in
+  let via_iter = ref [] in
+  Engine.iter_pending engine (fun ~id ~src ~dst ~msg ~sent_at ->
+      via_iter := (id, src, dst, msg, sent_at) :: !via_iter);
+  Alcotest.(check bool) "fold matches pending" true (via_fold = List.map of_record records);
+  Alcotest.(check bool) "iter matches fold" true (List.rev !via_iter = via_fold)
+
 let test_determinism () =
   let run () =
     let engine =
@@ -766,6 +815,8 @@ let () =
           QCheck_alcotest.to_alcotest partial_sync_contract_property;
           Alcotest.test_case "wan matrix" `Quick test_wan_latency;
           Alcotest.test_case "manual pending pool" `Quick test_manual_pending_and_deliver;
+          Alcotest.test_case "pending slot reuse" `Quick test_pending_slot_reuse;
+          Alcotest.test_case "pending fold/iter agree" `Quick test_pending_fold_iter_agree;
           Alcotest.test_case "uniform validates bounds" `Quick test_uniform_validates_bounds;
         ] );
       ( "faults",

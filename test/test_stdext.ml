@@ -169,6 +169,91 @@ let test_pqueue_copy_independent () =
     [ (0, 0); (2, 2); (3, 3) ]
     (Pqueue.to_list c)
 
+let pqueue_copy_independence_property =
+  (* Random contents, then divergent mutations on original and copy: each
+     side's drain must be exactly what its own operation history implies —
+     the structure-of-arrays copy shares no backing storage. *)
+  QCheck.Test.make ~name:"pqueue copy shares no state with the original" ~count:200
+    QCheck.(list (int_bound 50))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q ~priority:p i) priorities;
+      let c = Pqueue.copy q in
+      let q_before = Pqueue.to_list q in
+      (* Mutate the copy, check the original; then mutate the original,
+         check the copy. *)
+      Pqueue.push c ~priority:51 (-1);
+      ignore (Pqueue.pop c);
+      let q_unmoved = Pqueue.to_list q = q_before in
+      let c_after = Pqueue.to_list c in
+      Pqueue.push q ~priority:52 (-2);
+      ignore (Pqueue.pop q);
+      q_unmoved && Pqueue.to_list c = c_after)
+
+let test_pqueue_nonalloc_api () =
+  (* peek_prio/pop_exn agree with pop/peek; both raise on empty. *)
+  let q = Pqueue.create () in
+  Alcotest.check_raises "peek_prio empty"
+    (Invalid_argument "Pqueue.peek_prio: empty queue") (fun () ->
+      ignore (Pqueue.peek_prio q : int));
+  Alcotest.check_raises "pop_exn empty"
+    (Invalid_argument "Pqueue.pop_exn: empty queue") (fun () ->
+      ignore (Pqueue.pop_exn q : int));
+  List.iter (fun v -> Pqueue.push q ~priority:v v) [ 4; 2; 9 ];
+  Alcotest.(check int) "peek_prio is min" 2 (Pqueue.peek_prio q);
+  Alcotest.(check int) "pop_exn returns payload" 2 (Pqueue.pop_exn q);
+  let seen = ref [] in
+  Pqueue.iter_in_order q (fun p v -> seen := (p, v) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "iter_in_order matches to_list" (Pqueue.to_list q) (List.rev !seen);
+  Alcotest.(check int) "iter_in_order non-destructive" 2 (Pqueue.length q)
+
+let test_pqueue_priority_packing_range () =
+  (* The packing contract: priorities span the full +-2^38 documented
+     range (negative keys still order correctly through the lsl/lor
+     packing), and out-of-range priorities are rejected. *)
+  let lim = 1 lsl 38 in
+  let q = Pqueue.create () in
+  Pqueue.push q ~priority:(lim - 1) "max";
+  Pqueue.push q ~priority:(-lim) "min";
+  Pqueue.push q ~priority:(-5) "neg1";
+  Pqueue.push q ~priority:(-5) "neg2";
+  Pqueue.push q ~priority:0 "zero";
+  Alcotest.(check (list string))
+    "negative priorities order before zero, FIFO on ties"
+    [ "min"; "neg1"; "neg2"; "zero"; "max" ]
+    (List.map snd (Pqueue.to_list q));
+  let reject p =
+    Alcotest.check_raises "out of packing range"
+      (Invalid_argument "Pqueue.push: priority outside +-2^38 (packing invariant)")
+      (fun () -> Pqueue.push q ~priority:p "x")
+  in
+  reject lim;
+  reject (-lim - 1)
+
+let test_pqueue_seq_compaction () =
+  (* Drive the 24-bit sequence counter past its limit with a small live
+     heap: the transparent renumbering must preserve FIFO-within-priority
+     across the compaction boundary. *)
+  let q = Pqueue.create () in
+  let window = 8 in
+  let next = ref 0 in
+  for _ = 1 to window do
+    Pqueue.push q ~priority:5 !next;
+    incr next
+  done;
+  let expect = ref 0 in
+  let total = (1 lsl 24) + 64 in
+  for _ = 1 to total do
+    Pqueue.push q ~priority:5 !next;
+    incr next;
+    let v = Pqueue.pop_exn q in
+    if v <> !expect then
+      Alcotest.failf "FIFO broken across seq compaction: got %d, want %d" v !expect;
+    incr expect
+  done;
+  Alcotest.(check int) "window retained" window (Pqueue.length q)
+
 (* -- pool --------------------------------------------------------------- *)
 
 let test_pool_exactly_once () =
@@ -590,6 +675,11 @@ let () =
           Alcotest.test_case "copy independence" `Quick test_pqueue_copy_independent;
           QCheck_alcotest.to_alcotest pqueue_heap_property;
           QCheck_alcotest.to_alcotest pqueue_stable_order_property;
+          QCheck_alcotest.to_alcotest pqueue_copy_independence_property;
+          Alcotest.test_case "non-allocating API" `Quick test_pqueue_nonalloc_api;
+          Alcotest.test_case "priority packing range" `Quick
+            test_pqueue_priority_packing_range;
+          Alcotest.test_case "seq compaction" `Quick test_pqueue_seq_compaction;
         ] );
       ( "pool",
         [
