@@ -554,6 +554,227 @@ let check_engine_baseline ~baseline_path samples =
               s.experiment current base)
     samples
 
+(* -- SMR deployment suite ----------------------------------------------- *)
+
+(* End-to-end throughput/latency of the replicated KV store under an
+   open-loop client fleet: every protocol x topology is measured twice at
+   the same offered load — one command per slot ("baseline") vs pipelining
+   + batching ("tuned") — so the printed speedup is the payoff of
+   amortizing consensus instances, not of admitting more work. *)
+
+type smr_sample = {
+  s_experiment : string;  (* smr-<protocol>-<topology>-<mode> *)
+  s_protocol : string;
+  s_topology : string;
+  s_mode : string;
+  s_pipeline : int;
+  s_batch_max : int;
+  s_clients : int;
+  s_rate : float;
+  s_horizon : int;
+  s_submitted : int;
+  s_completed : int;
+  s_commits_per_sec : float;
+  s_p50 : int;
+  s_p99 : int;
+  s_mean_batch : float;
+  s_max_batch : int;
+  s_converged : bool;
+  s_wall_ns : int;
+}
+
+let smr_protocols =
+  [
+    ("rgs-task", Core.Rgs.task);
+    ("rgs-object", Core.Rgs.obj);
+    ("paxos", Baselines.Paxos.protocol);
+    ("fast-paxos", Baselines.Fast_paxos.protocol);
+    ("epaxos", Epaxos.protocol);
+  ]
+
+let smr_topologies = [ Workload.Topology.planet5; Workload.Topology.planet9 ]
+
+let smr_modes = [ ("baseline", 1, 1); ("tuned", 16, 64) ]
+
+let smr_clients_default = 120
+
+let smr_horizon_default = 10_000
+
+let smr_rate = 4.0
+
+let time_smr ~protocol_name ~protocol ~topology ~mode ~pipeline ~batch_max ~clients
+    ~horizon =
+  let cfg : Workload.Fleet.config =
+    {
+      clients;
+      arrival = Open { rate_per_client = smr_rate };
+      keys = 64;
+      hot_rate = 0.1;
+      horizon;
+      tick = 50;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Workload.Fleet.run ~protocol ~e:2 ~f:2 ~topology ~pipeline ~batch_max ~seed:1 cfg
+  in
+  let t1 = Unix.gettimeofday () in
+  let topology_name = Workload.Topology.name topology in
+  {
+    s_experiment = Printf.sprintf "smr-%s-%s-%s" protocol_name topology_name mode;
+    s_protocol = protocol_name;
+    s_topology = topology_name;
+    s_mode = mode;
+    s_pipeline = pipeline;
+    s_batch_max = batch_max;
+    s_clients = clients;
+    s_rate = smr_rate;
+    s_horizon = horizon;
+    s_submitted = r.submitted;
+    s_completed = r.completed;
+    s_commits_per_sec = Workload.Fleet.commits_per_sec r;
+    s_p50 = Stdext.Stats.p50 r.latencies;
+    s_p99 = Stdext.Stats.p99 r.latencies;
+    s_mean_batch = r.mean_batch;
+    s_max_batch = r.max_batch;
+    s_converged = r.converged;
+    s_wall_ns = int_of_float ((t1 -. t0) *. 1e9);
+  }
+
+let write_smr_json path samples =
+  Out_channel.with_open_text path (fun oc ->
+      let p format = Printf.fprintf oc format in
+      p "{\n";
+      p "  \"suite\": \"smr\",\n";
+      p "  \"schema_version\": 1,\n";
+      p
+        "  \"schema\": [\"experiment\", \"protocol\", \"topology\", \"mode\", \
+         \"pipeline\", \"batch_max\", \"clients\", \"rate_per_client\", \"horizon_ms\", \
+         \"submitted\", \"completed\", \"commits_per_sec\", \"p50_ms\", \"p99_ms\", \
+         \"mean_batch\", \"max_batch\", \"converged\", \"wall_ns\"],\n";
+      p "  \"samples\": [\n";
+      List.iteri
+        (fun i s ->
+          p
+            "    {\"experiment\": %S, \"protocol\": %S, \"topology\": %S, \"mode\": %S, \
+             \"pipeline\": %d, \"batch_max\": %d, \"clients\": %d, \"rate_per_client\": \
+             %.2f, \"horizon_ms\": %d, \"submitted\": %d, \"completed\": %d, \
+             \"commits_per_sec\": %.2f, \"p50_ms\": %d, \"p99_ms\": %d, \"mean_batch\": \
+             %.3f, \"max_batch\": %d, \"converged\": %b, \"wall_ns\": %d}%s\n"
+            s.s_experiment s.s_protocol s.s_topology s.s_mode s.s_pipeline s.s_batch_max
+            s.s_clients s.s_rate s.s_horizon s.s_submitted s.s_completed
+            s.s_commits_per_sec s.s_p50 s.s_p99 s.s_mean_batch s.s_max_batch s.s_converged
+            s.s_wall_ns
+            (if i = List.length samples - 1 then "" else ","))
+        samples;
+      p "  ]\n";
+      p "}\n");
+  Format.fprintf fmt "@.wrote %d smr samples to %s@." (List.length samples) path
+
+let run_smr_suite ~smr_clients ~smr_horizon () =
+  let clients = Option.value ~default:smr_clients_default smr_clients in
+  let horizon = Option.value ~default:smr_horizon_default smr_horizon in
+  Format.fprintf fmt
+    "@.%s@.B6. SMR under load (open loop: %d clients x %.1f cmd/s, %d virtual ms, e = f \
+     = 2)@.%s@."
+    (String.make 78 '-') clients smr_rate horizon (String.make 78 '-');
+  let samples =
+    List.concat_map
+      (fun topology ->
+        List.concat_map
+          (fun (protocol_name, protocol) ->
+            List.map
+              (fun (mode, pipeline, batch_max) ->
+                time_smr ~protocol_name ~protocol ~topology ~mode ~pipeline ~batch_max
+                  ~clients ~horizon)
+              smr_modes)
+          smr_protocols)
+      smr_topologies
+  in
+  Format.fprintf fmt "%-32s | %9s %7s %7s | %6s %5s | %5s@." "experiment" "commits/s"
+    "p50" "p99" "batch" "conv" "wall";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-32s | %9.1f %6dms %6dms | %6.2f %5b | %4.1fs@." s.s_experiment
+        s.s_commits_per_sec s.s_p50 s.s_p99 s.s_mean_batch s.s_converged
+        (float_of_int s.s_wall_ns /. 1e9))
+    samples;
+  (* The acceptance check the suite exists for: batching + pipelining must
+     pay at equal offered load, on every protocol and topology. *)
+  List.iter
+    (fun (base : smr_sample) ->
+      if base.s_mode = "baseline" then
+        let tuned_name =
+          Printf.sprintf "smr-%s-%s-tuned" base.s_protocol base.s_topology
+        in
+        match List.find_opt (fun s -> s.s_experiment = tuned_name) samples with
+        | None -> ()
+        | Some tuned ->
+            let speedup =
+              if base.s_commits_per_sec > 0.0 then
+                tuned.s_commits_per_sec /. base.s_commits_per_sec
+              else infinity
+            in
+            Format.fprintf fmt "speedup %-24s %5.1fx (%.1f -> %.1f commits/s)@."
+              (Printf.sprintf "%s-%s:" base.s_protocol base.s_topology)
+              speedup base.s_commits_per_sec tuned.s_commits_per_sec)
+    samples;
+  write_smr_json "BENCH_smr.json" samples;
+  samples
+
+(* Same 70%-floor discipline as the engine suite, over commits/sec: rows
+   are matched by experiment name against BENCH_baseline.json entries
+   carrying a "commits_per_sec" field. *)
+let check_smr_baseline ~baseline_path samples =
+  let fail msg =
+    Printf.eprintf "smr baseline check: %s\n" msg;
+    exit 1
+  in
+  let contents =
+    try In_channel.with_open_text baseline_path In_channel.input_all
+    with Sys_error e -> fail (Printf.sprintf "cannot read %s: %s" baseline_path e)
+  in
+  let json =
+    match Stdext.Json.parse contents with
+    | Ok j -> j
+    | Error e -> fail (Printf.sprintf "cannot parse %s: %s" baseline_path e)
+  in
+  let rows =
+    match Stdext.Json.member "baseline" json with
+    | Some (Stdext.Json.List rows) -> rows
+    | _ -> fail (Printf.sprintf "%s: missing \"baseline\" array" baseline_path)
+  in
+  let baseline_of name =
+    List.find_map
+      (fun row ->
+        match
+          ( Stdext.Json.member "experiment" row,
+            Stdext.Json.member "commits_per_sec" row )
+        with
+        | Some (Stdext.Json.String e), Some (Stdext.Json.Float v) when e = name -> Some v
+        | Some (Stdext.Json.String e), Some (Stdext.Json.Int v) when e = name ->
+            Some (float_of_int v)
+        | _ -> None)
+      rows
+  in
+  List.iter
+    (fun s ->
+      match baseline_of s.s_experiment with
+      | None -> ()
+      | Some base ->
+          let floor = 0.7 *. base in
+          if s.s_commits_per_sec < floor then
+            fail
+              (Printf.sprintf "%s regressed: %.1f commits/sec < 70%% of baseline %.1f"
+                 s.s_experiment s.s_commits_per_sec base)
+          else
+            Format.fprintf fmt
+              "smr baseline check: %s ok (%.1f commits/sec vs baseline %.1f)@."
+              s.s_experiment s.s_commits_per_sec base;
+          if not s.s_converged then
+            fail (Printf.sprintf "%s: replicas failed to converge" s.s_experiment))
+    samples
+
 (* -- Bechamel microbenchmarks ------------------------------------------ *)
 
 let bench_sync_fast_path protocol name =
@@ -649,12 +870,12 @@ let run_bechamel () =
 let usage () =
   print_endline
     "usage: main.exe [--domains N] [--domains-list N,N,...] [--explore-budget N] \
-     [--engine-iters N] [--check-baseline FILE] \
-     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|overhead|engine|all]...";
+     [--engine-iters N] [--smr-clients N] [--smr-horizon MS] [--check-baseline FILE] \
+     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|overhead|engine|smr|all]...";
   exit 1
 
-let run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~check_baseline
-    = function
+let run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~smr_clients
+    ~smr_horizon ~check_baseline = function
   | "t1" -> Experiments.t1_bounds_table fmt
   | "t2" -> Experiments.t2_twostep_verification ~domains fmt
   | "t3" -> Experiments.t3_tightness_witnesses ~domains fmt
@@ -683,28 +904,42 @@ let run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~check_
       let samples = run_engine_suite ~engine_iters () in
       Option.iter (fun baseline_path -> check_engine_baseline ~baseline_path samples)
         check_baseline
+  | "smr" ->
+      let samples = run_smr_suite ~smr_clients ~smr_horizon () in
+      Option.iter (fun baseline_path -> check_smr_baseline ~baseline_path samples)
+        check_baseline
   | "all" ->
       Experiments.all ~domains fmt;
       run_bechamel ();
       run_explore_suite ~domains_list ~budget_override ();
       run_faults_suite ~domains_list ~budget_override ();
       run_metrics_overhead_suite ();
-      ignore (run_engine_suite ~engine_iters () : explore_sample list)
+      ignore (run_engine_suite ~engine_iters () : explore_sample list);
+      ignore (run_smr_suite ~smr_clients ~smr_horizon () : smr_sample list)
   | arg ->
       Printf.eprintf "unknown experiment %S\n" arg;
       usage ()
 
 (* Extract leading/interspersed [--domains N], [--domains-list N,N,...],
-   [--explore-budget N], [--engine-iters N] and [--check-baseline FILE]
-   flags; everything else is an experiment name. *)
-let rec parse_args ~domains ~domains_list ~budget_override ~engine_iters ~check_baseline
-    acc = function
-  | [] -> (domains, domains_list, budget_override, engine_iters, check_baseline, List.rev acc)
+   [--explore-budget N], [--engine-iters N], [--smr-clients N],
+   [--smr-horizon MS] and [--check-baseline FILE] flags; everything else is
+   an experiment name. *)
+let rec parse_args ~domains ~domains_list ~budget_override ~engine_iters ~smr_clients
+    ~smr_horizon ~check_baseline acc = function
+  | [] ->
+      ( domains,
+        domains_list,
+        budget_override,
+        engine_iters,
+        smr_clients,
+        smr_horizon,
+        check_baseline,
+        List.rev acc )
   | "--domains" :: value :: rest -> begin
       match int_of_string_opt value with
       | Some d when d >= 1 ->
-          parse_args ~domains:d ~domains_list ~budget_override ~engine_iters
-            ~check_baseline acc rest
+          parse_args ~domains:d ~domains_list ~budget_override ~engine_iters ~smr_clients
+            ~smr_horizon ~check_baseline acc rest
       | _ ->
           Printf.eprintf "--domains expects a positive integer, got %S\n" value;
           usage ()
@@ -720,13 +955,13 @@ let rec parse_args ~domains ~domains_list ~budget_override ~engine_iters ~check_
       end;
       let l = List.filter_map Fun.id parsed in
       parse_args ~domains ~domains_list:(Some l) ~budget_override ~engine_iters
-        ~check_baseline acc rest
+        ~smr_clients ~smr_horizon ~check_baseline acc rest
     end
   | "--explore-budget" :: value :: rest -> begin
       match int_of_string_opt value with
       | Some b when b >= 1 ->
           parse_args ~domains ~domains_list ~budget_override:(Some b) ~engine_iters
-            ~check_baseline acc rest
+            ~smr_clients ~smr_horizon ~check_baseline acc rest
       | _ ->
           Printf.eprintf "--explore-budget expects a positive integer, got %S\n" value;
           usage ()
@@ -735,30 +970,56 @@ let rec parse_args ~domains ~domains_list ~budget_override ~engine_iters ~check_
       match int_of_string_opt value with
       | Some b when b >= 1 ->
           parse_args ~domains ~domains_list ~budget_override ~engine_iters:(Some b)
-            ~check_baseline acc rest
+            ~smr_clients ~smr_horizon ~check_baseline acc rest
       | _ ->
           Printf.eprintf "--engine-iters expects a positive integer, got %S\n" value;
           usage ()
     end
+  | "--smr-clients" :: value :: rest -> begin
+      match int_of_string_opt value with
+      | Some c when c >= 1 ->
+          parse_args ~domains ~domains_list ~budget_override ~engine_iters
+            ~smr_clients:(Some c) ~smr_horizon ~check_baseline acc rest
+      | _ ->
+          Printf.eprintf "--smr-clients expects a positive integer, got %S\n" value;
+          usage ()
+    end
+  | "--smr-horizon" :: value :: rest -> begin
+      match int_of_string_opt value with
+      | Some h when h >= 1 ->
+          parse_args ~domains ~domains_list ~budget_override ~engine_iters ~smr_clients
+            ~smr_horizon:(Some h) ~check_baseline acc rest
+      | _ ->
+          Printf.eprintf "--smr-horizon expects a positive integer, got %S\n" value;
+          usage ()
+    end
   | "--check-baseline" :: value :: rest ->
-      parse_args ~domains ~domains_list ~budget_override ~engine_iters
-        ~check_baseline:(Some value) acc rest
+      parse_args ~domains ~domains_list ~budget_override ~engine_iters ~smr_clients
+        ~smr_horizon ~check_baseline:(Some value) acc rest
   | (("--domains" | "--domains-list" | "--explore-budget" | "--engine-iters"
-     | "--check-baseline") as flag)
+     | "--smr-clients" | "--smr-horizon" | "--check-baseline") as flag)
     :: [] ->
       Printf.eprintf "%s expects a value\n" flag;
       usage ()
   | arg :: rest ->
-      parse_args ~domains ~domains_list ~budget_override ~engine_iters ~check_baseline
-        (arg :: acc) rest
+      parse_args ~domains ~domains_list ~budget_override ~engine_iters ~smr_clients
+        ~smr_horizon ~check_baseline (arg :: acc) rest
 
 let () =
-  let domains, domains_list, budget_override, engine_iters, check_baseline, args =
+  let ( domains,
+        domains_list,
+        budget_override,
+        engine_iters,
+        smr_clients,
+        smr_horizon,
+        check_baseline,
+        args ) =
     parse_args ~domains:1 ~domains_list:None ~budget_override:None ~engine_iters:None
-      ~check_baseline:None []
+      ~smr_clients:None ~smr_horizon:None ~check_baseline:None []
       (List.tl (Array.to_list Sys.argv))
   in
   let run =
-    run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~check_baseline
+    run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~smr_clients
+      ~smr_horizon ~check_baseline
   in
   match args with [] -> run "all" | args -> List.iter run args

@@ -10,6 +10,7 @@ let protocols =
     ("rgs-object", Core.Rgs.obj);
     ("paxos", Baselines.Paxos.protocol);
     ("fast-paxos", Baselines.Fast_paxos.protocol);
+    ("epaxos", Epaxos.protocol);
   ]
 
 let protocol_conv =
@@ -30,7 +31,7 @@ let protocol_arg =
     value
     & opt protocol_conv Core.Rgs.task
     & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
-        ~doc:"Protocol: rgs-task, rgs-object, paxos or fast-paxos.")
+        ~doc:"Protocol: rgs-task, rgs-object, paxos, fast-paxos or epaxos.")
 
 let e_arg = Arg.(value & opt int 2 & info [ "e" ] ~docv:"E" ~doc:"Fast-path crash threshold.")
 
@@ -495,6 +496,134 @@ let report_cmd =
           histogram — the two-step claim as numbers.")
     Term.(const run $ n_arg $ e_arg $ f_arg $ json_arg $ dedup_arg $ metrics_out_arg)
 
+(* -- smr ----------------------------------------------------------------- *)
+
+let smr_cmd =
+  let topology_conv =
+    let parse s =
+      match
+        List.find_opt (fun t -> Workload.Topology.name t = s) Workload.Topology.presets
+      with
+      | Some t -> Ok t
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown topology %S (expected %s)" s
+                  (String.concat ", "
+                     (List.map Workload.Topology.name Workload.Topology.presets))))
+    in
+    let print fmt t = Format.pp_print_string fmt (Workload.Topology.name t) in
+    Arg.conv (parse, print)
+  in
+  let topology_arg =
+    Arg.(
+      value
+      & opt topology_conv Workload.Topology.planet5
+      & info [ "topology" ] ~docv:"TOPOLOGY"
+          ~doc:"WAN preset: local-cluster, three-az, planet5 or planet9.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 120 & info [ "clients" ] ~docv:"N" ~doc:"Number of simulated clients.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 4.0
+      & info [ "rate" ] ~docv:"CMDS"
+          ~doc:"Open-loop arrival rate per client (commands/second).")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("open", `Open); ("closed", `Closed) ]) `Open
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,open): Poisson arrivals at $(b,--rate) regardless of completions; \
+             $(b,closed): one outstanding command per client, resubmitting \
+             $(b,--think) ms after each completion.")
+  in
+  let think_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "think" ] ~docv:"MS" ~doc:"Closed-loop think time between commands.")
+  in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "pipeline" ] ~docv:"DEPTH" ~doc:"In-flight consensus slots per proxy.")
+  in
+  let batch_max_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch-max" ] ~docv:"K" ~doc:"Max commands packed into one proposal.")
+  in
+  let keys_arg =
+    Arg.(value & opt int 64 & info [ "keys" ] ~docv:"K" ~doc:"Keyspace size.")
+  in
+  let hot_rate_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "hot-rate" ] ~docv:"P" ~doc:"Probability a command hits the hot key.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "horizon" ] ~docv:"MS" ~doc:"Virtual milliseconds to simulate.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter" ] ~docv:"MS" ~doc:"Random extra one-way delay (uniform 0..MS).")
+  in
+  let run protocol n e f topology clients rate mode think pipeline batch_max keys
+      hot_rate horizon jitter seed metrics_out =
+    let (module P : Proto.Protocol.S) = protocol in
+    let n = match n with Some n -> n | None -> P.min_n ~e ~f in
+    let arrival =
+      match mode with
+      | `Open -> Workload.Fleet.Open { rate_per_client = rate }
+      | `Closed -> Workload.Fleet.Closed { think }
+    in
+    let cfg : Workload.Fleet.config =
+      { clients; arrival; keys; hot_rate; horizon; tick = 50 }
+    in
+    let r =
+      with_metrics metrics_out (fun registry ->
+          Workload.Fleet.run ~protocol ~e ~f ~n ~topology ~jitter ~pipeline ~batch_max
+            ~seed ~metrics:registry cfg)
+    in
+    let open Format in
+    printf "SMR deployment: %s n=%d (e=%d f=%d) on %s, %d clients (%s)@." P.name n e f
+      (Workload.Topology.name topology)
+      clients
+      (match mode with
+      | `Open -> Printf.sprintf "open loop, %.2f cmd/s each" rate
+      | `Closed -> Printf.sprintf "closed loop, think %d ms" think);
+    printf "pipeline %d, batch-max %d, horizon %d ms, seed %d@.@." pipeline batch_max
+      horizon seed;
+    printf "submitted    %8d commands@." r.submitted;
+    printf "completed    %8d (%.1f commits/sec)@." r.completed
+      (Workload.Fleet.commits_per_sec r);
+    printf "latency      p50 %d ms, p99 %d ms, mean %.1f ms (submit->apply at proxy)@."
+      (Stdext.Stats.p50 r.latencies) (Stdext.Stats.p99 r.latencies)
+      (Stdext.Stats.mean r.latencies);
+    printf "slots        %d applied, mean batch %.2f, max batch %d@." r.slots_applied
+      r.mean_batch r.max_batch;
+    printf "converged    %b@." r.converged;
+    if not r.converged then exit 1
+  in
+  Cmd.v
+    (Cmd.info "smr"
+       ~doc:
+         "Drive the replicated KV store with a simulated client fleet over a WAN \
+          topology and report commits/sec and client-visible p50/p99 latency at the \
+          proxy (the paper's §1 cost model).")
+    Term.(
+      const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ topology_arg $ clients_arg
+      $ rate_arg $ mode_arg $ think_arg $ pipeline_arg $ batch_max_arg $ keys_arg
+      $ hot_rate_arg $ horizon_arg $ jitter_arg $ seed_arg $ metrics_out_arg)
+
 (* -- experiments --------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -536,5 +665,6 @@ let () =
             explore_cmd;
             faults_cmd;
             report_cmd;
+            smr_cmd;
             experiments_cmd;
           ]))

@@ -329,6 +329,23 @@ let trace t = List.rev t.trace_rev
 
 let outputs t = List.rev t.outputs_rev
 
+let output_count t = t.p_decides
+
+let recent_outputs t ~since =
+  let total = t.p_decides in
+  if since < 0 then invalid_arg "Engine.recent_outputs: negative since";
+  if since >= total then []
+  else begin
+    (* [outputs_rev] is newest-first: the first [total - since] entries are
+       exactly the outputs emitted after the cursor; consing while walking
+       them restores chronological order. O(total - since). *)
+    let rec take acc k l =
+      if k = 0 then acc
+      else match l with [] -> acc | x :: rest -> take (x :: acc) (k - 1) rest
+    in
+    take [] (total - since) t.outputs_rev
+  end
+
 let schedule_input t ~at p input =
   if at < t.now then invalid_arg "Engine.schedule_input: at < now";
   push_event t ~at (Ev_input (p, input))

@@ -150,6 +150,19 @@ val outputs : ('state, 'msg, 'input, 'output) t -> (Time.t * Pid.t * 'output) li
 (** Outputs in chronological order (available even when [record_trace] is
     false). *)
 
+val output_count : ('state, 'msg, 'input, 'output) t -> int
+(** Number of outputs emitted so far, O(1) (equals
+    [(probe t).decides]). Together with {!recent_outputs} this lets a
+    driver poll a long run's outputs incrementally. *)
+
+val recent_outputs :
+  ('state, 'msg, 'input, 'output) t -> since:int -> (Time.t * Pid.t * 'output) list
+(** The outputs with index [>= since] in chronological order, where
+    indices count emissions from 0 ([recent_outputs t ~since:0] =
+    [outputs t]). O(number returned): a driver that remembers the last
+    {!output_count} it saw drains a live run without rescanning history.
+    Raises [Invalid_argument] on a negative [since]. *)
+
 val schedule_input : ('state, 'msg, 'input, 'output) t -> at:Time.t -> Pid.t -> 'input -> unit
 (** Enqueue a future input; [at] must be [>= now]. *)
 

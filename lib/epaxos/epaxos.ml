@@ -665,3 +665,62 @@ let debug_instances s =
              pp_attrs i.attrs
              (match i.cmd with Some c -> Format.asprintf "%a" Cmd.pp c | None -> "noop")
              i.ballot ))
+
+(* EPaxos as a single-shot consensus protocol, so the SMR layer (and the
+   protocol tables) can run it next to Paxos and the RGS algorithms.  Every
+   adapted command targets one shared key, so all concurrent proposals
+   interfere and EPaxos's dependency-ordered execution yields one total
+   order; the decision is the payload of the first command a replica
+   executes, which agreement on execution order makes uniform. *)
+module Consensus = struct
+  type nonrec msg = msg
+
+  type nonrec state = { inner : state; decided : bool }
+
+  let name = "epaxos"
+
+  let pp_msg = pp_msg
+
+  let describe =
+    "EPaxos commit protocol as single-shot consensus (n >= 2f+1, fast under no contention)"
+
+  let min_n ~e:_ ~f = (2 * f) + 1
+
+  let make ~n ~e:_ ~f ~delta =
+    let inner = make ~n ~f ~delta in
+    let wrap (decided : bool) (st, actions) =
+      let decided, rev =
+        List.fold_left
+          (fun (decided, rev) action ->
+            match action with
+            | Automaton.Send (dst, m) -> (decided, Automaton.Send (dst, m) :: rev)
+            | Automaton.Broadcast m -> (decided, Automaton.Broadcast m :: rev)
+            | Automaton.Set_timer t -> (decided, Automaton.Set_timer t :: rev)
+            | Automaton.Cancel_timer id -> (decided, Automaton.Cancel_timer id :: rev)
+            | Automaton.Output (Committed _) -> (decided, rev)
+            | Automaton.Output (Executed c) ->
+                if decided then (decided, rev)
+                else (true, Automaton.Output c.Cmd.payload :: rev))
+          (decided, []) actions
+      in
+      ({ inner = st; decided }, List.rev rev)
+    in
+    let init ~self ~n = wrap false (inner.Automaton.init ~self ~n) in
+    let on_message s ~src m = wrap s.decided (inner.Automaton.on_message s.inner ~src m) in
+    let on_input s v =
+      wrap s.decided
+        (inner.Automaton.on_input s.inner
+           { Cmd.origin = s.inner.self; key = 0; payload = v })
+    in
+    let on_timer s id = wrap s.decided (inner.Automaton.on_timer s.inner id) in
+    let state_copy s = { s with inner = inner.Automaton.state_copy s.inner } in
+    let state_fingerprint =
+      Option.map
+        (fun fp ~relabel s ->
+          Dsim.Fingerprint.mix (fp ~relabel s.inner) (Dsim.Fingerprint.bool s.decided))
+        inner.Automaton.state_fingerprint
+    in
+    { Automaton.init; on_message; on_input; on_timer; state_copy; state_fingerprint }
+end
+
+let protocol : Proto.Protocol.t = (module Consensus)

@@ -78,3 +78,15 @@ val fast_quorum : n:int -> f:int -> int
 
 val debug_instances : state -> (Dsim.Pid.t * string) list
 (** Internal: per-instance one-line summaries, for tests and debugging. *)
+
+module Consensus : Proto.Protocol.S
+(** EPaxos adapted to the single-shot consensus interface: every proposal
+    maps to a command on one shared key (so all concurrent proposals
+    interfere), and a replica decides the payload of the first command it
+    executes — uniform because interfering commands execute in one
+    dependency order everywhere. [min_n ~e ~f = 2f+1] with the fast-path
+    tolerance fixed at [e = ceil((f+1)/2)], the trade-off the paper's
+    object-formulation bound shows is forced. *)
+
+val protocol : Proto.Protocol.t
+(** {!Consensus} packaged like the other protocol modules. *)

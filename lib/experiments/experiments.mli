@@ -46,9 +46,11 @@ val f3_wan_latency : Format.formatter -> unit
     the extra processes Lamport's bound demands. *)
 
 val f4_smr_throughput : ?seeds:int -> Format.formatter -> unit
-(** F4 — replicated KV store over each protocol: commands committed and
-    mean commit latency at the proxy under a small multi-client workload,
-    with and without a replica crash. *)
+(** F4 — SMR under load: an open-loop client fleet ({!Workload.Fleet})
+    drives each protocol's replicated KV store on the planet5 WAN, with
+    one command per slot vs pipeline 16 × batch 64 at the same offered
+    load. Reports commits/sec and client p50/p99 submit→apply latency at
+    the proxy (the paper's §1 cost model), per protocol including EPaxos. *)
 
 val f5_epaxos_motivation : ?seeds:int -> Format.formatter -> unit
 (** F5 — the paper's §1 motivation: the EPaxos-style protocol commits in

@@ -3,13 +3,80 @@ type op = { client : int; key : int; value : int }
 let pp_op fmt { client; key; value } =
   Format.fprintf fmt "c%d: put k%d <- %d" client key value
 
+(* Bit layout of a single-op command word (always < 2^46):
+     bits  0..9   value   (0..1023)
+     bits 10..19  key     (0..1023)
+     bits 20..45  client  (0..2^26 - 1)
+   Words >= 2^46 are batch identifiers handed out by [Batch.pack]. *)
+
+let value_bits = 10
+let key_bits = 10
+let client_bits = 26
+let value_mask = (1 lsl value_bits) - 1
+let key_mask = (1 lsl key_bits) - 1
+let client_mask = (1 lsl client_bits) - 1
+let max_client = client_mask
+let batch_base = 1 lsl (value_bits + key_bits + client_bits)
+
 let encode { client; key; value } =
-  if key < 0 || key > 999 || value < 0 || value > 999 || client < 0 || client > 4000 then
-    invalid_arg "Kv.encode: field out of range";
-  (client * 1_000_000) + (key * 1_000) + value
+  if
+    key < 0 || key > key_mask || value < 0 || value > value_mask || client < 0
+    || client > client_mask
+  then invalid_arg "Kv.encode: field out of range";
+  (client lsl (key_bits + value_bits)) lor (key lsl value_bits) lor value
 
 let decode cmd =
-  { client = cmd / 1_000_000; key = cmd / 1_000 mod 1_000; value = cmd mod 1_000 }
+  if cmd < 0 || cmd >= batch_base then invalid_arg "Kv.decode: not a single-op command";
+  {
+    client = (cmd lsr (key_bits + value_bits)) land client_mask;
+    key = (cmd lsr value_bits) land key_mask;
+    value = cmd land value_mask;
+  }
+
+module Batch = struct
+  (* A content-addressed intern table: a batch of k >= 2 ops is proposed
+     through consensus as a single small identifier word, and every replica
+     of one [Replica.Instance] shares the registry, so the id expands to
+     the same op list wherever it is applied.  Singletons stay themselves,
+     keeping one-command batches indistinguishable from the unbatched
+     protocol (and the legacy codec). *)
+
+  type t = {
+    by_content : (Proto.Value.t list, Proto.Value.t) Hashtbl.t;
+    by_id : (Proto.Value.t, Proto.Value.t list) Hashtbl.t;
+    mutable next : Proto.Value.t;
+  }
+
+  let create () = { by_content = Hashtbl.create 64; by_id = Hashtbl.create 64; next = batch_base }
+
+  let is_batch v = v >= batch_base
+
+  let pack t ops =
+    match ops with
+    | [] -> invalid_arg "Kv.Batch.pack: empty batch"
+    | [ v ] -> v
+    | ops -> (
+        List.iter
+          (fun v -> if is_batch v then invalid_arg "Kv.Batch.pack: nested batch")
+          ops;
+        match Hashtbl.find_opt t.by_content ops with
+        | Some id -> id
+        | None ->
+            let id = t.next in
+            t.next <- t.next + 1;
+            Hashtbl.add t.by_content ops id;
+            Hashtbl.add t.by_id id ops;
+            id)
+
+  let expand t v =
+    if not (is_batch v) then [ v ]
+    else
+      match Hashtbl.find_opt t.by_id v with
+      | Some ops -> ops
+      | None -> invalid_arg "Kv.Batch.expand: unknown batch id"
+
+  let size t v = if is_batch v then List.length (expand t v) else 1
+end
 
 type store = (int, int) Hashtbl.t
 

@@ -1,21 +1,57 @@
 (** A replicated key-value store: the application layer over {!Replica}.
 
-    Consensus commands are integers, so KV operations are packed into a
-    [Proto.Value.t] with a fixed-radix codec:
-    [client * 1_000_000 + key * 1_000 + value] encodes
-    "client [client] writes [value] (0..999) to key [key] (0..999)".
-    Distinct clients therefore always produce distinct command words even
-    for identical writes, which keeps SMR reproposals unambiguous. *)
+    Consensus commands are integers, so a single KV operation is bit-packed
+    into a [Proto.Value.t]: value in bits 0..9 (0..1023), key in bits
+    10..19 (0..1023), client in bits 20..45 (0..67M — comfortably beyond
+    the 100k-client fleets the workload layer simulates).  Distinct clients
+    therefore always produce distinct command words even for identical
+    writes, which keeps SMR reproposals unambiguous.  Words [>= 2^46] are
+    batch identifiers (see {!Batch}), never single ops. *)
 
 type op = { client : int; key : int; value : int }
 
 val pp_op : Format.formatter -> op -> unit
 
+val max_client : int
+(** Largest encodable client id ([2^26 - 1]). *)
+
+val batch_base : int
+(** First word reserved for batch identifiers ([2^46]); every single-op
+    command word is strictly below it. *)
+
 val encode : op -> Proto.Value.t
 (** Raises [Invalid_argument] if a field is out of range (keys and values
-    0..999, clients 0..4000). *)
+    0..1023, clients 0..{!max_client}). *)
 
 val decode : Proto.Value.t -> op
+(** Inverse of {!encode} on its range. Raises [Invalid_argument] on a
+    negative word or a batch identifier. *)
+
+(** Batch-of-ops codec: a batch of [k >= 2] single-op words is proposed
+    through consensus as one interned identifier word, amortizing a whole
+    consensus instance over [k] commands.  The registry is shared by all
+    replicas of one {!Replica.Instance} (content-addressed, so ids are
+    deterministic in registration order). *)
+module Batch : sig
+  type t
+
+  val create : unit -> t
+
+  val is_batch : Proto.Value.t -> bool
+  (** True iff the word is a batch identifier (i.e. [>= batch_base]). *)
+
+  val pack : t -> Proto.Value.t list -> Proto.Value.t
+  (** A singleton packs to itself; [k >= 2] ops intern to an identifier
+      (the same list packs to the same id). Raises [Invalid_argument] on
+      an empty list or a nested batch. *)
+
+  val expand : t -> Proto.Value.t -> Proto.Value.t list
+  (** Inverse of {!pack}: a non-batch word expands to itself as a
+      singleton. Raises [Invalid_argument] on an unregistered batch id. *)
+
+  val size : t -> Proto.Value.t -> int
+  (** Number of ops the word carries (1 for a single op). *)
+end
 
 type store
 

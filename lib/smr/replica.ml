@@ -3,117 +3,250 @@ module Time = Dsim.Time
 module Automaton = Dsim.Automaton
 module Value = Proto.Value
 module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
 
 type 'pmsg msg = { slot : int; payload : 'pmsg }
 
 let pp_msg pp_payload fmt m = Format.fprintf fmt "[slot %d] %a" m.slot pp_payload m.payload
 
-(* Timers of slot s live in [s * stride, (s+1) * stride); comfortably above
-   the Ω range (1000 + n) used inside each instance. *)
-let timer_stride = 4096
+(* Timers are virtualized through a small pool of {e lanes}: a slot that
+   needs timers borrows a lane, global timer id = lane * stride + inner id,
+   and the lane is reclaimed (all armed timers cancelled) the moment the
+   slot decides.  This keeps the engine's flat timer table bounded by the
+   number of {e undecided} slots rather than the total slot count — a
+   pipelined run commits thousands of slots, and without reclamation every
+   decided slot's Ω heartbeat would keep re-arming forever. *)
+let lane_stride = 2048
+
+let max_lanes = 256
 
 type 'pstate state = {
   self : Pid.t;
   n : int;
   slots : 'pstate Imap.t;
-  decided : Value.t Imap.t;  (* slot -> decided command *)
-  applied_rev : (int * Value.t) list;  (* contiguous prefix, newest first *)
+  decided : Value.t Imap.t;  (* slot -> decided value (possibly a batch) *)
+  applied_rev : (int * Value.t) list;  (* expanded commands, newest first *)
   next_apply : int;
-  queue : Value.t list;  (* my commands not yet proposed, oldest first *)
-  inflight : (int * Value.t) option;  (* slot where my current command runs *)
+  (* My submitted commands not yet proposed: a front/back functional queue
+     (front oldest-first, back newest-first) for O(1) amortized enqueue. *)
+  queue_front : Value.t list;
+  queue_back : Value.t list;
+  queue_len : int;
+  inflight : Value.t Imap.t;  (* slot -> value I proposed there *)
+  lane_of_slot : int Imap.t;
+  slot_of_lane : int Imap.t;
+  free_lanes : int list;
+  armed : Iset.t Imap.t;  (* slot -> inner timer ids armed and not cancelled *)
 }
 
 let applied s = List.rev s.applied_rev
 
 let decided_slots s = Imap.cardinal s.decided
 
-let make (type pm ps) (module P : Proto.Protocol.S with type msg = pm and type state = ps)
-    ~n ~e ~f ~delta =
+let queue_push s v =
+  { s with queue_back = v :: s.queue_back; queue_len = s.queue_len + 1 }
+
+let queue_push_front s vs =
+  { s with queue_front = vs @ s.queue_front; queue_len = s.queue_len + List.length vs }
+
+let queue_pop s =
+  match s.queue_front with
+  | v :: rest -> Some (v, { s with queue_front = rest; queue_len = s.queue_len - 1 })
+  | [] -> (
+      match List.rev s.queue_back with
+      | [] -> None
+      | v :: rest ->
+          Some (v, { s with queue_front = rest; queue_back = []; queue_len = s.queue_len - 1 }))
+
+let make (type pm ps) ?(pipeline = 1) ?(batch_max = 1) ?pack ?expand
+    (module P : Proto.Protocol.S with type msg = pm and type state = ps) ~n ~e ~f ~delta =
+  if pipeline < 1 then invalid_arg "Replica.make: pipeline < 1";
+  if batch_max < 1 then invalid_arg "Replica.make: batch_max < 1";
+  let pack =
+    match pack with
+    | Some pack -> pack
+    | None -> (
+        function [ v ] -> v | _ -> invalid_arg "Replica.make: batch_max > 1 needs ~pack")
+  in
+  let expand = match expand with Some expand -> expand | None -> fun v -> [ v ] in
   let inner = P.make ~n ~e ~f ~delta in
-  let wrap_actions slot actions =
-    List.filter_map
-      (fun action ->
-        match action with
-        | Automaton.Send (dst, payload) -> Some (Automaton.Send (dst, { slot; payload }))
-        | Automaton.Broadcast payload -> Some (Automaton.Broadcast { slot; payload })
-        | Automaton.Set_timer { id; after } ->
-            Some (Automaton.Set_timer { id = (slot * timer_stride) + id; after })
-        | Automaton.Cancel_timer id -> Some (Automaton.Cancel_timer ((slot * timer_stride) + id))
-        | Automaton.Output _ -> None (* decisions are intercepted separately below *))
-      actions
+  let alloc_lane s slot =
+    match Imap.find_opt slot s.lane_of_slot with
+    | Some lane -> (s, Some lane)
+    | None -> (
+        match s.free_lanes with
+        | [] -> (s, None)
+        | lane :: rest ->
+            ( {
+                s with
+                free_lanes = rest;
+                lane_of_slot = Imap.add slot lane s.lane_of_slot;
+                slot_of_lane = Imap.add lane slot s.slot_of_lane;
+              },
+              Some lane ))
+  in
+  (* Rewrite one instance transition's actions into the multiplexed space;
+     threads the state because timer actions allocate/update lanes. *)
+  let wrap_actions s slot actions =
+    let s, rev =
+      List.fold_left
+        (fun (s, acc) action ->
+          match action with
+          | Automaton.Send (dst, payload) -> (s, Automaton.Send (dst, { slot; payload }) :: acc)
+          | Automaton.Broadcast payload -> (s, Automaton.Broadcast { slot; payload } :: acc)
+          | Automaton.Set_timer { id; after } -> (
+              assert (id >= 0 && id < lane_stride);
+              (* Decided slots get no timers (this is what retires their Ω
+                 heartbeats); losing a timer is liveness-only, so it is
+                 also the safe degradation when lanes run out. *)
+              if Imap.mem slot s.decided then (s, acc)
+              else
+                match alloc_lane s slot with
+                | s, None -> (s, acc)
+                | s, Some lane ->
+                    let armed =
+                      match Imap.find_opt slot s.armed with
+                      | Some set -> set
+                      | None -> Iset.empty
+                    in
+                    let s = { s with armed = Imap.add slot (Iset.add id armed) s.armed } in
+                    (s, Automaton.Set_timer { id = (lane * lane_stride) + id; after } :: acc))
+          | Automaton.Cancel_timer id -> (
+              match Imap.find_opt slot s.lane_of_slot with
+              | None -> (s, acc)
+              | Some lane ->
+                  let s =
+                    match Imap.find_opt slot s.armed with
+                    | Some set -> { s with armed = Imap.add slot (Iset.remove id set) s.armed }
+                    | None -> s
+                  in
+                  (s, Automaton.Cancel_timer ((lane * lane_stride) + id) :: acc))
+          | Automaton.Output _ -> (s, acc) (* decisions are intercepted separately *))
+        (s, []) actions
+    in
+    (s, List.rev rev)
   in
   (* Run one instance transition, harvesting any decision from its
      actions. *)
   let step_instance s slot transition =
-    let pstate, init_actions =
+    let s, pstate, init_actions =
       match Imap.find_opt slot s.slots with
-      | Some ps -> (ps, [])
+      | Some ps -> (s, ps, [])
       | None ->
-          (* Lazy instance creation: the slot's init timers and Ω chatter
-             re-arm under the slot's own timer range. *)
+          (* Lazy instance creation: the slot's init timers land in a
+             freshly borrowed lane. *)
           let ps, actions = inner.init ~self:s.self ~n:s.n in
-          (ps, wrap_actions slot actions)
+          let s, actions = wrap_actions s slot actions in
+          (s, ps, actions)
     in
     let pstate', actions = transition pstate in
     let decision =
       List.find_map (function Automaton.Output v -> Some v | _ -> None) actions
     in
     let s = { s with slots = Imap.add slot pstate' s.slots } in
-    (s, init_actions @ wrap_actions slot actions, decision)
+    let s, actions = wrap_actions s slot actions in
+    (s, init_actions @ actions, decision)
   in
   (* Next slot this replica believes free: above everything it has seen. *)
   let next_free_slot s =
-    let top_decided = match Imap.max_binding_opt s.decided with Some (k, _) -> k + 1 | None -> 0 in
-    let top_active = match Imap.max_binding_opt s.slots with Some (k, _) -> k + 1 | None -> 0 in
-    max top_decided top_active
+    let top m = match Imap.max_binding_opt m with Some (k, _) -> k + 1 | None -> 0 in
+    max (top s.decided) (max (top s.slots) (top s.inflight))
   in
-  let propose_in_slot s slot cmd =
-    let s, actions, decision = step_instance s slot (fun ps -> inner.on_input ps cmd) in
+  let propose_in_slot s slot value =
+    let s, actions, decision = step_instance s slot (fun ps -> inner.on_input ps value) in
     assert (decision = None);
-    ({ s with inflight = Some (slot, cmd) }, actions)
+    ({ s with inflight = Imap.add slot value s.inflight }, actions)
   in
-  (* Apply newly contiguous decisions and emit them. *)
+  let rec take_batch s k acc =
+    if k = 0 then (s, List.rev acc)
+    else
+      match queue_pop s with
+      | None -> (s, List.rev acc)
+      | Some (v, s) -> take_batch s (k - 1) (v :: acc)
+  in
+  (* Keep proposing while the pipeline window has room: each proposal
+     drains up to [batch_max] queued commands into one value. *)
+  let rec refill s =
+    if Imap.cardinal s.inflight >= pipeline || s.queue_len = 0 then (s, [])
+    else begin
+      let s, ops = take_batch s batch_max [] in
+      let value = match ops with [ v ] -> v | ops -> pack ops in
+      let s, actions = propose_in_slot s (next_free_slot s) value in
+      let s, more = refill s in
+      (s, actions @ more)
+    end
+  in
+  (* Apply newly contiguous decisions, expanding batches so every client
+     command gets its own (slot, command) output. *)
   let rec drain_applies s acc =
     match Imap.find_opt s.next_apply s.decided with
     | None -> (s, List.rev acc)
-    | Some cmd ->
+    | Some value ->
+        let slot = s.next_apply in
+        let ops = expand value in
         let s =
           {
             s with
-            applied_rev = (s.next_apply, cmd) :: s.applied_rev;
-            next_apply = s.next_apply + 1;
+            applied_rev =
+              List.fold_left (fun rev op -> (slot, op) :: rev) s.applied_rev ops;
+            next_apply = slot + 1;
           }
         in
-        drain_applies s (Automaton.Output (s.next_apply - 1, cmd) :: acc)
+        drain_applies s
+          (List.fold_left (fun acc op -> Automaton.Output (slot, op) :: acc) acc ops)
   in
-  (* A slot decided: record, apply, and repropose our command if it lost. *)
-  let handle_decision s slot cmd =
+  (* Reclaim the slot's timer lane, cancelling everything still armed so
+     the lane can be reused without stale fires crossing slots. *)
+  let cancel_slot_lane s slot =
+    match Imap.find_opt slot s.lane_of_slot with
+    | None -> (s, [])
+    | Some lane ->
+        let armed =
+          match Imap.find_opt slot s.armed with Some set -> set | None -> Iset.empty
+        in
+        let cancels =
+          Iset.fold
+            (fun id acc -> Automaton.Cancel_timer ((lane * lane_stride) + id) :: acc)
+            armed []
+        in
+        ( {
+            s with
+            lane_of_slot = Imap.remove slot s.lane_of_slot;
+            slot_of_lane = Imap.remove lane s.slot_of_lane;
+            armed = Imap.remove slot s.armed;
+            free_lanes = lane :: s.free_lanes;
+          },
+          cancels )
+  in
+  (* A slot decided: record, reclaim its lane, apply, and refill the
+     pipeline (reproposing our commands first if the slot went to someone
+     else's value). *)
+  let handle_decision s slot value =
     if Imap.mem slot s.decided then (s, [])
     else begin
-      let s = { s with decided = Imap.add slot cmd s.decided } in
-      let s, apply_actions = drain_applies s [] in
-      match s.inflight with
-      | Some (inslot, mine) when inslot = slot ->
-          if Value.equal mine cmd then begin
-            (* Our command committed; move to the next queued one. *)
-            match s.queue with
-            | [] -> ({ s with inflight = None }, apply_actions)
-            | next :: rest ->
-                let s = { s with queue = rest; inflight = None } in
-                let s, actions = propose_in_slot s (next_free_slot s) next in
-                (s, apply_actions @ actions)
-          end
-          else begin
-            (* Lost the slot: repropose the same command in a fresh slot. *)
-            let s = { s with inflight = None } in
-            let s, actions = propose_in_slot s (next_free_slot s) mine in
-            (s, apply_actions @ actions)
-          end
-      | _ -> (s, apply_actions)
+      let s = { s with decided = Imap.add slot value s.decided } in
+      let s, cancels = cancel_slot_lane s slot in
+      let s, applies = drain_applies s [] in
+      let s, proposals =
+        match Imap.find_opt slot s.inflight with
+        | None -> (s, [])
+        | Some mine ->
+            let s = { s with inflight = Imap.remove slot s.inflight } in
+            let s =
+              if Value.equal mine value then s
+              else
+                (* Lost the slot: the batched commands go back to the front
+                   of the queue, in order, for rebatching. *)
+                queue_push_front s (expand mine)
+            in
+            refill s
+      in
+      (s, cancels @ applies @ proposals)
     end
   in
   let init ~self ~n:n' =
     assert (n = n');
+    let rec lanes k = if k < 0 then [] else k :: lanes (k - 1) in
     ( {
         self;
         n;
@@ -121,8 +254,14 @@ let make (type pm ps) (module P : Proto.Protocol.S with type msg = pm and type s
         decided = Imap.empty;
         applied_rev = [];
         next_apply = 0;
-        queue = [];
-        inflight = None;
+        queue_front = [];
+        queue_back = [];
+        queue_len = 0;
+        inflight = Imap.empty;
+        lane_of_slot = Imap.empty;
+        slot_of_lane = Imap.empty;
+        free_lanes = List.rev (lanes (max_lanes - 1));
+        armed = Imap.empty;
       },
       [] )
   in
@@ -132,26 +271,24 @@ let make (type pm ps) (module P : Proto.Protocol.S with type msg = pm and type s
     in
     match decision with
     | None -> (s, actions)
-    | Some cmd ->
-        let s, more = handle_decision s slot cmd in
+    | Some value ->
+        let s, more = handle_decision s slot value in
         (s, actions @ more)
   in
-  let on_input s cmd =
-    match s.inflight with
-    | Some _ -> ({ s with queue = s.queue @ [ cmd ] }, [])
-    | None -> propose_in_slot s (next_free_slot s) cmd
-  in
+  let on_input s cmd = refill (queue_push s cmd) in
   let on_timer s id =
-    let slot = id / timer_stride and inner_id = id mod timer_stride in
-    if not (Imap.mem slot s.slots) then (s, [])
-    else begin
-      let s, actions, decision = step_instance s slot (fun ps -> inner.on_timer ps inner_id) in
-      match decision with
-      | None -> (s, actions)
-      | Some cmd ->
-          let s, more = handle_decision s slot cmd in
-          (s, actions @ more)
-    end
+    let lane = id / lane_stride in
+    match Imap.find_opt lane s.slot_of_lane with
+    | None -> (s, []) (* stale fire from a reclaimed lane *)
+    | Some slot -> (
+        let s, actions, decision =
+          step_instance s slot (fun ps -> inner.on_timer ps (id mod lane_stride))
+        in
+        match decision with
+        | None -> (s, actions)
+        | Some value ->
+            let s, more = handle_decision s slot value in
+            (s, actions @ more))
   in
   (* The record itself is immutable; only the inner per-slot states may
      need deep-copying, which the inner automaton knows how to do. *)
@@ -161,16 +298,30 @@ let make (type pm ps) (module P : Proto.Protocol.S with type msg = pm and type s
   { Automaton.init; on_message; on_input; on_timer; state_copy; state_fingerprint = None }
 
 module Instance = struct
-  type t =
-    | T : {
-        engine : ('ps state, 'pm msg, Value.t, int * Value.t) Dsim.Engine.t;
-        n : int;
-      }
-        -> t
+  type packed =
+    | E : ('ps state, 'pm msg, Value.t, int * Value.t) Dsim.Engine.t -> packed
 
-  let create ~protocol ~n ~e ~f ~delta ~net ?(seed = 0) ~commands ?(crashes = []) () =
+  type t = {
+    packed : packed;
+    n : int;
+    (* (pid, command) -> first apply time, filled incrementally so the
+       fleet's per-command latency lookup is O(1) instead of a scan of the
+       whole output log. *)
+    commit_index : (Pid.t * Value.t, Time.t) Hashtbl.t;
+    mutable indexed : int;  (* engine outputs consumed into the index *)
+    pending : (Time.t * Pid.t * (int * Value.t)) Queue.t;
+  }
+
+  let create ~protocol ~n ~e ~f ~delta ~net ?(seed = 0) ?(pipeline = 1) ?(batch_max = 1)
+      ?(commands = []) ?(crashes = []) ?faults ?metrics ?(max_steps = 20_000_000) () =
     let (module P : Proto.Protocol.S) = protocol in
-    let automaton = make (module P) ~n ~e ~f ~delta in
+    let batches = Kv.Batch.create () in
+    let automaton =
+      make ~pipeline ~batch_max ~pack:(Kv.Batch.pack batches)
+        ~expand:(Kv.Batch.expand batches)
+        (module P)
+        ~n ~e ~f ~delta
+    in
     let network : _ Dsim.Network.t =
       match (net : Checker.Scenario.net) with
       | Checker.Scenario.Sync order ->
@@ -188,27 +339,69 @@ module Instance = struct
       | Checker.Scenario.Wan { latency; jitter } -> Dsim.Network.Wan { latency; jitter }
     in
     let engine =
-      Dsim.Engine.create ~automaton ~n ~network ~seed ~record_trace:false
-        ~max_steps:20_000_000 ~inputs:commands ~crashes ()
+      Dsim.Engine.create ~automaton ~n ~network ~seed ~record_trace:false ~max_steps
+        ~inputs:commands ~crashes ?faults ?metrics ()
     in
-    T { engine; n }
+    {
+      packed = E engine;
+      n;
+      commit_index = Hashtbl.create 4096;
+      indexed = 0;
+      pending = Queue.create ();
+    }
 
-  let run ?until (T { engine; _ }) = Dsim.Engine.run ?until engine
+  let run ?until t =
+    let (E engine) = t.packed in
+    Dsim.Engine.run ?until engine
 
-  let now (T { engine; _ }) = Dsim.Engine.now engine
+  let now t =
+    let (E engine) = t.packed in
+    Dsim.Engine.now engine
 
-  let applied_log (T { engine; _ }) pid = applied (Dsim.Engine.state engine pid)
+  let applied_log t pid =
+    let (E engine) = t.packed in
+    applied (Dsim.Engine.state engine pid)
 
-  let outputs (T { engine; _ }) = Dsim.Engine.outputs engine
+  let outputs t =
+    let (E engine) = t.packed in
+    Dsim.Engine.outputs engine
+
+  let submit t ~at ~proxy cmd =
+    let (E engine) = t.packed in
+    Dsim.Engine.schedule_input engine ~at proxy cmd
+
+  (* Sweep engine outputs emitted since the last sweep into both the
+     commit-time index and the pending buffer for [drain_new_outputs]. *)
+  let pull t =
+    let (E engine) = t.packed in
+    let total = Dsim.Engine.output_count engine in
+    if total > t.indexed then begin
+      let fresh = Dsim.Engine.recent_outputs engine ~since:t.indexed in
+      t.indexed <- total;
+      List.iter
+        (fun ((time, pid, (_, cmd)) as event) ->
+          if not (Hashtbl.mem t.commit_index (pid, cmd)) then
+            Hashtbl.add t.commit_index (pid, cmd) time;
+          Queue.add event t.pending)
+        fresh
+    end
+
+  let drain_new_outputs t ~f =
+    pull t;
+    while not (Queue.is_empty t.pending) do
+      let time, pid, (slot, cmd) = Queue.pop t.pending in
+      f time pid slot cmd
+    done
 
   let commit_time t ~proxy ~command =
-    List.find_map
-      (fun (time, pid, (_, cmd)) ->
-        if Pid.equal pid proxy && Value.equal cmd command then Some time else None)
-      (outputs t)
+    pull t;
+    Hashtbl.find_opt t.commit_index (proxy, command)
 
-  let converged (T { engine; n }) =
-    let logs = List.map (fun p -> applied (Dsim.Engine.state engine p)) (Pid.all ~n) in
+  let converged t =
+    let (E engine) = t.packed in
+    let logs =
+      List.map (fun p -> applied (Dsim.Engine.state engine p)) (Pid.all ~n:t.n)
+    in
     let rec prefix_agree a b =
       match (a, b) with
       | [], _ | _, [] -> true

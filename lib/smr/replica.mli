@@ -7,11 +7,20 @@
     other replicas is irrelevant to the client.
 
     Each slot runs an independent instance of the underlying protocol;
-    instance messages and timers are multiplexed by slot. A replica
-    proposes its next queued command in the first slot it believes free;
-    losing a slot to another replica's command simply means reproposing in
-    a later slot. Decisions are applied in slot order and emitted as
-    [(slot, command)] outputs once contiguous.
+    instance messages and timers are multiplexed by slot.  The replica is
+    pipelined and batching: up to [pipeline] slots carry this replica's
+    proposals concurrently, and each proposal packs up to [batch_max]
+    queued commands into one value via the [pack]/[expand] codec
+    (see {!Kv.Batch}), amortizing a consensus instance over a whole batch.
+    Losing a slot to another replica's value means the batch's commands
+    return to the queue and are reproposed.  Decisions are applied in slot
+    order once contiguous and emitted as one [(slot, command)] output {e
+    per client command} after batch expansion, so per-command latency is
+    observable.
+
+    Timers are virtualized through a bounded pool of lanes reclaimed when
+    a slot decides, so long pipelined runs do not accumulate timer state
+    (or Ω heartbeat chatter) for decided slots.
 
     Commands are [Proto.Value.t] (integers); {!Kv} provides a command codec
     and a replicated key-value store. *)
@@ -23,18 +32,29 @@ val pp_msg : (Format.formatter -> 'pmsg -> unit) -> Format.formatter -> 'pmsg ms
 type 'pstate state
 
 val applied : 'pstate state -> (int * Proto.Value.t) list
-(** Commands applied so far, in slot order. *)
+(** Commands applied so far, in slot order, after batch expansion (a slot
+    that carried a batch of k commands contributes k entries). *)
 
 val decided_slots : 'pstate state -> int
 (** Number of slots known decided (not necessarily contiguous). *)
 
 val make :
+  ?pipeline:int ->
+  ?batch_max:int ->
+  ?pack:(Proto.Value.t list -> Proto.Value.t) ->
+  ?expand:(Proto.Value.t -> Proto.Value.t list) ->
   (module Proto.Protocol.S with type msg = 'pmsg and type state = 'pstate) ->
   n:int ->
   e:int ->
   f:int ->
   delta:int ->
   ('pstate state, 'pmsg msg, Proto.Value.t, int * Proto.Value.t) Dsim.Automaton.t
+(** [pipeline] (default 1) bounds this replica's in-flight proposals;
+    [batch_max] (default 1) bounds commands per proposal. [pack] combines
+    [k >= 2] commands into one proposable value and [expand] inverts it
+    (identity-on-singletons by default; required when [batch_max > 1] —
+    typically {!Kv.Batch}). Raises [Invalid_argument] if either knob
+    is [< 1]. *)
 
 (** Existentially packaged SMR engine, so callers never name the underlying
     protocol's state and message types. *)
@@ -49,23 +69,43 @@ module Instance : sig
     delta:int ->
     net:Checker.Scenario.net ->
     ?seed:int ->
-    commands:(Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list ->
+    ?pipeline:int ->
+    ?batch_max:int ->
+    ?commands:(Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list ->
     ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
+    ?faults:Dsim.Network.Fault.plan ->
+    ?metrics:Stdext.Metrics.t ->
+    ?max_steps:int ->
     unit ->
     t
+  (** Each instance owns a private {!Kv.Batch} registry shared by all its
+      replicas, so batch identifiers expand identically everywhere.
+      [commands] (default none) pre-schedules submissions; live drivers
+      use {!submit} instead. [max_steps] defaults to 20M engine steps. *)
 
   val run : ?until:Dsim.Time.t -> t -> Dsim.Engine.run_result
 
   val now : t -> Dsim.Time.t
 
+  val submit : t -> at:Dsim.Time.t -> proxy:Dsim.Pid.t -> Proto.Value.t -> unit
+  (** Schedule a client command at [proxy] ([at >= now]); usable between
+      [run ~until] steps for closed-loop workloads. *)
+
   val applied_log : t -> Dsim.Pid.t -> (int * Proto.Value.t) list
-  (** A replica's applied (slot, command) sequence so far. *)
+  (** A replica's applied (slot, command) sequence so far, batch-expanded. *)
 
   val outputs : t -> (Dsim.Time.t * Dsim.Pid.t * (int * Proto.Value.t)) list
   (** Application events across all replicas, chronological. *)
 
+  val drain_new_outputs :
+    t -> f:(Dsim.Time.t -> Dsim.Pid.t -> int -> Proto.Value.t -> unit) -> unit
+  (** Call [f time pid slot command] for every apply event not yet drained
+      (chronological); each event is delivered exactly once across calls.
+      O(new events) per call. *)
+
   val commit_time : t -> proxy:Dsim.Pid.t -> command:Proto.Value.t -> Dsim.Time.t option
-  (** When [proxy] applied [command], if it has. *)
+  (** When [proxy] first applied [command], if it has. O(1) amortized:
+      backed by an incrementally maintained index, not a log scan. *)
 
   val converged : t -> bool
   (** Every pair of replicas' applied logs agree on their common prefix

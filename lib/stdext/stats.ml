@@ -1,0 +1,20 @@
+let mean samples =
+  match Array.length samples with
+  | 0 -> nan
+  | len -> float_of_int (Array.fold_left ( + ) 0 samples) /. float_of_int len
+
+let percentile samples p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
+  match Array.length samples with
+  | 0 -> 0
+  | len ->
+      let sorted = Array.copy samples in
+      Array.sort Int.compare sorted;
+      (* Nearest-rank: the smallest sample with at least p% of the mass at
+         or below it. p = 0 gives the minimum, p = 100 the maximum. *)
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int len)) in
+      sorted.(max 0 (min (len - 1) (rank - 1)))
+
+let p50 samples = percentile samples 50.0
+
+let p99 samples = percentile samples 99.0

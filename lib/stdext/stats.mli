@@ -1,0 +1,21 @@
+(** Exact summary statistics over integer samples.
+
+    The latency reports of the SMR bench want {e exact} percentiles over
+    the run's full sample set (the sample arrays are modest and the runs
+    deterministic, so exactness is both affordable and what makes same-seed
+    reports byte-identical); {!Metrics} histograms remain the right tool
+    for streaming/merged telemetry, this module is for end-of-run
+    summaries. *)
+
+val mean : int array -> float
+(** Arithmetic mean; [nan] on the empty array. *)
+
+val percentile : int array -> float -> int
+(** [percentile samples p] is the nearest-rank p-th percentile (p in
+    [0, 100]): the smallest sample such that at least p% of samples are
+    [<=] it. Does not mutate [samples]; 0 on the empty array. Raises
+    [Invalid_argument] if [p] is outside [0, 100]. *)
+
+val p50 : int array -> int
+
+val p99 : int array -> int

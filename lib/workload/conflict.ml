@@ -19,6 +19,13 @@ let proposer_subset ~rng ~n ~count ~rate =
       (0, p, v))
     chosen
 
+let key ~rng ~keys ~hot_rate =
+  if keys < 1 then invalid_arg "Conflict.key: keys < 1";
+  if hot_rate < 0.0 || hot_rate > 1.0 then invalid_arg "Conflict.key: hot_rate outside [0, 1]";
+  if keys = 1 then 0
+  else if Rng.float rng 1.0 < hot_rate then 0
+  else 1 + Rng.int rng (keys - 1)
+
 let is_conflicting proposals =
   let values = List.sort_uniq Int.compare (List.map (fun (_, _, v) -> v) proposals) in
   List.length values > 1

@@ -27,3 +27,9 @@ val proposer_subset :
 
 val is_conflicting : (Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list -> bool
 (** True when at least two distinct values are proposed. *)
+
+val key : rng:Stdext.Rng.t -> keys:int -> hot_rate:float -> int
+(** Keyspace contention for SMR workloads: with probability [hot_rate] the
+    hot key 0, otherwise uniform over [1 .. keys - 1] (always 0 when
+    [keys = 1]). Raises [Invalid_argument] if [keys < 1] or [hot_rate] is
+    outside [0, 1]. *)

@@ -1,0 +1,188 @@
+module Rng = Stdext.Rng
+module Metrics = Stdext.Metrics
+module Time = Dsim.Time
+
+type arrival = Closed of { think : int } | Open of { rate_per_client : float }
+
+type config = {
+  clients : int;
+  arrival : arrival;
+  keys : int;
+  hot_rate : float;
+  horizon : int;
+  tick : int;
+}
+
+type result = {
+  submitted : int;
+  completed : int;
+  latencies : int array;
+  slots_applied : int;
+  mean_batch : float;
+  max_batch : int;
+  converged : bool;
+  horizon : int;
+}
+
+let commits_per_sec r =
+  if r.horizon <= 0 then 0.0
+  else float_of_int r.completed *. 1000.0 /. float_of_int r.horizon
+
+(* Latencies land in the same buckets as WAN RTT scales: milliseconds from
+   one-way up to multi-second queueing collapse. *)
+let latency_buckets =
+  [| 10; 25; 50; 100; 200; 400; 800; 1_600; 3_200; 6_400; 12_800; 25_600 |]
+
+let batch_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128 |]
+
+let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max = 1)
+    ?(seed = 0) ?faults ?(metrics = Metrics.disabled) config =
+  let (module P : Proto.Protocol.S) = protocol in
+  let n = match n with Some n -> n | None -> P.min_n ~e ~f in
+  let { clients; arrival; keys; hot_rate; horizon; tick } = config in
+  if clients < 1 then invalid_arg "Fleet.run: clients < 1";
+  if clients > Smr.Kv.max_client then invalid_arg "Fleet.run: clients beyond Kv.max_client";
+  if horizon < 1 then invalid_arg "Fleet.run: horizon < 1";
+  if tick < 1 then invalid_arg "Fleet.run: tick < 1";
+  let delta = Topology.max_oneway topology + jitter + 10 in
+  let net =
+    Checker.Scenario.Wan { latency = Topology.latency_fn topology; jitter }
+  in
+  let rng = Rng.create ~seed:(seed lxor 0x5eed_f1ee) in
+  let proxy c : Dsim.Pid.t = c mod n in
+  let fresh_op c =
+    Smr.Kv.encode
+      {
+        Smr.Kv.client = c;
+        key = Conflict.key ~rng ~keys ~hot_rate;
+        value = Rng.int rng 1024;
+      }
+  in
+  let m_submitted = Metrics.counter metrics "smr.commands.submitted" in
+  let m_completed = Metrics.counter metrics "smr.commands.completed" in
+  let m_latency = Metrics.histogram metrics ~buckets:latency_buckets "smr.latency_ms" in
+  let m_batch = Metrics.histogram metrics ~buckets:batch_buckets "smr.batch_size" in
+  (* Submissions outstanding per command word, FIFO (a client resubmitting
+     an identical op is a later queue entry; distinct clients can never
+     collide because the client id is part of the word). *)
+  let outstanding : (Proto.Value.t, (int * Time.t) Queue.t) Hashtbl.t =
+    Hashtbl.create (4 * clients)
+  in
+  let submitted = ref 0 in
+  let note_outstanding cmd client at =
+    let q =
+      match Hashtbl.find_opt outstanding cmd with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add outstanding cmd q;
+          q
+    in
+    Queue.add (client, at) q;
+    incr submitted;
+    Metrics.incr m_submitted
+  in
+  (* Pre-scheduled submissions: closed-loop clients stagger their first
+     command over one delta; open-loop clients get their whole Poisson
+     arrival train up front (arrivals do not depend on completions). *)
+  let initial_commands =
+    match arrival with
+    | Closed _ ->
+        List.init clients (fun c ->
+            let at = Rng.int rng (max 1 delta) in
+            let cmd = fresh_op c in
+            note_outstanding cmd c at;
+            (at, proxy c, cmd))
+    | Open { rate_per_client } ->
+        if rate_per_client <= 0.0 then invalid_arg "Fleet.run: rate_per_client <= 0";
+        let mean_gap_ms = 1000.0 /. rate_per_client in
+        let arrivals = ref [] in
+        for c = 0 to clients - 1 do
+          let t = ref 0.0 in
+          let continue = ref true in
+          while !continue do
+            let u = Rng.float rng 1.0 in
+            t := !t +. (mean_gap_ms *. -.log (1.0 -. u));
+            if !t >= float_of_int horizon then continue := false
+            else begin
+              let at = int_of_float !t in
+              let cmd = fresh_op c in
+              note_outstanding cmd c at;
+              arrivals := (at, proxy c, cmd) :: !arrivals
+            end
+          done
+        done;
+        List.rev !arrivals
+  in
+  let inst =
+    Smr.Replica.Instance.create ~protocol ~n ~e ~f ~delta ~net ~seed ~pipeline ~batch_max
+      ~commands:initial_commands ?faults ~metrics ~max_steps:2_000_000_000 ()
+  in
+  let latencies_rev = ref [] in
+  let completed = ref 0 in
+  let on_apply time pid _slot cmd =
+    match Hashtbl.find_opt outstanding cmd with
+    | None -> ()
+    | Some q when Queue.is_empty q -> ()
+    | Some q ->
+        let client, at = Queue.peek q in
+        if Dsim.Pid.equal pid (proxy client) then begin
+          ignore (Queue.pop q);
+          let latency = time - at in
+          latencies_rev := latency :: !latencies_rev;
+          incr completed;
+          Metrics.incr m_completed;
+          Metrics.observe m_latency latency;
+          match arrival with
+          | Open _ -> ()
+          | Closed { think } ->
+              let at' = max (Smr.Replica.Instance.now inst) (time + think) in
+              if at' < horizon then begin
+                let cmd' = fresh_op client in
+                note_outstanding cmd' client at';
+                Smr.Replica.Instance.submit inst ~at:at' ~proxy:(proxy client) cmd'
+              end
+        end
+  in
+  (* Tick-stepped drive: run a slice of virtual time, drain the new apply
+     events (which, closed-loop, schedules the next commands), repeat. *)
+  let quiescent = ref false in
+  let t = ref 0 in
+  while (not !quiescent) && !t < horizon do
+    t := min horizon (!t + tick);
+    (match Smr.Replica.Instance.run ~until:!t inst with
+    | Dsim.Engine.Quiescent ->
+        (* Nothing left to process and, open-loop, nothing more arrives. *)
+        Smr.Replica.Instance.drain_new_outputs inst ~f:on_apply;
+        (match arrival with Open _ -> quiescent := true | Closed _ -> ())
+    | Dsim.Engine.Reached_until -> Smr.Replica.Instance.drain_new_outputs inst ~f:on_apply
+    | Dsim.Engine.Step_budget_exhausted ->
+        Smr.Replica.Instance.drain_new_outputs inst ~f:on_apply;
+        quiescent := true)
+  done;
+  (* Batch-size distribution from one replica's applied slots. *)
+  let slots_applied, mean_batch, max_batch =
+    let log = Smr.Replica.Instance.applied_log inst 0 in
+    let sizes = Hashtbl.create 256 in
+    List.iter
+      (fun (slot, _) ->
+        Hashtbl.replace sizes slot (1 + Option.value ~default:0 (Hashtbl.find_opt sizes slot)))
+      log;
+    let slots = Hashtbl.length sizes in
+    let total = List.length log in
+    let max_batch = Hashtbl.fold (fun _ k acc -> max k acc) sizes 0 in
+    Hashtbl.iter (fun _ k -> Metrics.observe m_batch k) sizes;
+    ( slots,
+      (if slots = 0 then 0.0 else float_of_int total /. float_of_int slots),
+      max_batch )
+  in
+  {
+    submitted = !submitted;
+    completed = !completed;
+    latencies = Array.of_list (List.rev !latencies_rev);
+    slots_applied;
+    mean_batch;
+    max_batch;
+    converged = Smr.Replica.Instance.converged inst;
+    horizon;
+  }

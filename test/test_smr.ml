@@ -1,7 +1,9 @@
 (* Tests for the SMR layer and the replicated KV store: log convergence,
-   command retry after lost slots, crash tolerance, and the codec. *)
+   command retry after lost slots, crash tolerance, pipelining + batching,
+   and the codec (single-op and batch). *)
 
 module Pid = Dsim.Pid
+module Network = Dsim.Network
 module Instance = Smr.Replica.Instance
 module Kv = Smr.Kv
 
@@ -15,17 +17,71 @@ let test_kv_codec_roundtrip () =
       Alcotest.(check bool) "roundtrip" true (Kv.decode (Kv.encode op) = op))
     [
       { Kv.client = 0; key = 0; value = 0 };
-      { Kv.client = 3; key = 999; value = 999 };
+      { Kv.client = 3; key = 1023; value = 1023 };
       { Kv.client = 4000; key = 17; value = 3 };
+      { Kv.client = 150_000; key = 512; value = 7 };
+      { Kv.client = Kv.max_client; key = 1023; value = 1023 };
     ];
-  Alcotest.check_raises "range check" (Invalid_argument "Kv.encode: field out of range")
-    (fun () -> ignore (Kv.encode { Kv.client = 0; key = 1000; value = 0 }))
+  List.iter
+    (fun op ->
+      Alcotest.check_raises "range check"
+        (Invalid_argument "Kv.encode: field out of range") (fun () ->
+          ignore (Kv.encode op)))
+    [
+      { Kv.client = 0; key = 1024; value = 0 };
+      { Kv.client = 0; key = 0; value = 1024 };
+      { Kv.client = Kv.max_client + 1; key = 0; value = 0 };
+      { Kv.client = -1; key = 0; value = 0 };
+    ];
+  (* Every single-op word sits below the batch-identifier range. *)
+  Alcotest.(check bool) "ops below batch_base" true
+    (Kv.encode { Kv.client = Kv.max_client; key = 1023; value = 1023 } < Kv.batch_base)
 
-let kv_codec_property =
-  QCheck.Test.make ~name:"kv codec is injective" ~count:300
+(* The decimal-radix codec only reached clients 0..4000 and fields 0..999;
+   the bit-packed replacement must keep that whole legacy range working. *)
+let kv_codec_legacy_property =
+  QCheck.Test.make ~name:"kv codec covers the legacy decimal range" ~count:300
     QCheck.(triple (int_bound 4000) (int_bound 999) (int_bound 999))
     (fun (client, key, value) ->
       Kv.decode (Kv.encode { Kv.client; key; value }) = { Kv.client; key; value })
+
+let kv_codec_property =
+  QCheck.Test.make ~name:"kv codec roundtrips >= 100k clients" ~count:500
+    QCheck.(triple (int_bound Kv.max_client) (int_bound 1023) (int_bound 1023))
+    (fun (client, key, value) ->
+      Kv.decode (Kv.encode { Kv.client; key; value }) = { Kv.client; key; value })
+
+let test_batch_codec () =
+  let reg = Kv.Batch.create () in
+  let a = cmd 1 2 3 and b = cmd 4 5 6 and c = cmd 150_000 7 8 in
+  (* Singletons pack to themselves: indistinguishable from unbatched. *)
+  Alcotest.(check int) "singleton packs to itself" a (Kv.Batch.pack reg [ a ]);
+  Alcotest.(check bool) "singleton is not a batch" false (Kv.Batch.is_batch a);
+  let id = Kv.Batch.pack reg [ a; b; c ] in
+  Alcotest.(check bool) "k>=2 packs to a batch id" true (Kv.Batch.is_batch id);
+  Alcotest.(check bool) "id above batch_base" true (id >= Kv.batch_base);
+  Alcotest.(check (list int)) "expand inverts pack" [ a; b; c ] (Kv.Batch.expand reg id);
+  Alcotest.(check (list int)) "non-batch expands to itself" [ b ] (Kv.Batch.expand reg b);
+  Alcotest.(check int) "same content, same id" id (Kv.Batch.pack reg [ a; b; c ]);
+  Alcotest.(check bool) "different content, different id" true
+    (Kv.Batch.pack reg [ b; a ] <> id);
+  Alcotest.(check int) "size of batch" 3 (Kv.Batch.size reg id);
+  Alcotest.(check int) "size of single op" 1 (Kv.Batch.size reg a);
+  Alcotest.check_raises "empty batch" (Invalid_argument "Kv.Batch.pack: empty batch")
+    (fun () -> ignore (Kv.Batch.pack reg []));
+  Alcotest.check_raises "nested batch" (Invalid_argument "Kv.Batch.pack: nested batch")
+    (fun () -> ignore (Kv.Batch.pack reg [ a; id ]));
+  Alcotest.check_raises "unknown id" (Invalid_argument "Kv.Batch.expand: unknown batch id")
+    (fun () -> ignore (Kv.Batch.expand reg (Kv.batch_base + 999)))
+
+let batch_codec_property =
+  QCheck.Test.make ~name:"batch pack/expand = id for op lists" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 10) (triple (int_bound 9999) (int_bound 1023) (int_bound 1023)))
+    (fun ops ->
+      QCheck.assume (ops <> []);
+      let reg = Kv.Batch.create () in
+      let words = List.map (fun (c, k, v) -> cmd c k v) ops in
+      Kv.Batch.expand reg (Kv.Batch.pack reg words) = words)
 
 let test_kv_store_apply () =
   let store = Kv.empty () in
@@ -36,11 +92,12 @@ let test_kv_store_apply () =
   Alcotest.(check (option int)) "other key" (Some 30) (Kv.get store 2);
   Alcotest.(check (option int)) "missing" None (Kv.get store 9)
 
-let run_instance ?(crashes = []) ?(seed = 0) ~protocol ~n ~e ~f ~commands ~until () =
+let run_instance ?(crashes = []) ?(seed = 0) ?pipeline ?batch_max ?faults ~protocol ~n
+    ~e ~f ~commands ~until () =
   let t =
     Instance.create ~protocol ~n ~e ~f ~delta
       ~net:(Checker.Scenario.Partial { gst = 3 * delta; max_pre_gst = 2 * delta })
-      ~seed ~commands ~crashes ()
+      ~seed ?pipeline ?batch_max ?faults ~commands ~crashes ()
   in
   ignore (Instance.run ~until t);
   t
@@ -107,15 +164,86 @@ let test_kv_replay_agreement () =
         rest
   | [] -> Alcotest.fail "no stores"
 
-let smr_convergence_property protocol name =
+(* Pipelining + batching: a burst of commands at one proxy must land in far
+   fewer slots than commands, every command exactly once, logs converged. *)
+let test_pipelined_batched_burst () =
+  let n = 5 and e = 2 and f = 2 in
+  let count = 40 in
+  let commands = List.init count (fun i -> (i * 3, 0, cmd i (i mod 10) (i + 1))) in
+  let t =
+    run_instance ~protocol:Core.Rgs.obj ~n ~e ~f ~pipeline:4 ~batch_max:8 ~commands
+      ~until:(300 * delta) ()
+  in
+  Alcotest.(check bool) "converged" true (Instance.converged t);
+  let log = Instance.applied_log t 0 in
+  Alcotest.(check int) "every command applied once" count (List.length log);
+  Alcotest.(check (list int)) "exactly the submitted commands"
+    (List.map (fun (_, _, c) -> c) commands)
+    (List.sort compare (List.map snd log));
+  let slots = List.sort_uniq compare (List.map fst log) in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched into fewer slots (%d)" (List.length slots))
+    true
+    (List.length slots < count)
+
+let test_commit_time_matches_output_scan () =
+  let n = 5 and e = 2 and f = 2 in
+  let commands = List.init 12 (fun i -> (i * 20, i mod n, cmd i (i mod 5) (i + 1))) in
+  let t =
+    run_instance ~protocol:Core.Rgs.task ~n ~e ~f ~pipeline:4 ~batch_max:4 ~commands
+      ~until:(200 * delta) ()
+  in
+  let outputs = Instance.outputs t in
+  let scan ~proxy ~command =
+    List.find_map
+      (fun (time, pid, (_, c)) ->
+        if Pid.equal pid proxy && c = command then Some time else None)
+      outputs
+  in
+  List.iter
+    (fun (_, proxy, command) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "commit_time agrees with scan for %d" command)
+        (scan ~proxy ~command)
+        (Instance.commit_time t ~proxy ~command))
+    commands;
+  Alcotest.(check (option int)) "absent command" None
+    (Instance.commit_time t ~proxy:0 ~command:(cmd 999 0 0))
+
+let test_drain_outputs_exactly_once () =
+  let n = 5 and e = 2 and f = 2 in
+  let commands = List.init 8 (fun i -> (i * 10, 0, cmd i 1 (i + 1))) in
+  let t =
+    run_instance ~protocol:Core.Rgs.obj ~n ~e ~f ~pipeline:2 ~batch_max:4 ~commands
+      ~until:(200 * delta) ()
+  in
+  let drained = ref [] in
+  Instance.drain_new_outputs t ~f:(fun time pid slot c ->
+      drained := (time, pid, (slot, c)) :: !drained);
+  Alcotest.(check int) "drain sees all outputs"
+    (List.length (Instance.outputs t))
+    (List.length !drained);
+  Alcotest.(check bool) "drain matches outputs" true
+    (List.rev !drained = Instance.outputs t);
+  let again = ref 0 in
+  Instance.drain_new_outputs t ~f:(fun _ _ _ _ -> incr again);
+  Alcotest.(check int) "second drain is empty" 0 !again
+
+(* The tentpole safety property: across protocol x pipeline/batch x fault
+   plan x seed, per-replica applied logs agree on common prefixes and
+   replay to equal KV stores wherever logs are complete. *)
+let smr_convergence_property ?faults ?(pipeline = 1) ?(batch_max = 1) protocol name =
   QCheck.Test.make
-    ~name:(Printf.sprintf "smr over %s: convergence under random workloads" name)
+    ~name:
+      (Printf.sprintf "smr over %s (pipe %d, batch %d%s): convergence + kv agreement"
+         name pipeline batch_max
+         (match faults with None -> "" | Some _ -> ", faults"))
     ~count:15
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let n = 5 and e = 2 and f = 2 in
       let rng = Stdext.Rng.create ~seed in
-      let count = 1 + Stdext.Rng.int rng 5 in
+      let count = 1 + Stdext.Rng.int rng 8 in
       let commands =
         List.init count (fun i ->
             ( Stdext.Rng.int rng (10 * delta),
@@ -126,9 +254,28 @@ let smr_convergence_property protocol name =
         if Stdext.Rng.bool rng then [ (Stdext.Rng.int rng (20 * delta), n - 1) ] else []
       in
       let t =
-        run_instance ~protocol ~n ~e ~f ~commands ~crashes ~seed ~until:(250 * delta) ()
+        run_instance ~protocol ~n ~e ~f ~pipeline ~batch_max ?faults ~commands ~crashes
+          ~seed ~until:(400 * delta) ()
       in
-      Instance.converged t)
+      if not (Instance.converged t) then false
+      else begin
+        (* KV agreement on the longest common prefix: replay each pair of
+           logs truncated to their common length. *)
+        let logs = List.map (fun p -> Instance.applied_log t p) (Pid.all ~n) in
+        let truncate l k = List.filteri (fun i _ -> i < k) l in
+        List.for_all
+          (fun la ->
+            List.for_all
+              (fun lb ->
+                let k = min (List.length la) (List.length lb) in
+                Kv.equal_store (Kv.replay (truncate la k)) (Kv.replay (truncate lb k)))
+              logs)
+          logs
+      end)
+
+let drop_dup_faults =
+  Network.Fault.random ~drop_rate:0.05 ~dup_rate:0.1 ~max_drops:4 ~max_dups:6
+    ~max_extra_delay:delta ()
 
 let () =
   Alcotest.run "smr"
@@ -136,7 +283,10 @@ let () =
       ( "kv",
         [
           Alcotest.test_case "codec roundtrip" `Quick test_kv_codec_roundtrip;
+          QCheck_alcotest.to_alcotest kv_codec_legacy_property;
           QCheck_alcotest.to_alcotest kv_codec_property;
+          Alcotest.test_case "batch codec" `Quick test_batch_codec;
+          QCheck_alcotest.to_alcotest batch_codec_property;
           Alcotest.test_case "store apply" `Quick test_kv_store_apply;
         ] );
       ( "replication",
@@ -145,8 +295,35 @@ let () =
           Alcotest.test_case "slot reproposal" `Quick test_conflicting_slot_reproposal;
           Alcotest.test_case "replica crash" `Quick test_replica_crash_mid_stream;
           Alcotest.test_case "kv replay agreement" `Quick test_kv_replay_agreement;
+          Alcotest.test_case "pipelined batched burst" `Quick test_pipelined_batched_burst;
+          Alcotest.test_case "commit_time index" `Quick test_commit_time_matches_output_scan;
+          Alcotest.test_case "drain exactly once" `Quick test_drain_outputs_exactly_once;
+        ] );
+      ( "convergence",
+        [
           QCheck_alcotest.to_alcotest (smr_convergence_property Core.Rgs.obj "rgs-object");
           QCheck_alcotest.to_alcotest
             (smr_convergence_property Baselines.Paxos.protocol "paxos");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property ~pipeline:4 ~batch_max:8 Core.Rgs.obj "rgs-object");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property ~pipeline:4 ~batch_max:8 Core.Rgs.task "rgs-task");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property ~pipeline:4 ~batch_max:8
+               Baselines.Paxos.protocol "paxos");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property ~pipeline:4 ~batch_max:8
+               Baselines.Fast_paxos.protocol "fast-paxos");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property ~pipeline:4 ~batch_max:8 Epaxos.protocol "epaxos");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property ~faults:drop_dup_faults ~pipeline:4 ~batch_max:8
+               Core.Rgs.obj "rgs-object");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property ~faults:drop_dup_faults ~pipeline:4 ~batch_max:8
+               Baselines.Paxos.protocol "paxos");
+          QCheck_alcotest.to_alcotest
+            (smr_convergence_property ~faults:drop_dup_faults ~pipeline:4 ~batch_max:8
+               Epaxos.protocol "epaxos");
         ] );
     ]

@@ -59,6 +59,78 @@ let conflict_rate_property =
       in
       count 0.0 = 0 && count 1.0 = 50)
 
+let test_conflict_key () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "keys=1 is always hot" 0 (Conflict.key ~rng ~keys:1 ~hot_rate:0.0)
+  done;
+  let hot = ref 0 and seen = Hashtbl.create 16 in
+  for _ = 1 to 2000 do
+    let k = Conflict.key ~rng ~keys:10 ~hot_rate:0.3 in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 10);
+    if k = 0 then incr hot;
+    Hashtbl.replace seen k ()
+  done;
+  Alcotest.(check bool) "hot key overrepresented" true (!hot > 400 && !hot < 900);
+  Alcotest.(check bool) "cold keys all reachable" true (Hashtbl.length seen = 10);
+  Alcotest.check_raises "keys < 1" (Invalid_argument "Conflict.key: keys < 1")
+    (fun () -> ignore (Conflict.key ~rng ~keys:0 ~hot_rate:0.1))
+
+let test_stats_percentile () =
+  let module Stats = Stdext.Stats in
+  let xs = [| 5; 1; 4; 2; 3 |] in
+  Alcotest.(check int) "p0 = min" 1 (Stats.percentile xs 0.0);
+  Alcotest.(check int) "p100 = max" 5 (Stats.percentile xs 100.0);
+  Alcotest.(check int) "p50 = median" 3 (Stats.p50 xs);
+  Alcotest.(check int) "p99 of 5 = max" 5 (Stats.p99 xs);
+  Alcotest.(check int) "empty" 0 (Stats.p50 [||]);
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile xs 101.0))
+
+let fleet_cfg arrival =
+  { Workload.Fleet.clients = 12; arrival; keys = 8; hot_rate = 0.2;
+    horizon = 4_000; tick = 50 }
+
+let run_fleet ?(seed = 1) ?(pipeline = 8) ?(batch_max = 16) arrival =
+  Workload.Fleet.run ~protocol:Core.Rgs.obj ~e:2 ~f:2
+    ~topology:Workload.Topology.planet5 ~pipeline ~batch_max ~seed
+    (fleet_cfg arrival)
+
+let test_fleet_closed_loop_completes () =
+  let r = run_fleet (Workload.Fleet.Closed { think = 100 }) in
+  Alcotest.(check bool) "converged" true r.Workload.Fleet.converged;
+  Alcotest.(check bool) "some commands completed" true (r.Workload.Fleet.completed > 0);
+  Alcotest.(check int) "one latency per completion"
+    r.Workload.Fleet.completed
+    (Array.length r.Workload.Fleet.latencies);
+  Alcotest.(check bool) "completed <= submitted" true
+    (r.Workload.Fleet.completed <= r.Workload.Fleet.submitted);
+  Array.iter
+    (fun l -> Alcotest.(check bool) "latency nonnegative, within horizon" true
+        (l >= 0 && l <= r.Workload.Fleet.horizon))
+    r.Workload.Fleet.latencies
+
+let test_fleet_open_loop_completes () =
+  let r = run_fleet (Workload.Fleet.Open { rate_per_client = 2.0 }) in
+  Alcotest.(check bool) "converged" true r.Workload.Fleet.converged;
+  Alcotest.(check bool) "some commands completed" true (r.Workload.Fleet.completed > 0);
+  Alcotest.(check bool) "batching engaged" true (r.Workload.Fleet.max_batch >= 1)
+
+let test_fleet_determinism () =
+  List.iter
+    (fun arrival ->
+      let a = run_fleet arrival and b = run_fleet arrival in
+      Alcotest.(check int) "same submitted" a.Workload.Fleet.submitted
+        b.Workload.Fleet.submitted;
+      Alcotest.(check int) "same completed" a.Workload.Fleet.completed
+        b.Workload.Fleet.completed;
+      Alcotest.(check bool) "byte-identical latency samples" true
+        (a.Workload.Fleet.latencies = b.Workload.Fleet.latencies))
+    [ Workload.Fleet.Closed { think = 100 };
+      Workload.Fleet.Open { rate_per_client = 2.0 } ]
+
 let test_proposer_subset () =
   let rng = Rng.create ~seed:3 in
   let ps = Conflict.proposer_subset ~rng ~n:7 ~count:3 ~rate:0.5 in
@@ -81,5 +153,14 @@ let () =
           Alcotest.test_case "extremes" `Quick test_conflict_extremes;
           QCheck_alcotest.to_alcotest conflict_rate_property;
           Alcotest.test_case "proposer subset" `Quick test_proposer_subset;
+          Alcotest.test_case "hot/cold key draw" `Quick test_conflict_key;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "percentiles" `Quick test_stats_percentile ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "closed loop completes" `Quick test_fleet_closed_loop_completes;
+          Alcotest.test_case "open loop completes" `Quick test_fleet_open_loop_completes;
+          Alcotest.test_case "same seed, same samples" `Quick test_fleet_determinism;
         ] );
     ]
