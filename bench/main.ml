@@ -610,6 +610,7 @@ let time_smr ~protocol_name ~protocol ~topology ~mode ~pipeline ~batch_max ~clie
       arrival = Open { rate_per_client = smr_rate };
       keys = 64;
       hot_rate = 0.1;
+      read_rate = 0.0;
       horizon;
       tick = 50;
     }
@@ -620,6 +621,9 @@ let time_smr ~protocol_name ~protocol ~topology ~mode ~pipeline ~batch_max ~clie
   in
   let t1 = Unix.gettimeofday () in
   let topology_name = Workload.Topology.name topology in
+  (* -1 = no completions: percentiles of an empty sample set are undefined
+     (Stats.percentile now raises instead of faking a perfect 0). *)
+  let pct p = Option.value ~default:(-1) (Stdext.Stats.percentile_opt r.latencies p) in
   {
     s_experiment = Printf.sprintf "smr-%s-%s-%s" protocol_name topology_name mode;
     s_protocol = protocol_name;
@@ -633,8 +637,8 @@ let time_smr ~protocol_name ~protocol ~topology ~mode ~pipeline ~batch_max ~clie
     s_submitted = r.submitted;
     s_completed = r.completed;
     s_commits_per_sec = Workload.Fleet.commits_per_sec r;
-    s_p50 = Stdext.Stats.p50 r.latencies;
-    s_p99 = Stdext.Stats.p99 r.latencies;
+    s_p50 = pct 50.0;
+    s_p99 = pct 99.0;
     s_mean_batch = r.mean_batch;
     s_max_batch = r.max_batch;
     s_converged = r.converged;
@@ -775,6 +779,185 @@ let check_smr_baseline ~baseline_path samples =
             fail (Printf.sprintf "%s: replicas failed to converge" s.s_experiment))
     samples
 
+(* -- Linearizability suite --------------------------------------------- *)
+
+(* B7: object-level correctness as a benchmark. Every protocol's fleet run
+   — fault-free and under message loss/duplication — must yield a
+   linearizable client history, the run-length history encoding must beat
+   its own JSONL rendering by >= 4x, and per-key decomposition must beat
+   the monolithic search. Each is asserted, not just printed. *)
+
+type lin_sample = {
+  l_experiment : string;  (* lin-<protocol>-<faults> *)
+  l_protocol : string;
+  l_faults : string;
+  l_ops : int;
+  l_complete : int;
+  l_jsonl_bytes : int;
+  l_rle_bytes : int;
+  l_check_ms : float;
+  l_states : int;
+  l_linearizable : bool;
+}
+
+let lin_read_rate = 0.3
+
+let time_lin ~protocol_name ~protocol ~faults_name ~faults ~clients ~horizon =
+  let cfg : Workload.Fleet.config =
+    {
+      clients;
+      arrival = Open { rate_per_client = smr_rate };
+      keys = 64;
+      hot_rate = 0.1;
+      read_rate = lin_read_rate;
+      horizon;
+      tick = 50;
+    }
+  in
+  let r =
+    Workload.Fleet.run ~protocol ~e:2 ~f:2 ~topology:Workload.Topology.planet5
+      ~pipeline:16 ~batch_max:64 ~seed:1 ?faults cfg
+  in
+  let table = Checker.History.to_table r.history in
+  let jsonl_bytes = String.length (Stdext.Rle.to_jsonl table) in
+  let rle_bytes = String.length (Stdext.Rle.encode table) in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Checker.Linearizability.check_history r.history in
+  let t1 = Unix.gettimeofday () in
+  {
+    l_experiment = Printf.sprintf "lin-%s-%s" protocol_name faults_name;
+    l_protocol = protocol_name;
+    l_faults = faults_name;
+    l_ops = List.length r.history;
+    l_complete = r.completed;
+    l_jsonl_bytes = jsonl_bytes;
+    l_rle_bytes = rle_bytes;
+    l_check_ms = (t1 -. t0) *. 1000.0;
+    l_states = outcome.stats.states;
+    l_linearizable = outcome.ok;
+  }
+
+let lin_ratio s = float_of_int s.l_jsonl_bytes /. float_of_int (max 1 s.l_rle_bytes)
+
+let write_lin_json path samples =
+  Out_channel.with_open_text path (fun oc ->
+      let p format = Printf.fprintf oc format in
+      p "{\n";
+      p "  \"suite\": \"lin\",\n";
+      p "  \"schema_version\": 1,\n";
+      p
+        "  \"schema\": [\"experiment\", \"protocol\", \"faults\", \"ops\", \"complete\", \
+         \"jsonl_bytes\", \"rle_bytes\", \"compression_ratio\", \"check_ms\", \
+         \"states\", \"linearizable\"],\n";
+      p "  \"samples\": [\n";
+      List.iteri
+        (fun i s ->
+          p
+            "    {\"experiment\": %S, \"protocol\": %S, \"faults\": %S, \"ops\": %d, \
+             \"complete\": %d, \"jsonl_bytes\": %d, \"rle_bytes\": %d, \
+             \"compression_ratio\": %.2f, \"check_ms\": %.2f, \"states\": %d, \
+             \"linearizable\": %b}%s\n"
+            s.l_experiment s.l_protocol s.l_faults s.l_ops s.l_complete s.l_jsonl_bytes
+            s.l_rle_bytes (lin_ratio s) s.l_check_ms s.l_states s.l_linearizable
+            (if i = List.length samples - 1 then "" else ","))
+        samples;
+      p "  ]\n";
+      p "}\n");
+  Format.fprintf fmt "@.wrote %d lin samples to %s@." (List.length samples) path
+
+let run_lin_suite ~smr_clients ~smr_horizon () =
+  let clients = Option.value ~default:smr_clients_default smr_clients in
+  let horizon = Option.value ~default:smr_horizon_default smr_horizon in
+  Format.fprintf fmt
+    "@.%s@.B7. Linearizability of fleet histories (read rate %.1f, %d clients, %d \
+     virtual ms)@.%s@."
+    (String.make 78 '-') lin_read_rate clients horizon (String.make 78 '-');
+  let fault_plans =
+    [
+      ("faultfree", None);
+      ( "dropdup",
+        Some
+          (Dsim.Network.Fault.random ~drop_rate:0.02 ~dup_rate:0.02 ~max_drops:64
+             ~max_dups:64 ~max_extra_delay:(2 * delta) ()) );
+    ]
+  in
+  let samples =
+    List.concat_map
+      (fun (protocol_name, protocol) ->
+        List.map
+          (fun (faults_name, faults) ->
+            time_lin ~protocol_name ~protocol ~faults_name ~faults ~clients ~horizon)
+          fault_plans)
+      smr_protocols
+  in
+  Format.fprintf fmt "%-28s | %6s %6s | %8s %8s %6s | %8s %8s | %3s@." "experiment" "ops"
+    "done" "jsonl" "rle" "ratio" "check ms" "states" "lin";
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%-28s | %6d %6d | %8d %8d %5.1fx | %8.1f %8d | %3s@."
+        s.l_experiment s.l_ops s.l_complete s.l_jsonl_bytes s.l_rle_bytes (lin_ratio s)
+        s.l_check_ms s.l_states
+        (if s.l_linearizable then "yes" else "NO"))
+    samples;
+  (* The assertions the suite exists for. *)
+  List.iter
+    (fun s ->
+      if not s.l_linearizable then begin
+        Printf.eprintf "lin suite: %s produced a non-linearizable history\n"
+          s.l_experiment;
+        exit 1
+      end;
+      if lin_ratio s < 4.0 then begin
+        Printf.eprintf "lin suite: %s history compressed only %.2fx (< 4x floor)\n"
+          s.l_experiment (lin_ratio s);
+        exit 1
+      end)
+    samples;
+  (* Per-key vs monolithic on a deliberately small fleet: the monolithic
+     search must explore the cross-key interleavings the decomposition
+     never builds, and it blows up out of all proportion on anything
+     bigger. *)
+  let small : Workload.Fleet.config =
+    {
+      clients = 24;
+      arrival = Open { rate_per_client = smr_rate };
+      keys = 8;
+      hot_rate = 0.1;
+      read_rate = lin_read_rate;
+      horizon = 3_000;
+      tick = 50;
+    }
+  in
+  let r =
+    Workload.Fleet.run ~protocol:Core.Rgs.task ~e:2 ~f:2
+      ~topology:Workload.Topology.planet5 ~pipeline:16 ~batch_max:64 ~seed:1 small
+  in
+  let timed mode =
+    let t0 = Unix.gettimeofday () in
+    let o = Checker.Linearizability.check_history ~mode r.history in
+    let t1 = Unix.gettimeofday () in
+    (o, (t1 -. t0) *. 1000.0)
+  in
+  let per_key, per_key_ms = timed `Per_key in
+  let mono, mono_ms = timed `Monolithic in
+  Format.fprintf fmt
+    "decomposition: %d ops / %d keys -> per-key %d states (%.1f ms) vs monolithic %d \
+     states (%.1f ms)@."
+    (List.length r.history) per_key.stats.keys per_key.stats.states per_key_ms
+    mono.stats.states mono_ms;
+  if per_key.ok <> mono.ok then begin
+    Printf.eprintf "lin suite: per-key and monolithic verdicts disagree\n";
+    exit 1
+  end;
+  if mono.stats.states < per_key.stats.states then begin
+    Printf.eprintf
+      "lin suite: monolithic search explored fewer states than per-key (%d < %d)\n"
+      mono.stats.states per_key.stats.states;
+    exit 1
+  end;
+  write_lin_json "BENCH_lin.json" samples;
+  samples
+
 (* -- Bechamel microbenchmarks ------------------------------------------ *)
 
 let bench_sync_fast_path protocol name =
@@ -871,7 +1054,7 @@ let usage () =
   print_endline
     "usage: main.exe [--domains N] [--domains-list N,N,...] [--explore-budget N] \
      [--engine-iters N] [--smr-clients N] [--smr-horizon MS] [--check-baseline FILE] \
-     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|overhead|engine|smr|all]...";
+     [t1|t2|t3|t4|f1|f2|f3|f4|f5|tables|figures|bechamel|explore|faults|overhead|engine|smr|lin|all]...";
   exit 1
 
 let run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~smr_clients
@@ -908,6 +1091,7 @@ let run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~smr_cl
       let samples = run_smr_suite ~smr_clients ~smr_horizon () in
       Option.iter (fun baseline_path -> check_smr_baseline ~baseline_path samples)
         check_baseline
+  | "lin" -> ignore (run_lin_suite ~smr_clients ~smr_horizon () : lin_sample list)
   | "all" ->
       Experiments.all ~domains fmt;
       run_bechamel ();
@@ -915,7 +1099,8 @@ let run_experiment ~domains ~domains_list ~budget_override ~engine_iters ~smr_cl
       run_faults_suite ~domains_list ~budget_override ();
       run_metrics_overhead_suite ();
       ignore (run_engine_suite ~engine_iters () : explore_sample list);
-      ignore (run_smr_suite ~smr_clients ~smr_horizon () : smr_sample list)
+      ignore (run_smr_suite ~smr_clients ~smr_horizon () : smr_sample list);
+      ignore (run_lin_suite ~smr_clients ~smr_horizon () : lin_sample list)
   | arg ->
       Printf.eprintf "unknown experiment %S\n" arg;
       usage ()

@@ -496,86 +496,88 @@ let report_cmd =
           histogram — the two-step claim as numbers.")
     Term.(const run $ n_arg $ e_arg $ f_arg $ json_arg $ dedup_arg $ metrics_out_arg)
 
+(* -- smr / lin shared fleet arguments ------------------------------------ *)
+
+let topology_conv =
+  let parse s =
+    match
+      List.find_opt (fun t -> Workload.Topology.name t = s) Workload.Topology.presets
+    with
+    | Some t -> Ok t
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown topology %S (expected %s)" s
+                (String.concat ", "
+                   (List.map Workload.Topology.name Workload.Topology.presets))))
+  in
+  let print fmt t = Format.pp_print_string fmt (Workload.Topology.name t) in
+  Arg.conv (parse, print)
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Workload.Topology.planet5
+    & info [ "topology" ] ~docv:"TOPOLOGY"
+        ~doc:"WAN preset: local-cluster, three-az, planet5 or planet9.")
+
+let clients_arg =
+  Arg.(value & opt int 120 & info [ "clients" ] ~docv:"N" ~doc:"Number of simulated clients.")
+
+let rate_arg =
+  Arg.(
+    value
+    & opt float 4.0
+    & info [ "rate" ] ~docv:"CMDS"
+        ~doc:"Open-loop arrival rate per client (commands/second).")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("open", `Open); ("closed", `Closed) ]) `Open
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "$(b,open): Poisson arrivals at $(b,--rate) regardless of completions; \
+           $(b,closed): one outstanding command per client, resubmitting \
+           $(b,--think) ms after each completion.")
+
+let think_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "think" ] ~docv:"MS" ~doc:"Closed-loop think time between commands.")
+
+let pipeline_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "pipeline" ] ~docv:"DEPTH" ~doc:"In-flight consensus slots per proxy.")
+
+let batch_max_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "batch-max" ] ~docv:"K" ~doc:"Max commands packed into one proposal.")
+
+let keys_arg =
+  Arg.(value & opt int 64 & info [ "keys" ] ~docv:"K" ~doc:"Keyspace size.")
+
+let hot_rate_arg =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "hot-rate" ] ~docv:"P" ~doc:"Probability a command hits the hot key.")
+
+let horizon_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "horizon" ] ~docv:"MS" ~doc:"Virtual milliseconds to simulate.")
+
+let jitter_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jitter" ] ~docv:"MS" ~doc:"Random extra one-way delay (uniform 0..MS).")
+
 (* -- smr ----------------------------------------------------------------- *)
 
 let smr_cmd =
-  let topology_conv =
-    let parse s =
-      match
-        List.find_opt (fun t -> Workload.Topology.name t = s) Workload.Topology.presets
-      with
-      | Some t -> Ok t
-      | None ->
-          Error
-            (`Msg
-               (Printf.sprintf "unknown topology %S (expected %s)" s
-                  (String.concat ", "
-                     (List.map Workload.Topology.name Workload.Topology.presets))))
-    in
-    let print fmt t = Format.pp_print_string fmt (Workload.Topology.name t) in
-    Arg.conv (parse, print)
-  in
-  let topology_arg =
-    Arg.(
-      value
-      & opt topology_conv Workload.Topology.planet5
-      & info [ "topology" ] ~docv:"TOPOLOGY"
-          ~doc:"WAN preset: local-cluster, three-az, planet5 or planet9.")
-  in
-  let clients_arg =
-    Arg.(value & opt int 120 & info [ "clients" ] ~docv:"N" ~doc:"Number of simulated clients.")
-  in
-  let rate_arg =
-    Arg.(
-      value
-      & opt float 4.0
-      & info [ "rate" ] ~docv:"CMDS"
-          ~doc:"Open-loop arrival rate per client (commands/second).")
-  in
-  let mode_arg =
-    Arg.(
-      value
-      & opt (enum [ ("open", `Open); ("closed", `Closed) ]) `Open
-      & info [ "mode" ] ~docv:"MODE"
-          ~doc:
-            "$(b,open): Poisson arrivals at $(b,--rate) regardless of completions; \
-             $(b,closed): one outstanding command per client, resubmitting \
-             $(b,--think) ms after each completion.")
-  in
-  let think_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "think" ] ~docv:"MS" ~doc:"Closed-loop think time between commands.")
-  in
-  let pipeline_arg =
-    Arg.(
-      value & opt int 16
-      & info [ "pipeline" ] ~docv:"DEPTH" ~doc:"In-flight consensus slots per proxy.")
-  in
-  let batch_max_arg =
-    Arg.(
-      value & opt int 64
-      & info [ "batch-max" ] ~docv:"K" ~doc:"Max commands packed into one proposal.")
-  in
-  let keys_arg =
-    Arg.(value & opt int 64 & info [ "keys" ] ~docv:"K" ~doc:"Keyspace size.")
-  in
-  let hot_rate_arg =
-    Arg.(
-      value
-      & opt float 0.1
-      & info [ "hot-rate" ] ~docv:"P" ~doc:"Probability a command hits the hot key.")
-  in
-  let horizon_arg =
-    Arg.(
-      value & opt int 10_000
-      & info [ "horizon" ] ~docv:"MS" ~doc:"Virtual milliseconds to simulate.")
-  in
-  let jitter_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "jitter" ] ~docv:"MS" ~doc:"Random extra one-way delay (uniform 0..MS).")
-  in
   let run protocol n e f topology clients rate mode think pipeline batch_max keys
       hot_rate horizon jitter seed metrics_out =
     let (module P : Proto.Protocol.S) = protocol in
@@ -586,7 +588,7 @@ let smr_cmd =
       | `Closed -> Workload.Fleet.Closed { think }
     in
     let cfg : Workload.Fleet.config =
-      { clients; arrival; keys; hot_rate; horizon; tick = 50 }
+      { clients; arrival; keys; hot_rate; read_rate = 0.0; horizon; tick = 50 }
     in
     let r =
       with_metrics metrics_out (fun registry ->
@@ -605,9 +607,13 @@ let smr_cmd =
     printf "submitted    %8d commands@." r.submitted;
     printf "completed    %8d (%.1f commits/sec)@." r.completed
       (Workload.Fleet.commits_per_sec r);
-    printf "latency      p50 %d ms, p99 %d ms, mean %.1f ms (submit->apply at proxy)@."
-      (Stdext.Stats.p50 r.latencies) (Stdext.Stats.p99 r.latencies)
-      (Stdext.Stats.mean r.latencies);
+    (* A run can complete nothing (e.g. a tiny horizon): percentiles of an
+       empty sample set are undefined, not zero. *)
+    (match (Stdext.Stats.p50_opt r.latencies, Stdext.Stats.p99_opt r.latencies) with
+    | Some p50, Some p99 ->
+        printf "latency      p50 %d ms, p99 %d ms, mean %.1f ms (submit->apply at proxy)@."
+          p50 p99 (Stdext.Stats.mean r.latencies)
+    | _ -> printf "latency      n/a (no completions)@.");
     printf "slots        %d applied, mean batch %.2f, max batch %d@." r.slots_applied
       r.mean_batch r.max_batch;
     printf "converged    %b@." r.converged;
@@ -623,6 +629,149 @@ let smr_cmd =
       const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ topology_arg $ clients_arg
       $ rate_arg $ mode_arg $ think_arg $ pipeline_arg $ batch_max_arg $ keys_arg
       $ hot_rate_arg $ horizon_arg $ jitter_arg $ seed_arg $ metrics_out_arg)
+
+(* -- lin ------------------------------------------------------------------ *)
+
+let lin_cmd =
+  let read_rate_arg =
+    Arg.(
+      value
+      & opt float 0.3
+      & info [ "read-rate" ] ~docv:"P" ~doc:"Probability a command is a read (in [0,1]).")
+  in
+  let drop_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Per-message drop probability in [0,1] (applied within --max-drops).")
+  in
+  let dup_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup-rate" ] ~docv:"P"
+          ~doc:"Per-message duplication probability in [0,1] (within --max-dups).")
+  in
+  let max_drops_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-drops" ] ~docv:"K" ~doc:"Budget of dropped messages per run.")
+  in
+  let max_dups_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-dups" ] ~docv:"K" ~doc:"Budget of duplicated messages per run.")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mutate-stale-reads" ] ~docv:"PID"
+          ~doc:
+            "Deliberately make replica $(docv) serve every read from the key's \
+             previous value. The run must then be flagged non-linearizable — this is \
+             the checker's mutation test.")
+  in
+  let history_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "history-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the client history to $(docv): streaming JSON lines when the \
+             name ends in .jsonl, run-length binary otherwise.")
+  in
+  let witness_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-out" ] ~docv:"FILE"
+          ~doc:
+            "When the check fails, write the minimal witness window's operations to \
+             $(docv) (same format rule as --history-out).")
+  in
+  let monolithic_arg =
+    Arg.(
+      value & flag
+      & info [ "monolithic" ]
+          ~doc:"Search the whole history as one object instead of per key.")
+  in
+  let write_history path history =
+    if Filename.check_suffix path ".jsonl" then begin
+      let oc = open_out path in
+      Checker.History.to_jsonl oc history;
+      close_out oc
+    end
+    else Checker.History.to_file path history
+  in
+  let run protocol n e f topology clients rate mode think pipeline batch_max keys
+      hot_rate read_rate horizon jitter seed drop_rate dup_rate max_drops max_dups
+      mutate history_out witness_out monolithic =
+    let (module P : Proto.Protocol.S) = protocol in
+    let n = match n with Some n -> n | None -> P.min_n ~e ~f in
+    let arrival =
+      match mode with
+      | `Open -> Workload.Fleet.Open { rate_per_client = rate }
+      | `Closed -> Workload.Fleet.Closed { think }
+    in
+    let cfg : Workload.Fleet.config =
+      { clients; arrival; keys; hot_rate; read_rate; horizon; tick = 50 }
+    in
+    let faults =
+      if drop_rate > 0.0 || dup_rate > 0.0 then
+        Some
+          (Dsim.Network.Fault.random ~drop_rate ~dup_rate ~max_drops ~max_dups
+             ~max_extra_delay:(2 * delta) ())
+      else None
+    in
+    let mutation = Option.map (fun pid -> Smr.Replica.Stale_reads pid) mutate in
+    let r =
+      Workload.Fleet.run ~protocol ~e ~f ~n ~topology ~jitter ~pipeline ~batch_max ~seed
+        ?faults ?mutation cfg
+    in
+    Option.iter (fun path -> write_history path r.history) history_out;
+    let open Format in
+    printf "SMR deployment: %s n=%d (e=%d f=%d) on %s, %d clients, read-rate %.2f@."
+      P.name n e f
+      (Workload.Topology.name topology)
+      clients read_rate;
+    (match mutation with
+    | Some (Smr.Replica.Stale_reads pid) -> printf "mutation     stale reads at replica %d@." pid
+    | None -> ());
+    printf "history      %d ops (%d complete, %d in flight at horizon)@."
+      (List.length r.history) r.completed
+      (r.submitted - r.completed);
+    let t0 = Sys.time () in
+    let mode = if monolithic then `Monolithic else `Per_key in
+    let outcome = Checker.Linearizability.check_history ~mode r.history in
+    let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+    printf "check        %s: %d keys, %d states explored, %.1f ms@."
+      (match mode with `Per_key -> "per-key" | `Monolithic -> "monolithic")
+      outcome.stats.keys outcome.stats.states elapsed_ms;
+    if outcome.ok then printf "linearizable yes@."
+    else begin
+      printf "linearizable NO: %s@." (Option.value ~default:"?" outcome.reason);
+      Option.iter
+        (fun (w : Checker.Linearizability.witness) ->
+          printf "%a@." Checker.Linearizability.pp_witness w;
+          Option.iter (fun path -> write_history path w.events) witness_out)
+        outcome.witness;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lin"
+       ~doc:
+         "Run a mixed read/write client fleet against the replicated KV store \
+          (optionally under message loss/duplication or a deliberately buggy \
+          replica), record the client-observed history, and decide its \
+          linearizability with the WGL search. Exits non-zero on a \
+          non-linearizable history.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ topology_arg $ clients_arg
+      $ rate_arg $ mode_arg $ think_arg $ pipeline_arg $ batch_max_arg $ keys_arg
+      $ hot_rate_arg $ read_rate_arg $ horizon_arg $ jitter_arg $ seed_arg
+      $ drop_rate_arg $ dup_rate_arg $ max_drops_arg $ max_dups_arg $ mutate_arg
+      $ history_out_arg $ witness_out_arg $ monolithic_arg)
 
 (* -- experiments --------------------------------------------------------- *)
 
@@ -666,5 +815,6 @@ let () =
             faults_cmd;
             report_cmd;
             smr_cmd;
+            lin_cmd;
             experiments_cmd;
           ]))

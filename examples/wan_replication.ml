@@ -35,7 +35,9 @@ let () =
         (fun region_idx _region ->
           let proxy = region_idx in
           let client = region_idx in
-          let command = Smr.Kv.encode { Smr.Kv.client; key = region_idx; value = 7 } in
+          let command =
+            Smr.Kv.encode { Smr.Kv.client; key = region_idx; action = Smr.Kv.Put 7 }
+          in
           let t =
             Smr.Replica.Instance.create ~protocol ~n ~e ~f ~delta
               ~net:

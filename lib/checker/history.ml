@@ -1,0 +1,113 @@
+module Rle = Stdext.Rle
+
+type kind = Read | Write of int
+
+type event = {
+  client : int;
+  key : int;
+  kind : kind;
+  invoke : Dsim.Time.t;
+  respond : Dsim.Time.t option;
+  ret : int option;
+}
+
+type t = event list
+
+let pp_event fmt e =
+  let pp_kind fmt = function
+    | Read -> Format.pp_print_string fmt "get"
+    | Write v -> Format.fprintf fmt "put %d" v
+  in
+  match (e.respond, e.ret) with
+  | Some r, Some v ->
+      Format.fprintf fmt "c%d k%d %a [%d, %d] -> %d" e.client e.key pp_kind e.kind
+        e.invoke r v
+  | _ -> Format.fprintf fmt "c%d k%d %a [%d, ?] incomplete" e.client e.key pp_kind e.kind e.invoke
+
+let complete e = e.respond <> None
+
+let sort events =
+  List.stable_sort
+    (fun a b ->
+      match compare a.invoke b.invoke with 0 -> compare a.respond b.respond | c -> c)
+    events
+
+let schema = [ "client"; "key"; "op"; "value"; "invoke"; "respond"; "ret" ]
+
+let to_table events =
+  let events = Array.of_list (sort events) in
+  let col f = Array.map f events in
+  let opt f = function Some v -> f v | None -> -1 in
+  {
+    Rle.schema;
+    columns =
+      [
+        col (fun e -> e.client);
+        col (fun e -> e.key);
+        col (fun e -> match e.kind with Write _ -> 0 | Read -> 1);
+        col (fun e -> match e.kind with Write v -> v | Read -> 0);
+        col (fun e -> e.invoke);
+        col (fun e -> opt Fun.id e.respond);
+        col (fun e -> opt Fun.id e.ret);
+      ];
+  }
+
+let of_table (table : Rle.table) =
+  if table.Rle.schema <> schema then
+    Error
+      (Printf.sprintf "History.of_table: schema mismatch (got %s)"
+         (String.concat "," table.Rle.schema))
+  else
+    match table.Rle.columns with
+    | [ clients; keys; ops; values; invokes; responds; rets ] -> begin
+        let n = Array.length clients in
+        let exception Bad of string in
+        try
+          let events = ref [] in
+          for i = n - 1 downto 0 do
+            let cell name col =
+              let v = col.(i) in
+              if v < -1 then raise (Bad (Printf.sprintf "row %d: negative %s" i name));
+              v
+            in
+            let kind =
+              match ops.(i) with
+              | 0 -> Write (cell "value" values)
+              | 1 -> Read
+              | k -> raise (Bad (Printf.sprintf "row %d: unknown op kind %d" i k))
+            in
+            let invoke = cell "invoke" invokes in
+            if invoke < 0 then raise (Bad (Printf.sprintf "row %d: negative invoke" i));
+            let respond, ret =
+              match (cell "respond" responds, cell "ret" rets) with
+              | -1, -1 -> (None, None)
+              | -1, _ | _, -1 ->
+                  raise (Bad (Printf.sprintf "row %d: respond/ret incompleteness disagree" i))
+              | r, v ->
+                  if r < invoke then
+                    raise (Bad (Printf.sprintf "row %d: respond before invoke" i));
+                  (Some r, Some v)
+            in
+            events :=
+              { client = cell "client" clients; key = cell "key" keys; kind; invoke; respond; ret }
+              :: !events
+          done;
+          Ok !events
+        with Bad msg -> Error ("History.of_table: " ^ msg)
+      end
+    | _ -> Error "History.of_table: wrong column count"
+
+let to_file path events = Rle.to_file path (to_table events)
+
+let of_file path = Result.bind (Rle.of_file path) of_table
+
+let to_jsonl oc events =
+  Rle.iter_jsonl (to_table events) (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+
+let of_jsonl ic =
+  let lines () =
+    match In_channel.input_line ic with Some l -> Some (l, ()) | None -> None
+  in
+  Result.bind (Rle.of_jsonl_lines (Seq.unfold lines ())) of_table

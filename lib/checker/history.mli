@@ -1,0 +1,59 @@
+(** Client-observed operation histories over the replicated KV object.
+
+    A history is what the workload layer saw from the outside: for every
+    client operation, what was asked ([Read] or [Write v] on a key), when
+    it was invoked, and — if a response arrived before the run's horizon —
+    when it responded and what value came back.  Operations still
+    outstanding at the end of a run are recorded as {e incomplete}
+    ([respond = None]); dropping them would silently erase exactly the
+    in-flight ops whose effects may or may not have taken place, which the
+    linearizability checker must reason about explicitly.
+
+    Histories serialize two ways through one table schema
+    (see {!to_table}): a streaming JSONL text form and the {!Stdext.Rle}
+    run-length binary form, so size comparisons between the two are
+    honest — same rows, same columns, different encodings. *)
+
+type kind = Read | Write of int
+
+type event = {
+  client : int;
+  key : int;
+  kind : kind;
+  invoke : Dsim.Time.t;
+  respond : Dsim.Time.t option;  (** [None] = still outstanding at horizon *)
+  ret : int option;  (** response value; [None] iff incomplete *)
+}
+
+type t = event list
+
+val pp_event : Format.formatter -> event -> unit
+
+val complete : event -> bool
+
+val sort : t -> t
+(** Stable sort by invoke time (then respond time) — the canonical order
+    for serialization and display. *)
+
+val schema : string list
+(** Column names of the table form:
+    [client; key; op; value; invoke; respond; ret] where [op] is 0 for a
+    write and 1 for a read, [value] is the written value (0 for reads),
+    and [respond]/[ret] use [-1] for incomplete operations. *)
+
+val to_table : t -> Stdext.Rle.table
+(** Rows in {!sort} order. *)
+
+val of_table : Stdext.Rle.table -> (t, string) result
+(** Inverse of {!to_table}; [Error] on a wrong schema or out-of-range
+    cells (negative times, [-1] mismatches between respond and ret). *)
+
+val to_file : string -> t -> unit
+(** Run-length binary ({!Stdext.Rle.to_file} of {!to_table}). *)
+
+val of_file : string -> (t, string) result
+
+val to_jsonl : out_channel -> t -> unit
+(** One JSON object per row of {!to_table}, one row per line. *)
+
+val of_jsonl : in_channel -> (t, string) result

@@ -334,6 +334,7 @@ let f4_smr_throughput ?(seeds = 3) fmt =
       arrival = Open { rate_per_client = 3.0 };
       keys = 64;
       hot_rate = 0.1;
+      read_rate = 0.0;
       horizon = 8_000;
       tick = 50;
     }

@@ -1,14 +1,22 @@
 (** A replicated key-value store: the application layer over {!Replica}.
 
     Consensus commands are integers, so a single KV operation is bit-packed
-    into a [Proto.Value.t]: value in bits 0..9 (0..1023), key in bits
-    10..19 (0..1023), client in bits 20..45 (0..67M — comfortably beyond
-    the 100k-client fleets the workload layer simulates).  Distinct clients
-    therefore always produce distinct command words even for identical
-    writes, which keeps SMR reproposals unambiguous.  Words [>= 2^46] are
-    batch identifiers (see {!Batch}), never single ops. *)
+    into a [Proto.Value.t]: value in bits 0..9 (0..1023, writes only), key
+    in bits 10..19 (0..1023), client in bits 20..45 (0..67M — comfortably
+    beyond the 100k-client fleets the workload layer simulates), and the
+    operation kind in bit 46 (0 = [Put], 1 = [Get]).  [Put] words therefore
+    coincide with the pre-read codec's whole range, and distinct clients
+    always produce distinct command words even for identical operations,
+    which keeps SMR reproposals unambiguous.  Words [>= 2^47] are batch
+    identifiers (see {!Batch}), never single ops.
 
-type op = { client : int; key : int; value : int }
+    The store maps keys to integers; a key never written reads as [0], so
+    [Get] always has a well-defined return value (the linearizability
+    checker's register model relies on this). *)
+
+type action = Put of int  (** write the value *) | Get  (** read the key *)
+
+type op = { client : int; key : int; action : action }
 
 val pp_op : Format.formatter -> op -> unit
 
@@ -16,16 +24,19 @@ val max_client : int
 (** Largest encodable client id ([2^26 - 1]). *)
 
 val batch_base : int
-(** First word reserved for batch identifiers ([2^46]); every single-op
+(** First word reserved for batch identifiers ([2^47]); every single-op
     command word is strictly below it. *)
 
 val encode : op -> Proto.Value.t
-(** Raises [Invalid_argument] if a field is out of range (keys and values
-    0..1023, clients 0..{!max_client}). *)
+(** Raises [Invalid_argument] if a field is out of range (keys and written
+    values 0..1023, clients 0..{!max_client}). *)
 
 val decode : Proto.Value.t -> op
 (** Inverse of {!encode} on its range. Raises [Invalid_argument] on a
     negative word or a batch identifier. *)
+
+val is_get : Proto.Value.t -> bool
+(** True iff the word is a single-op [Get] command. *)
 
 (** Batch-of-ops codec: a batch of [k >= 2] single-op words is proposed
     through consensus as one interned identifier word, amortizing a whole
@@ -58,8 +69,12 @@ type store
 val empty : unit -> store
 
 val apply : store -> op -> unit
+(** [Put] replaces the binding; [Get] leaves the store untouched. *)
 
 val get : store -> int -> int option
+
+val read : store -> int -> int
+(** As {!get} with the never-written default [0]. *)
 
 val replay : (int * Proto.Value.t) list -> store
 (** Build the store state from an applied (slot, command) log. *)
@@ -67,3 +82,25 @@ val replay : (int * Proto.Value.t) list -> store
 val equal_store : store -> store -> bool
 
 val pp_store : Format.formatter -> store -> unit
+
+(** Persistent (O(1)-shared) store used inside {!Replica} state, where
+    applying a command must also produce the operation's return value:
+    a [Put] returns the value written, a [Get] the key's current value.
+    The shadow of each key's {e previous} value is retained so a
+    deliberately mutated replica can serve stale reads (the
+    linearizability checker's canary, {!Replica.mutation}). *)
+module Mstore : sig
+  type t
+
+  val empty : t
+
+  val read : t -> int -> int
+  (** Current value of the key ([0] if never written). *)
+
+  val stale : t -> int -> int
+  (** Value the key held {e before} its most recent [Put] ([0] if written
+      at most once). *)
+
+  val eval : t -> op -> t * int
+  (** Apply the op and return its response value. *)
+end

@@ -5,6 +5,8 @@ module Value = Proto.Value
 module Imap = Map.Make (Int)
 module Iset = Set.Make (Int)
 
+type mutation = Stale_reads of Pid.t
+
 type 'pmsg msg = { slot : int; payload : 'pmsg }
 
 let pp_msg pp_payload fmt m = Format.fprintf fmt "[slot %d] %a" m.slot pp_payload m.payload
@@ -27,6 +29,7 @@ type 'pstate state = {
   decided : Value.t Imap.t;  (* slot -> decided value (possibly a batch) *)
   applied_rev : (int * Value.t) list;  (* expanded commands, newest first *)
   next_apply : int;
+  store : Kv.Mstore.t;  (* KV state after the applied prefix: read results *)
   (* My submitted commands not yet proposed: a front/back functional queue
      (front oldest-first, back newest-first) for O(1) amortized enqueue. *)
   queue_front : Value.t list;
@@ -58,7 +61,7 @@ let queue_pop s =
       | v :: rest ->
           Some (v, { s with queue_front = rest; queue_back = []; queue_len = s.queue_len - 1 }))
 
-let make (type pm ps) ?(pipeline = 1) ?(batch_max = 1) ?pack ?expand
+let make (type pm ps) ?(pipeline = 1) ?(batch_max = 1) ?pack ?expand ?mutation
     (module P : Proto.Protocol.S with type msg = pm and type state = ps) ~n ~e ~f ~delta =
   if pipeline < 1 then invalid_arg "Replica.make: pipeline < 1";
   if batch_max < 1 then invalid_arg "Replica.make: batch_max < 1";
@@ -176,24 +179,42 @@ let make (type pm ps) ?(pipeline = 1) ?(batch_max = 1) ?pack ?expand
       (s, actions @ more)
     end
   in
+  (* The per-command response value: Put returns the value written, Get the
+     key's current value against the replica's own applied-prefix store — a
+     mutated replica serves Gets from the key's previous value instead (one
+     write stale), which is exactly the bug the object-level
+     linearizability checker exists to catch. *)
+  let apply_command s word =
+    if word < 0 || word >= Kv.batch_base then (s, 0)
+    else begin
+      let op = Kv.decode word in
+      let stale_here =
+        match mutation with
+        | Some (Stale_reads pid) -> Pid.equal s.self pid && op.Kv.action = Kv.Get
+        | None -> false
+      in
+      let store, ret = Kv.Mstore.eval s.store op in
+      let ret = if stale_here then Kv.Mstore.stale s.store op.Kv.key else ret in
+      ({ s with store }, ret)
+    end
+  in
   (* Apply newly contiguous decisions, expanding batches so every client
-     command gets its own (slot, command) output. *)
+     command gets its own (slot, command, response) output. *)
   let rec drain_applies s acc =
     match Imap.find_opt s.next_apply s.decided with
     | None -> (s, List.rev acc)
     | Some value ->
         let slot = s.next_apply in
         let ops = expand value in
-        let s =
-          {
-            s with
-            applied_rev =
-              List.fold_left (fun rev op -> (slot, op) :: rev) s.applied_rev ops;
-            next_apply = slot + 1;
-          }
+        let s, outputs_rev =
+          List.fold_left
+            (fun (s, acc) op ->
+              let s, ret = apply_command s op in
+              ( { s with applied_rev = (slot, op) :: s.applied_rev },
+                Automaton.Output (slot, op, ret) :: acc ))
+            (s, acc) ops
         in
-        drain_applies s
-          (List.fold_left (fun acc op -> Automaton.Output (slot, op) :: acc) acc ops)
+        drain_applies { s with next_apply = slot + 1 } outputs_rev
   in
   (* Reclaim the slot's timer lane, cancelling everything still armed so
      the lane can be reused without stale fires crossing slots. *)
@@ -254,6 +275,7 @@ let make (type pm ps) ?(pipeline = 1) ?(batch_max = 1) ?pack ?expand
         decided = Imap.empty;
         applied_rev = [];
         next_apply = 0;
+        store = Kv.Mstore.empty;
         queue_front = [];
         queue_back = [];
         queue_len = 0;
@@ -299,7 +321,7 @@ let make (type pm ps) ?(pipeline = 1) ?(batch_max = 1) ?pack ?expand
 
 module Instance = struct
   type packed =
-    | E : ('ps state, 'pm msg, Value.t, int * Value.t) Dsim.Engine.t -> packed
+    | E : ('ps state, 'pm msg, Value.t, int * Value.t * int) Dsim.Engine.t -> packed
 
   type t = {
     packed : packed;
@@ -309,16 +331,17 @@ module Instance = struct
        whole output log. *)
     commit_index : (Pid.t * Value.t, Time.t) Hashtbl.t;
     mutable indexed : int;  (* engine outputs consumed into the index *)
-    pending : (Time.t * Pid.t * (int * Value.t)) Queue.t;
+    pending : (Time.t * Pid.t * (int * Value.t * int)) Queue.t;
   }
 
   let create ~protocol ~n ~e ~f ~delta ~net ?(seed = 0) ?(pipeline = 1) ?(batch_max = 1)
-      ?(commands = []) ?(crashes = []) ?faults ?metrics ?(max_steps = 20_000_000) () =
+      ?(commands = []) ?(crashes = []) ?faults ?metrics ?mutation
+      ?(max_steps = 20_000_000) () =
     let (module P : Proto.Protocol.S) = protocol in
     let batches = Kv.Batch.create () in
     let automaton =
       make ~pipeline ~batch_max ~pack:(Kv.Batch.pack batches)
-        ~expand:(Kv.Batch.expand batches)
+        ~expand:(Kv.Batch.expand batches) ?mutation
         (module P)
         ~n ~e ~f ~delta
     in
@@ -379,7 +402,7 @@ module Instance = struct
       let fresh = Dsim.Engine.recent_outputs engine ~since:t.indexed in
       t.indexed <- total;
       List.iter
-        (fun ((time, pid, (_, cmd)) as event) ->
+        (fun ((time, pid, (_, cmd, _)) as event) ->
           if not (Hashtbl.mem t.commit_index (pid, cmd)) then
             Hashtbl.add t.commit_index (pid, cmd) time;
           Queue.add event t.pending)
@@ -389,8 +412,8 @@ module Instance = struct
   let drain_new_outputs t ~f =
     pull t;
     while not (Queue.is_empty t.pending) do
-      let time, pid, (slot, cmd) = Queue.pop t.pending in
-      f time pid slot cmd
+      let time, pid, (slot, cmd, ret) = Queue.pop t.pending in
+      f time pid slot cmd ret
     done
 
   let commit_time t ~proxy ~command =

@@ -14,9 +14,11 @@
     (see {!Kv.Batch}), amortizing a consensus instance over a whole batch.
     Losing a slot to another replica's value means the batch's commands
     return to the queue and are reproposed.  Decisions are applied in slot
-    order once contiguous and emitted as one [(slot, command)] output {e
-    per client command} after batch expansion, so per-command latency is
-    observable.
+    order once contiguous, evaluated against the replica's own KV store
+    ({!Kv.Mstore}), and emitted as one [(slot, command, response)] output
+    {e per client command} after batch expansion, so per-command latency
+    {e and return values} are observable — the latter is what the
+    object-level linearizability checker consumes.
 
     Timers are virtualized through a bounded pool of lanes reclaimed when
     a slot decides, so long pipelined runs do not accumulate timer state
@@ -24,6 +26,13 @@
 
     Commands are [Proto.Value.t] (integers); {!Kv} provides a command codec
     and a replicated key-value store. *)
+
+type mutation =
+  | Stale_reads of Dsim.Pid.t
+      (** The designated replica answers every [Get] with the key's {e
+          previous} value (one write stale) while applying the same log as
+          everyone else.  Deliberately non-linearizable: the mutation-test
+          canary that the history checker must flag. *)
 
 type 'pmsg msg
 
@@ -43,18 +52,22 @@ val make :
   ?batch_max:int ->
   ?pack:(Proto.Value.t list -> Proto.Value.t) ->
   ?expand:(Proto.Value.t -> Proto.Value.t list) ->
+  ?mutation:mutation ->
   (module Proto.Protocol.S with type msg = 'pmsg and type state = 'pstate) ->
   n:int ->
   e:int ->
   f:int ->
   delta:int ->
-  ('pstate state, 'pmsg msg, Proto.Value.t, int * Proto.Value.t) Dsim.Automaton.t
+  ('pstate state, 'pmsg msg, Proto.Value.t, int * Proto.Value.t * int) Dsim.Automaton.t
 (** [pipeline] (default 1) bounds this replica's in-flight proposals;
     [batch_max] (default 1) bounds commands per proposal. [pack] combines
     [k >= 2] commands into one proposable value and [expand] inverts it
     (identity-on-singletons by default; required when [batch_max > 1] —
-    typically {!Kv.Batch}). Raises [Invalid_argument] if either knob
-    is [< 1]. *)
+    typically {!Kv.Batch}). [mutation] (default none) injects a deliberate
+    object-level bug for checker mutation testing. Outputs are
+    [(slot, command, response)] triples; a word outside the single-op
+    range responds [0] and leaves the store untouched. Raises
+    [Invalid_argument] if either knob is [< 1]. *)
 
 (** Existentially packaged SMR engine, so callers never name the underlying
     protocol's state and message types. *)
@@ -75,6 +88,7 @@ module Instance : sig
     ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
     ?faults:Dsim.Network.Fault.plan ->
     ?metrics:Stdext.Metrics.t ->
+    ?mutation:mutation ->
     ?max_steps:int ->
     unit ->
     t
@@ -94,14 +108,15 @@ module Instance : sig
   val applied_log : t -> Dsim.Pid.t -> (int * Proto.Value.t) list
   (** A replica's applied (slot, command) sequence so far, batch-expanded. *)
 
-  val outputs : t -> (Dsim.Time.t * Dsim.Pid.t * (int * Proto.Value.t)) list
-  (** Application events across all replicas, chronological. *)
+  val outputs : t -> (Dsim.Time.t * Dsim.Pid.t * (int * Proto.Value.t * int)) list
+  (** Application events across all replicas, chronological; the third
+      component is the op's response value (see {!make}). *)
 
   val drain_new_outputs :
-    t -> f:(Dsim.Time.t -> Dsim.Pid.t -> int -> Proto.Value.t -> unit) -> unit
-  (** Call [f time pid slot command] for every apply event not yet drained
-      (chronological); each event is delivered exactly once across calls.
-      O(new events) per call. *)
+    t -> f:(Dsim.Time.t -> Dsim.Pid.t -> int -> Proto.Value.t -> int -> unit) -> unit
+  (** Call [f time pid slot command response] for every apply event not yet
+      drained (chronological); each event is delivered exactly once across
+      calls. O(new events) per call. *)
 
   val commit_time : t -> proxy:Dsim.Pid.t -> command:Proto.Value.t -> Dsim.Time.t option
   (** When [proxy] first applied [command], if it has. O(1) amortized:

@@ -1,0 +1,202 @@
+type table = { schema : string list; columns : int array list }
+
+let rows t = match t.columns with [] -> 0 | c :: _ -> Array.length c
+
+let magic = "RLT1"
+
+(* 62-bit guard: zigzag shifts left by one, so the top two bits of the
+   native 63-bit int must agree. *)
+let fits_zigzag v = v >= -(1 lsl 61) && v < 1 lsl 61
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+let put_varint buf v =
+  (* Unsigned LEB128 over the (nonnegative) zigzag image or a length. *)
+  let v = ref v in
+  while !v land lnot 0x7f <> 0 do
+    Buffer.add_char buf (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !v)
+
+(* Reader state: a string and a mutable cursor; every failure is reported
+   through [Error], never an exception. *)
+exception Corrupt of string
+
+let get_varint s pos =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= String.length s then raise (Corrupt "truncated varint");
+    if !shift > 62 then raise (Corrupt "varint overflows 63 bits");
+    let byte = Char.code s.[!pos] in
+    incr pos;
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := byte land 0x80 <> 0
+  done;
+  !v
+
+let encode_column buf col =
+  let prev = ref 0 in
+  let run_delta = ref 0 and run_len = ref 0 in
+  let flush () =
+    if !run_len > 0 then begin
+      put_varint buf (zigzag !run_delta);
+      put_varint buf !run_len
+    end
+  in
+  Array.iter
+    (fun v ->
+      if not (fits_zigzag v) then invalid_arg "Rle.encode: value beyond 62 bits";
+      let d = v - !prev in
+      prev := v;
+      if !run_len > 0 && d = !run_delta then incr run_len
+      else begin
+        flush ();
+        run_delta := d;
+        run_len := 1
+      end)
+    col;
+  flush ()
+
+let decode_column s pos n =
+  let col = Array.make n 0 in
+  let filled = ref 0 and prev = ref 0 in
+  while !filled < n do
+    let d = unzigzag (get_varint s pos) in
+    let len = get_varint s pos in
+    if len <= 0 || !filled + len > n then raise (Corrupt "run overshoots column");
+    for _ = 1 to len do
+      prev := !prev + d;
+      col.(!filled) <- !prev;
+      incr filled
+    done
+  done;
+  col
+
+let encode t =
+  if List.length t.schema <> List.length t.columns then
+    invalid_arg "Rle.encode: schema/column count mismatch";
+  let n = rows t in
+  List.iter
+    (fun c -> if Array.length c <> n then invalid_arg "Rle.encode: ragged columns")
+    t.columns;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  put_varint buf (List.length t.schema);
+  List.iter
+    (fun name ->
+      put_varint buf (String.length name);
+      Buffer.add_string buf name)
+    t.schema;
+  put_varint buf n;
+  List.iter (encode_column buf) t.columns;
+  Buffer.contents buf
+
+let decode s =
+  try
+    if String.length s < 4 || String.sub s 0 4 <> magic then
+      raise (Corrupt "bad magic (not an RLT1 table)");
+    let pos = ref 4 in
+    let ncols = get_varint s pos in
+    let schema =
+      List.init ncols (fun _ ->
+          let len = get_varint s pos in
+          if !pos + len > String.length s then raise (Corrupt "truncated column name");
+          let name = String.sub s !pos len in
+          pos := !pos + len;
+          name)
+    in
+    let n = get_varint s pos in
+    let columns = List.init ncols (fun _ -> decode_column s pos n) in
+    if !pos <> String.length s then raise (Corrupt "trailing garbage after table");
+    Ok { schema; columns }
+  with Corrupt msg -> Error msg
+
+let to_file path t = Out_channel.with_open_bin path (fun oc -> output_string oc (encode t))
+
+let of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> decode contents
+  | exception Sys_error e -> Error e
+
+(* -- JSONL ---------------------------------------------------------------- *)
+
+let iter_jsonl t sink =
+  let cols = Array.of_list t.columns in
+  let names = Array.of_list t.schema in
+  let buf = Buffer.create 128 in
+  for row = 0 to rows t - 1 do
+    Buffer.clear buf;
+    Buffer.add_char buf '{';
+    Array.iteri
+      (fun i name ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Json.to_string (Json.String name));
+        Buffer.add_string buf ": ";
+        Buffer.add_string buf (string_of_int cols.(i).(row)))
+      names;
+    Buffer.add_char buf '}';
+    sink (Buffer.contents buf)
+  done
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  iter_jsonl t (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let of_jsonl_lines lines =
+  let schema = ref [] in
+  let acc : (string, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let nrows = ref 0 in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  Seq.iter
+    (fun line ->
+      if !err = None && String.trim line <> "" then
+        match Json.parse line with
+        | Error e -> fail (Printf.sprintf "row %d: %s" !nrows e)
+        | Ok (Json.Obj fields) -> begin
+            let keys = List.map fst fields in
+            if !nrows = 0 then begin
+              schema := keys;
+              List.iter (fun k -> Hashtbl.replace acc k (ref [])) keys
+            end
+            else if keys <> !schema then fail (Printf.sprintf "row %d: schema drift" !nrows);
+            if !err = None then begin
+              List.iter
+                (fun (k, v) ->
+                  match v with
+                  | Json.Int n -> (
+                      match Hashtbl.find_opt acc k with
+                      | Some cell -> cell := n :: !cell
+                      | None -> fail (Printf.sprintf "row %d: unknown column %S" !nrows k))
+                  | _ -> fail (Printf.sprintf "row %d: column %S is not an integer" !nrows k))
+                fields;
+              incr nrows
+            end
+          end
+        | Ok _ -> fail (Printf.sprintf "row %d: not a JSON object" !nrows))
+    lines;
+  match !err with
+  | Some msg -> Error msg
+  | None ->
+      let columns =
+        List.map
+          (fun k ->
+            match Hashtbl.find_opt acc k with
+            | Some cell ->
+                let a = Array.of_list !cell in
+                (* accumulated newest-first *)
+                let n = Array.length a in
+                Array.init n (fun i -> a.(n - 1 - i))
+            | None -> [||])
+          !schema
+      in
+      Ok { schema = !schema; columns }
+
+let of_jsonl s = of_jsonl_lines (String.split_on_char '\n' s |> List.to_seq)

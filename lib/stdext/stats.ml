@@ -1,20 +1,34 @@
 let mean samples =
   match Array.length samples with
   | 0 -> nan
-  | len -> float_of_int (Array.fold_left ( + ) 0 samples) /. float_of_int len
+  | len ->
+      (* Accumulate in float: an int accumulator overflows for large
+         sample sets of large values (e.g. millions of multi-second
+         latencies), silently corrupting the mean. *)
+      Array.fold_left (fun acc x -> acc +. float_of_int x) 0.0 samples
+      /. float_of_int len
 
-let percentile samples p =
+let percentile_opt samples p =
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";
   match Array.length samples with
-  | 0 -> 0
+  | 0 -> None
   | len ->
       let sorted = Array.copy samples in
       Array.sort Int.compare sorted;
       (* Nearest-rank: the smallest sample with at least p% of the mass at
          or below it. p = 0 gives the minimum, p = 100 the maximum. *)
       let rank = int_of_float (ceil (p /. 100.0 *. float_of_int len)) in
-      sorted.(max 0 (min (len - 1) (rank - 1)))
+      Some sorted.(max 0 (min (len - 1) (rank - 1)))
+
+let percentile samples p =
+  match percentile_opt samples p with
+  | Some v -> v
+  | None -> invalid_arg "Stats.percentile: empty sample array"
 
 let p50 samples = percentile samples 50.0
 
 let p99 samples = percentile samples 99.0
+
+let p50_opt samples = percentile_opt samples 50.0
+
+let p99_opt samples = percentile_opt samples 99.0

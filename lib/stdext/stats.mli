@@ -5,17 +5,31 @@
     deterministic, so exactness is both affordable and what makes same-seed
     reports byte-identical); {!Metrics} histograms remain the right tool
     for streaming/merged telemetry, this module is for end-of-run
-    summaries. *)
+    summaries.
+
+    An empty sample array has no percentiles: {!percentile} raises and
+    {!percentile_opt} returns [None].  (It used to return [0], which made
+    a zero-completion run — total collapse — indistinguishable from
+    perfect latency in every report built on it.) *)
 
 val mean : int array -> float
-(** Arithmetic mean; [nan] on the empty array. *)
+(** Arithmetic mean, accumulated in float (no integer-sum overflow);
+    [nan] on the empty array. *)
 
 val percentile : int array -> float -> int
 (** [percentile samples p] is the nearest-rank p-th percentile (p in
     [0, 100]): the smallest sample such that at least p% of samples are
-    [<=] it. Does not mutate [samples]; 0 on the empty array. Raises
-    [Invalid_argument] if [p] is outside [0, 100]. *)
+    [<=] it. Does not mutate [samples]. Raises [Invalid_argument] if [p]
+    is outside [0, 100] or if [samples] is empty. *)
+
+val percentile_opt : int array -> float -> int option
+(** As {!percentile} but [None] on the empty array (still raises on a
+    [p] outside [0, 100]). *)
 
 val p50 : int array -> int
 
 val p99 : int array -> int
+
+val p50_opt : int array -> int option
+
+val p99_opt : int array -> int option

@@ -9,6 +9,7 @@ type config = {
   arrival : arrival;
   keys : int;
   hot_rate : float;
+  read_rate : float;
   horizon : int;
   tick : int;
 }
@@ -22,6 +23,20 @@ type result = {
   max_batch : int;
   converged : bool;
   horizon : int;
+  history : Checker.History.t;
+  outstanding_end : int;
+}
+
+(* One client operation as the fleet observed it; respond/ret are patched
+   in when the op's proxy applies it, so ops still in flight at the end of
+   the run surface as incomplete history events rather than vanishing. *)
+type hrec = {
+  h_client : int;
+  h_key : int;
+  h_kind : Checker.History.kind;
+  h_invoke : Time.t;
+  mutable h_respond : Time.t option;
+  mutable h_ret : int option;
 }
 
 let commits_per_sec r =
@@ -36,14 +51,15 @@ let latency_buckets =
 let batch_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128 |]
 
 let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max = 1)
-    ?(seed = 0) ?faults ?(metrics = Metrics.disabled) config =
+    ?(seed = 0) ?faults ?(metrics = Metrics.disabled) ?mutation config =
   let (module P : Proto.Protocol.S) = protocol in
   let n = match n with Some n -> n | None -> P.min_n ~e ~f in
-  let { clients; arrival; keys; hot_rate; horizon; tick } = config in
+  let { clients; arrival; keys; hot_rate; read_rate; horizon; tick } = config in
   if clients < 1 then invalid_arg "Fleet.run: clients < 1";
   if clients > Smr.Kv.max_client then invalid_arg "Fleet.run: clients beyond Kv.max_client";
   if horizon < 1 then invalid_arg "Fleet.run: horizon < 1";
   if tick < 1 then invalid_arg "Fleet.run: tick < 1";
+  if read_rate < 0.0 || read_rate > 1.0 then invalid_arg "Fleet.run: read_rate outside [0, 1]";
   let delta = Topology.max_oneway topology + jitter + 10 in
   let net =
     Checker.Scenario.Wan { latency = Topology.latency_fn topology; jitter }
@@ -51,12 +67,15 @@ let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max =
   let rng = Rng.create ~seed:(seed lxor 0x5eed_f1ee) in
   let proxy c : Dsim.Pid.t = c mod n in
   let fresh_op c =
-    Smr.Kv.encode
-      {
-        Smr.Kv.client = c;
-        key = Conflict.key ~rng ~keys ~hot_rate;
-        value = Rng.int rng 1024;
-      }
+    let key = Conflict.key ~rng ~keys ~hot_rate in
+    (* The kind draw happens only when reads are enabled, so a
+       [read_rate = 0.0] run consumes exactly the pre-read RNG stream and
+       seeded all-write baselines stay byte-identical. *)
+    let action =
+      if read_rate > 0.0 && Rng.float rng 1.0 < read_rate then Smr.Kv.Get
+      else Smr.Kv.Put (Rng.int rng 1024)
+    in
+    Smr.Kv.encode { Smr.Kv.client = c; key; action }
   in
   let m_submitted = Metrics.counter metrics "smr.commands.submitted" in
   let m_completed = Metrics.counter metrics "smr.commands.completed" in
@@ -65,10 +84,11 @@ let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max =
   (* Submissions outstanding per command word, FIFO (a client resubmitting
      an identical op is a later queue entry; distinct clients can never
      collide because the client id is part of the word). *)
-  let outstanding : (Proto.Value.t, (int * Time.t) Queue.t) Hashtbl.t =
+  let outstanding : (Proto.Value.t, (int * Time.t * hrec) Queue.t) Hashtbl.t =
     Hashtbl.create (4 * clients)
   in
   let submitted = ref 0 in
+  let history_rev = ref [] in
   let note_outstanding cmd client at =
     let q =
       match Hashtbl.find_opt outstanding cmd with
@@ -78,7 +98,22 @@ let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max =
           Hashtbl.add outstanding cmd q;
           q
     in
-    Queue.add (client, at) q;
+    let op = Smr.Kv.decode cmd in
+    let r =
+      {
+        h_client = client;
+        h_key = op.Smr.Kv.key;
+        h_kind =
+          (match op.Smr.Kv.action with
+          | Smr.Kv.Put v -> Checker.History.Write v
+          | Smr.Kv.Get -> Checker.History.Read);
+        h_invoke = at;
+        h_respond = None;
+        h_ret = None;
+      }
+    in
+    history_rev := r :: !history_rev;
+    Queue.add (client, at, r) q;
     incr submitted;
     Metrics.incr m_submitted
   in
@@ -116,18 +151,25 @@ let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max =
   in
   let inst =
     Smr.Replica.Instance.create ~protocol ~n ~e ~f ~delta ~net ~seed ~pipeline ~batch_max
-      ~commands:initial_commands ?faults ~metrics ~max_steps:2_000_000_000 ()
+      ~commands:initial_commands ?faults ~metrics ?mutation ~max_steps:2_000_000_000 ()
   in
   let latencies_rev = ref [] in
   let completed = ref 0 in
-  let on_apply time pid _slot cmd =
+  let on_apply time pid _slot cmd ret =
     match Hashtbl.find_opt outstanding cmd with
     | None -> ()
-    | Some q when Queue.is_empty q -> ()
+    | Some q when Queue.is_empty q -> Hashtbl.remove outstanding cmd
     | Some q ->
-        let client, at = Queue.peek q in
+        let client, at, r = Queue.peek q in
         if Dsim.Pid.equal pid (proxy client) then begin
           ignore (Queue.pop q);
+          (* Reclaim drained queues: without this every completed command
+             word leaves an empty queue behind forever, and a long run's
+             table grows with the number of distinct commands ever issued
+             instead of the in-flight count. *)
+          if Queue.is_empty q then Hashtbl.remove outstanding cmd;
+          r.h_respond <- Some time;
+          r.h_ret <- Some ret;
           let latency = time - at in
           latencies_rev := latency :: !latencies_rev;
           incr completed;
@@ -176,6 +218,20 @@ let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max =
       (if slots = 0 then 0.0 else float_of_int total /. float_of_int slots),
       max_batch )
   in
+  let history =
+    Checker.History.sort
+      (List.rev_map
+         (fun r ->
+           {
+             Checker.History.client = r.h_client;
+             key = r.h_key;
+             kind = r.h_kind;
+             invoke = r.h_invoke;
+             respond = r.h_respond;
+             ret = r.h_ret;
+           })
+         !history_rev)
+  in
   {
     submitted = !submitted;
     completed = !completed;
@@ -185,4 +241,6 @@ let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max =
     max_batch;
     converged = Smr.Replica.Instance.converged inst;
     horizon;
+    history;
+    outstanding_end = Hashtbl.length outstanding;
   }

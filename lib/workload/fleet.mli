@@ -25,6 +25,10 @@ type config = {
   arrival : arrival;
   keys : int;  (** keyspace size, see {!Conflict.key} *)
   hot_rate : float;  (** probability a command hits the hot key *)
+  read_rate : float;
+      (** probability a command is a [Get] (in [\[0, 1\]]); at [0.0] no
+          extra RNG draws happen, so all-write runs reproduce pre-read
+          seeded baselines byte-identically *)
   horizon : int;  (** virtual ms of measured run *)
   tick : int;  (** drive granularity in virtual ms (bounds closed-loop resubmit skew) *)
 }
@@ -38,6 +42,14 @@ type result = {
   max_batch : int;
   converged : bool;  (** {!Smr.Replica.Instance.converged} at the end *)
   horizon : int;
+  history : Checker.History.t;
+      (** every submitted op with invoke/respond times and returned value,
+          invoke order; ops still in flight at the end are incomplete
+          events — checkable with {!Checker.Linearizability.check_history} *)
+  outstanding_end : int;
+      (** command words still awaiting their proxy apply when the run
+          ended; bounded by [submitted - completed] now that drained
+          queues are reclaimed (they used to accumulate forever) *)
 }
 
 val commits_per_sec : result -> float
@@ -55,6 +67,7 @@ val run :
   ?seed:int ->
   ?faults:Dsim.Network.Fault.plan ->
   ?metrics:Stdext.Metrics.t ->
+  ?mutation:Smr.Replica.mutation ->
   config ->
   result
 (** [n] defaults to the protocol's [min_n ~e ~f]; Δ is derived from the
@@ -62,5 +75,7 @@ val run :
     [pipeline]/[batch_max] (default 1/1) are the replica's knobs. When
     [metrics] is given, [smr.commands.submitted]/[smr.commands.completed]
     counters and [smr.latency_ms]/[smr.batch_size] histograms are recorded
-    alongside the engine's own probes. Raises [Invalid_argument] on a
-    non-positive knob or a fleet larger than the {!Smr.Kv} client space. *)
+    alongside the engine's own probes. [mutation] injects a deliberate
+    object-level replica bug (checker mutation testing). Raises
+    [Invalid_argument] on a non-positive knob, a [read_rate] outside
+    [0, 1], or a fleet larger than the {!Smr.Kv} client space. *)

@@ -65,6 +65,135 @@ let test_linearizability () =
   let empty = outcome () in
   Alcotest.(check bool) "no decisions is fine" true (Linearizability.check empty).linearizable
 
+(* -- object-level linearizability over KV histories --------------------- *)
+
+module History = Checker.History
+
+let ev ?respond ?ret client key kind invoke =
+  { History.client; key; kind; invoke; respond; ret }
+
+let w ?(client = 0) key v invoke respond =
+  ev client key (History.Write v) invoke ~respond ~ret:v
+
+let r ?(client = 1) key v invoke respond =
+  ev client key History.Read invoke ~respond ~ret:v
+
+let check = Linearizability.check_history
+
+let test_wgl_register_basics () =
+  let ok h = (check h).Linearizability.ok in
+  Alcotest.(check bool) "empty history" true (ok []);
+  Alcotest.(check bool) "sequential write/read" true
+    (ok [ w 0 1 0 10; r 0 1 20 30; w 0 2 40 50; r 0 2 60 70 ]);
+  Alcotest.(check bool) "unwritten key reads 0" true (ok [ r 5 0 0 10 ]);
+  Alcotest.(check bool) "unwritten key cannot read 9" false (ok [ r 5 9 0 10 ]);
+  Alcotest.(check bool) "stale read rejected" false
+    (ok [ w 0 1 0 10; w 0 2 20 30; r 0 1 40 50 ]);
+  Alcotest.(check bool) "real-time order respected" false
+    (ok [ w 0 1 0 10; w 0 2 20 30; r 0 2 40 50; r 0 1 60 70 ]);
+  (* Concurrent writes may linearize in either order. *)
+  Alcotest.(check bool) "concurrent writes, first wins" true
+    (ok [ w ~client:0 0 1 0 100; w ~client:1 0 2 0 100; r 0 1 150 160 ]);
+  Alcotest.(check bool) "concurrent writes, second wins" true
+    (ok [ w ~client:0 0 1 0 100; w ~client:1 0 2 0 100; r 0 2 150 160 ])
+
+let test_wgl_incomplete_ops () =
+  let ok h = (check h).Linearizability.ok in
+  let w_pending ?(client = 0) key v invoke = ev client key (History.Write v) invoke in
+  (* An in-flight write may have taken effect... *)
+  Alcotest.(check bool) "incomplete write serves a read" true
+    (ok [ w_pending 0 5 0; r 0 5 10 20 ]);
+  (* ...or not have happened at all... *)
+  Alcotest.(check bool) "incomplete write may never apply" true
+    (ok [ w_pending 0 7 0; r 0 0 10 20 ]);
+  (* ...but it cannot apply before its own invocation. *)
+  Alcotest.(check bool) "incomplete write not before its invoke" false
+    (ok [ r 0 7 0 10; w_pending 0 7 50 ]);
+  (* Incomplete reads impose nothing. *)
+  Alcotest.(check bool) "incomplete read ignored" true
+    (ok [ w 0 1 0 10; ev 2 0 History.Read 5 ])
+
+let test_wgl_per_key_composition () =
+  (* Per-key and monolithic must agree — linearizability is
+     P-compositional over keys. *)
+  let histories =
+    [
+      [ w 0 1 0 10; w 1 5 0 10; r 0 1 20 30; r 1 5 20 30 ];
+      [ w 0 1 0 10; w 1 5 0 10; r 0 1 20 30; r 1 9 20 30 ];
+      [ w 0 3 0 50; w 1 4 0 50; r ~client:2 0 3 60 70; r ~client:3 1 4 60 70 ];
+    ]
+  in
+  List.iter
+    (fun h ->
+      let pk = check ~mode:`Per_key h and mono = check ~mode:`Monolithic h in
+      Alcotest.(check bool) "verdicts agree" pk.Linearizability.ok
+        mono.Linearizability.ok)
+    histories
+
+let test_wgl_witness () =
+  let h =
+    [ w 0 1 0 10; r 0 1 20 30; w 0 2 40 50; r 0 1 60 70; w 0 3 80 90; r 0 3 100 110 ]
+  in
+  let o = check h in
+  Alcotest.(check bool) "violation detected" false o.Linearizability.ok;
+  match o.Linearizability.witness with
+  | None -> Alcotest.fail "no witness"
+  | Some wit ->
+      Alcotest.(check (option int)) "offending key" (Some 0) wit.Linearizability.key;
+      (* The stale read responds at 70; nothing after it is needed. *)
+      Alcotest.(check int) "window ends at the stale read" 70
+        wit.Linearizability.window_end;
+      Alcotest.(check bool) "window keeps only the contradiction core" true
+        (List.length wit.Linearizability.events <= 4);
+      Alcotest.(check bool) "witness fails on its own" false
+        (check wit.Linearizability.events).Linearizability.ok
+
+let test_wgl_malformed_never_asserts () =
+  let malformed =
+    [
+      [ ev 0 0 (History.Write 1) 10 ~respond:5 ~ret:1 ] (* respond < invoke *);
+      [ ev 0 0 (History.Write 1) (-3) ~respond:5 ~ret:1 ] (* negative invoke *);
+      [ ev 0 0 History.Read 0 ~respond:10 ] (* complete without ret *);
+      [ ev 0 0 History.Read 0 ~ret:3 ] (* incomplete with ret *);
+    ]
+  in
+  List.iter
+    (fun h ->
+      let o = check h in
+      Alcotest.(check bool) "malformed fails" false o.Linearizability.ok;
+      match o.Linearizability.reason with
+      | Some s ->
+          Alcotest.(check bool) "reason says malformed" true
+            (String.length s >= 9 && String.sub s 0 9 = "malformed")
+      | None -> Alcotest.fail "no reason given")
+    malformed
+
+let test_history_serialization_roundtrip () =
+  let h =
+    History.sort
+      [
+        w 0 1 0 10; r 0 1 20 30;
+        ev 3 7 (History.Write 9) 15 (* in flight *);
+        ev 4 2 History.Read 40 ~respond:44 ~ret:0;
+      ]
+  in
+  (match History.of_table (History.to_table h) with
+  | Ok h' -> Alcotest.(check bool) "table round-trip" true (h' = h)
+  | Error e -> Alcotest.fail e);
+  let file = Filename.temp_file "hist" ".rle" in
+  History.to_file file h;
+  (match History.of_file file with
+  | Ok h' -> Alcotest.(check bool) "file round-trip" true (h' = h)
+  | Error e -> Alcotest.fail e);
+  Sys.remove file;
+  let bad =
+    { Stdext.Rle.schema = History.schema;
+      columns = List.map (fun _ -> [| -7 |]) History.schema }
+  in
+  match History.of_table bad with
+  | Ok _ -> Alcotest.fail "accepted negative cells"
+  | Error _ -> ()
+
 (* The headline positive results: the paper's protocol passes its two-step
    definition exactly at its bound. *)
 let test_task_two_step_at_bound () =
@@ -531,6 +660,17 @@ let () =
         [
           Alcotest.test_case "verdicts" `Quick test_safety_verdicts;
           Alcotest.test_case "linearizability" `Quick test_linearizability;
+        ] );
+      ( "wgl",
+        [
+          Alcotest.test_case "register basics" `Quick test_wgl_register_basics;
+          Alcotest.test_case "incomplete ops" `Quick test_wgl_incomplete_ops;
+          Alcotest.test_case "per-key = monolithic" `Quick test_wgl_per_key_composition;
+          Alcotest.test_case "witness minimization" `Quick test_wgl_witness;
+          Alcotest.test_case "malformed never asserts" `Quick
+            test_wgl_malformed_never_asserts;
+          Alcotest.test_case "history serialization" `Quick
+            test_history_serialization_roundtrip;
         ] );
       ( "twostep",
         [

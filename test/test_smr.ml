@@ -9,18 +9,22 @@ module Kv = Smr.Kv
 
 let delta = 100
 
-let cmd c k v = Kv.encode { Kv.client = c; key = k; value = v }
+let cmd c k v = Kv.encode { Kv.client = c; key = k; action = Kv.Put v }
+let rd c k = Kv.encode { Kv.client = c; key = k; action = Kv.Get }
 
 let test_kv_codec_roundtrip () =
   List.iter
     (fun op ->
       Alcotest.(check bool) "roundtrip" true (Kv.decode (Kv.encode op) = op))
     [
-      { Kv.client = 0; key = 0; value = 0 };
-      { Kv.client = 3; key = 1023; value = 1023 };
-      { Kv.client = 4000; key = 17; value = 3 };
-      { Kv.client = 150_000; key = 512; value = 7 };
-      { Kv.client = Kv.max_client; key = 1023; value = 1023 };
+      { Kv.client = 0; key = 0; action = Put 0 };
+      { Kv.client = 3; key = 1023; action = Put 1023 };
+      { Kv.client = 4000; key = 17; action = Put 3 };
+      { Kv.client = 150_000; key = 512; action = Put 7 };
+      { Kv.client = Kv.max_client; key = 1023; action = Put 1023 };
+      { Kv.client = 0; key = 0; action = Get };
+      { Kv.client = 42; key = 512; action = Get };
+      { Kv.client = Kv.max_client; key = 1023; action = Get };
     ];
   List.iter
     (fun op ->
@@ -28,14 +32,17 @@ let test_kv_codec_roundtrip () =
         (Invalid_argument "Kv.encode: field out of range") (fun () ->
           ignore (Kv.encode op)))
     [
-      { Kv.client = 0; key = 1024; value = 0 };
-      { Kv.client = 0; key = 0; value = 1024 };
-      { Kv.client = Kv.max_client + 1; key = 0; value = 0 };
-      { Kv.client = -1; key = 0; value = 0 };
+      { Kv.client = 0; key = 1024; action = Put 0 };
+      { Kv.client = 0; key = 0; action = Put 1024 };
+      { Kv.client = Kv.max_client + 1; key = 0; action = Put 0 };
+      { Kv.client = -1; key = 0; action = Put 0 };
+      { Kv.client = 0; key = 1024; action = Get };
     ];
+  Alcotest.(check bool) "is_get on get word" true (Kv.is_get (rd 7 3));
+  Alcotest.(check bool) "is_get off put word" false (Kv.is_get (cmd 7 3 9));
   (* Every single-op word sits below the batch-identifier range. *)
   Alcotest.(check bool) "ops below batch_base" true
-    (Kv.encode { Kv.client = Kv.max_client; key = 1023; value = 1023 } < Kv.batch_base)
+    (Kv.encode { Kv.client = Kv.max_client; key = 1023; action = Get } < Kv.batch_base)
 
 (* The decimal-radix codec only reached clients 0..4000 and fields 0..999;
    the bit-packed replacement must keep that whole legacy range working. *)
@@ -43,13 +50,15 @@ let kv_codec_legacy_property =
   QCheck.Test.make ~name:"kv codec covers the legacy decimal range" ~count:300
     QCheck.(triple (int_bound 4000) (int_bound 999) (int_bound 999))
     (fun (client, key, value) ->
-      Kv.decode (Kv.encode { Kv.client; key; value }) = { Kv.client; key; value })
+      Kv.decode (Kv.encode { Kv.client; key; action = Put value })
+      = { Kv.client; key; action = Put value })
 
 let kv_codec_property =
   QCheck.Test.make ~name:"kv codec roundtrips >= 100k clients" ~count:500
-    QCheck.(triple (int_bound Kv.max_client) (int_bound 1023) (int_bound 1023))
-    (fun (client, key, value) ->
-      Kv.decode (Kv.encode { Kv.client; key; value }) = { Kv.client; key; value })
+    QCheck.(quad bool (int_bound Kv.max_client) (int_bound 1023) (int_bound 1023))
+    (fun (get, client, key, value) ->
+      let action = if get then Kv.Get else Kv.Put value in
+      Kv.decode (Kv.encode { Kv.client; key; action }) = { Kv.client; key; action })
 
 let test_batch_codec () =
   let reg = Kv.Batch.create () in
@@ -85,12 +94,27 @@ let batch_codec_property =
 
 let test_kv_store_apply () =
   let store = Kv.empty () in
-  Kv.apply store { Kv.client = 0; key = 1; value = 10 };
-  Kv.apply store { Kv.client = 1; key = 1; value = 20 };
-  Kv.apply store { Kv.client = 0; key = 2; value = 30 };
+  Kv.apply store { Kv.client = 0; key = 1; action = Put 10 };
+  Kv.apply store { Kv.client = 1; key = 1; action = Put 20 };
+  Kv.apply store { Kv.client = 0; key = 2; action = Put 30 };
+  Kv.apply store { Kv.client = 2; key = 1; action = Get };
   Alcotest.(check (option int)) "last write wins" (Some 20) (Kv.get store 1);
   Alcotest.(check (option int)) "other key" (Some 30) (Kv.get store 2);
-  Alcotest.(check (option int)) "missing" None (Kv.get store 9)
+  Alcotest.(check (option int)) "missing" None (Kv.get store 9);
+  Alcotest.(check int) "read with default" 0 (Kv.read store 9)
+
+let test_mstore_eval () =
+  let open Kv in
+  let s = Mstore.empty in
+  Alcotest.(check int) "unwritten reads 0" 0 (Mstore.read s 5);
+  let s, r1 = Mstore.eval s { client = 0; key = 5; action = Put 11 } in
+  Alcotest.(check int) "put returns written value" 11 r1;
+  let s, r2 = Mstore.eval s { client = 1; key = 5; action = Get } in
+  Alcotest.(check int) "get returns current" 11 r2;
+  let s, _ = Mstore.eval s { client = 0; key = 5; action = Put 22 } in
+  Alcotest.(check int) "current after overwrite" 22 (Mstore.read s 5);
+  Alcotest.(check int) "stale is previous value" 11 (Mstore.stale s 5);
+  Alcotest.(check int) "stale of single write" 0 (Mstore.stale s 9)
 
 let run_instance ?(crashes = []) ?(seed = 0) ?pipeline ?batch_max ?faults ~protocol ~n
     ~e ~f ~commands ~until () =
@@ -196,7 +220,7 @@ let test_commit_time_matches_output_scan () =
   let outputs = Instance.outputs t in
   let scan ~proxy ~command =
     List.find_map
-      (fun (time, pid, (_, c)) ->
+      (fun (time, pid, (_, c, _)) ->
         if Pid.equal pid proxy && c = command then Some time else None)
       outputs
   in
@@ -218,16 +242,50 @@ let test_drain_outputs_exactly_once () =
       ~until:(200 * delta) ()
   in
   let drained = ref [] in
-  Instance.drain_new_outputs t ~f:(fun time pid slot c ->
-      drained := (time, pid, (slot, c)) :: !drained);
+  Instance.drain_new_outputs t ~f:(fun time pid slot c ret ->
+      drained := (time, pid, (slot, c, ret)) :: !drained);
   Alcotest.(check int) "drain sees all outputs"
     (List.length (Instance.outputs t))
     (List.length !drained);
   Alcotest.(check bool) "drain matches outputs" true
     (List.rev !drained = Instance.outputs t);
   let again = ref 0 in
-  Instance.drain_new_outputs t ~f:(fun _ _ _ _ -> incr again);
+  Instance.drain_new_outputs t ~f:(fun _ _ _ _ _ -> incr again);
   Alcotest.(check int) "second drain is empty" 0 !again
+
+(* Read results: a Get committed after a Put must carry the written value
+   in its output, on every replica; a [Stale_reads] replica serves the
+   key's previous value instead — the checker's canary misbehaviour. *)
+let test_read_results_and_stale_mutation () =
+  let n = 5 and e = 2 and f = 2 in
+  let commands =
+    [ (0, 0, cmd 0 1 5); (10 * delta, 0, cmd 1 1 7); (25 * delta, 0, rd 2 1) ]
+  in
+  let run ?mutation () =
+    let t =
+      Instance.create ~protocol:Core.Rgs.task ~n ~e ~f ~delta
+        ~net:(Checker.Scenario.Partial { gst = 3 * delta; max_pre_gst = 2 * delta })
+        ?mutation ~commands ()
+    in
+    ignore (Instance.run ~until:(100 * delta) t);
+    t
+  in
+  let get_ret t pid =
+    List.find_map
+      (fun (_, p, (_, c, ret)) -> if Pid.equal p pid && c = rd 2 1 then Some ret else None)
+      (Instance.outputs t)
+  in
+  let t = run () in
+  Alcotest.(check bool) "converged" true (Instance.converged t);
+  List.iter
+    (fun p ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "p%d read result" p)
+        (Some 7) (get_ret t p))
+    (Pid.all ~n);
+  let t = run ~mutation:(Smr.Replica.Stale_reads 2) () in
+  Alcotest.(check (option int)) "mutated replica serves stale value" (Some 5) (get_ret t 2);
+  Alcotest.(check (option int)) "healthy replica unaffected" (Some 7) (get_ret t 0)
 
 (* The tentpole safety property: across protocol x pipeline/batch x fault
    plan x seed, per-replica applied logs agree on common prefixes and
@@ -288,6 +346,7 @@ let () =
           Alcotest.test_case "batch codec" `Quick test_batch_codec;
           QCheck_alcotest.to_alcotest batch_codec_property;
           Alcotest.test_case "store apply" `Quick test_kv_store_apply;
+          Alcotest.test_case "mstore eval" `Quick test_mstore_eval;
         ] );
       ( "replication",
         [
@@ -298,6 +357,8 @@ let () =
           Alcotest.test_case "pipelined batched burst" `Quick test_pipelined_batched_burst;
           Alcotest.test_case "commit_time index" `Quick test_commit_time_matches_output_scan;
           Alcotest.test_case "drain exactly once" `Quick test_drain_outputs_exactly_once;
+          Alcotest.test_case "read results + stale mutation" `Quick
+            test_read_results_and_stale_mutation;
         ] );
       ( "convergence",
         [

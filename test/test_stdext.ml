@@ -651,6 +651,99 @@ let test_json_parse_basics () =
   bad "\"unterminated";
   bad "{\"a\" 1}"
 
+(* -- Rle: run-length integer tables ------------------------------------ *)
+
+module Rle = Stdext.Rle
+
+let sample_table =
+  {
+    Rle.schema = [ "time"; "pid"; "value" ];
+    columns =
+      [
+        [| 0; 10; 10; 10; 20; 20; 35; 40 |];
+        [| 0; 0; 0; 1; 1; 2; 2; 2 |];
+        [| -1; 5; 5; 5; 1023; -1; 0; 7 |];
+      ];
+  }
+
+let test_rle_roundtrip () =
+  let enc = Rle.encode sample_table in
+  (match Rle.decode enc with
+  | Ok t ->
+      Alcotest.(check (list string)) "schema" sample_table.Rle.schema t.Rle.schema;
+      Alcotest.(check bool) "columns" true (t.Rle.columns = sample_table.Rle.columns)
+  | Error e -> Alcotest.fail e);
+  let empty = { Rle.schema = [ "a"; "b" ]; columns = [ [||]; [||] ] } in
+  (match Rle.decode (Rle.encode empty) with
+  | Ok t -> Alcotest.(check int) "empty table round-trips" 0 (Rle.rows t)
+  | Error e -> Alcotest.fail e);
+  Alcotest.check_raises "ragged columns rejected"
+    (Invalid_argument "Rle.encode: ragged columns") (fun () ->
+      ignore (Rle.encode { Rle.schema = [ "a"; "b" ]; columns = [ [| 1 |]; [||] ] }))
+
+let test_rle_corruption_detected () =
+  let enc = Rle.encode sample_table in
+  let expect_error s =
+    match Rle.decode s with
+    | Ok _ -> Alcotest.fail "decoded corrupted input"
+    | Error _ -> ()
+  in
+  expect_error "";
+  expect_error "not an rle table";
+  expect_error (String.sub enc 0 (String.length enc - 1));
+  expect_error (enc ^ "\x00")
+
+let test_rle_jsonl_roundtrip () =
+  let jsonl = Rle.to_jsonl sample_table in
+  (match Rle.of_jsonl jsonl with
+  | Ok t -> Alcotest.(check bool) "jsonl round-trips" true (t = sample_table)
+  | Error e -> Alcotest.fail e);
+  let lines = ref [] in
+  Rle.iter_jsonl sample_table (fun l -> lines := l :: !lines);
+  Alcotest.(check int) "one line per row" (Rle.rows sample_table) (List.length !lines);
+  match Rle.of_jsonl "{\"a\": 1}\n{\"b\": 2}\n" with
+  | Ok _ -> Alcotest.fail "accepted mismatched schemas"
+  | Error _ -> ()
+
+let rle_table_gen =
+  QCheck.Gen.(
+    let* cols = 1 -- 4 in
+    let* rows = 0 -- 60 in
+    let* columns =
+      list_repeat cols
+        (map Array.of_list
+           (list_repeat rows
+              (frequency
+                 [
+                   (3, 0 -- 100);
+                   (1, map (fun v -> -v) (0 -- 1_000_000));
+                   (* Large magnitudes, kept well under the codec's 62-bit
+                      signed-delta ceiling. *)
+                   (1, map (fun v -> v - (1 lsl 40)) (0 -- (1 lsl 41)));
+                 ])))
+    in
+    return
+      {
+        Rle.schema = List.mapi (fun i _ -> Printf.sprintf "c%d" i) columns;
+        columns;
+      })
+
+let rle_roundtrip_property =
+  QCheck.Test.make ~name:"rle encode/decode round-trips random tables" ~count:300
+    (QCheck.make rle_table_gen) (fun t ->
+      match Rle.decode (Rle.encode t) with
+      | Ok t' -> t' = t
+      | Error _ -> false)
+
+let rle_jsonl_property =
+  QCheck.Test.make ~name:"rle jsonl export/import round-trips" ~count:200
+    (QCheck.make rle_table_gen) (fun t ->
+      (* The JSONL form has no rows to carry a schema on an empty table. *)
+      QCheck.assume (Rle.rows t > 0);
+      match Rle.of_jsonl (Rle.to_jsonl t) with
+      | Ok t' -> t' = t
+      | Error _ -> false)
+
 let () =
   Alcotest.run "stdext"
     [
@@ -724,5 +817,13 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse basics and errors" `Quick test_json_parse_basics;
+        ] );
+      ( "rle",
+        [
+          Alcotest.test_case "binary round-trip" `Quick test_rle_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_rle_corruption_detected;
+          Alcotest.test_case "jsonl round-trip" `Quick test_rle_jsonl_roundtrip;
+          QCheck_alcotest.to_alcotest rle_roundtrip_property;
+          QCheck_alcotest.to_alcotest rle_jsonl_property;
         ] );
     ]

@@ -83,20 +83,30 @@ let test_stats_percentile () =
   Alcotest.(check int) "p100 = max" 5 (Stats.percentile xs 100.0);
   Alcotest.(check int) "p50 = median" 3 (Stats.p50 xs);
   Alcotest.(check int) "p99 of 5 = max" 5 (Stats.p99 xs);
-  Alcotest.(check int) "empty" 0 (Stats.p50 [||]);
+  (* An empty sample used to silently report percentile 0 — it must be an
+     error (or [None] through the option API), never a fake number. *)
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty sample array") (fun () ->
+      ignore (Stats.p50 [||]));
+  Alcotest.(check (option int)) "empty via option" None (Stats.p50_opt [||]);
+  Alcotest.(check (option int)) "p99_opt on data" (Some 5) (Stats.p99_opt xs);
   Alcotest.(check (float 1e-9)) "mean" 3.0 (Stats.mean xs);
+  (* Large samples must not overflow the mean accumulator. *)
+  Alcotest.(check bool) "mean of huge values stays positive" true
+    (Stats.mean [| max_int; max_int; max_int |] > 0.0);
   Alcotest.check_raises "out of range"
     (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
       ignore (Stats.percentile xs 101.0))
 
-let fleet_cfg arrival =
-  { Workload.Fleet.clients = 12; arrival; keys = 8; hot_rate = 0.2;
+let fleet_cfg ?(read_rate = 0.0) arrival =
+  { Workload.Fleet.clients = 12; arrival; keys = 8; hot_rate = 0.2; read_rate;
     horizon = 4_000; tick = 50 }
 
-let run_fleet ?(seed = 1) ?(pipeline = 8) ?(batch_max = 16) arrival =
-  Workload.Fleet.run ~protocol:Core.Rgs.obj ~e:2 ~f:2
-    ~topology:Workload.Topology.planet5 ~pipeline ~batch_max ~seed
-    (fleet_cfg arrival)
+let run_fleet ?(seed = 1) ?(pipeline = 8) ?(batch_max = 16) ?read_rate ?faults ?mutation
+    ?(protocol = Core.Rgs.obj) arrival =
+  Workload.Fleet.run ~protocol ~e:2 ~f:2
+    ~topology:Workload.Topology.planet5 ~pipeline ~batch_max ~seed ?faults ?mutation
+    (fleet_cfg ?read_rate arrival)
 
 let test_fleet_closed_loop_completes () =
   let r = run_fleet (Workload.Fleet.Closed { think = 100 }) in
@@ -131,6 +141,84 @@ let test_fleet_determinism () =
     [ Workload.Fleet.Closed { think = 100 };
       Workload.Fleet.Open { rate_per_client = 2.0 } ]
 
+(* -- fleet histories and the linearizability checker ------------------- *)
+
+let open_arrival = Workload.Fleet.Open { rate_per_client = 2.0 }
+
+let test_fleet_history_recorded () =
+  let r = run_fleet ~read_rate:0.3 open_arrival in
+  let h = r.Workload.Fleet.history in
+  Alcotest.(check int) "one event per submitted op" r.Workload.Fleet.submitted
+    (List.length h);
+  let complete =
+    List.filter (fun (e : Checker.History.event) -> e.respond <> None) h
+  in
+  Alcotest.(check int) "completed ops have responses" r.Workload.Fleet.completed
+    (List.length complete);
+  List.iter
+    (fun (e : Checker.History.event) ->
+      Alcotest.(check bool) "complete events carry a return" true (e.ret <> None);
+      match e.respond with
+      | Some t -> Alcotest.(check bool) "respond after invoke" true (t >= e.invoke)
+      | None -> ())
+    complete;
+  Alcotest.(check bool) "some reads in the mix" true
+    (List.exists (fun (e : Checker.History.event) -> e.kind = Checker.History.Read) h)
+
+(* Regression: the outstanding table used to keep one entry per distinct
+   command word forever (drained queues were never removed), so it grew
+   with [submitted] instead of with the in-flight count. *)
+let test_fleet_outstanding_reclaimed () =
+  let r = run_fleet ~read_rate:0.3 open_arrival in
+  Alcotest.(check bool)
+    (Printf.sprintf "outstanding %d bounded by in-flight %d"
+       r.Workload.Fleet.outstanding_end
+       (r.Workload.Fleet.submitted - r.Workload.Fleet.completed))
+    true
+    (r.Workload.Fleet.outstanding_end
+    <= r.Workload.Fleet.submitted - r.Workload.Fleet.completed)
+
+let drop_dup_faults =
+  Dsim.Network.Fault.random ~drop_rate:0.02 ~dup_rate:0.02 ~max_drops:32
+    ~max_dups:32 ~max_extra_delay:200 ()
+
+let protocols =
+  [ ("rgs-task", Core.Rgs.task); ("rgs-object", Core.Rgs.obj);
+    ("paxos", Baselines.Paxos.protocol); ("fast-paxos", Baselines.Fast_paxos.protocol);
+    ("epaxos", Epaxos.protocol) ]
+
+let test_fleet_histories_linearizable () =
+  List.iter
+    (fun (name, protocol) ->
+      List.iter
+        (fun (fname, faults) ->
+          let r = run_fleet ~read_rate:0.3 ~protocol ?faults open_arrival in
+          let o = Checker.Linearizability.check_history r.Workload.Fleet.history in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s linearizable (%s)" name fname
+               (Option.value ~default:"" o.reason))
+            true o.ok)
+        [ ("fault-free", None); ("drop/dup", Some drop_dup_faults) ])
+    protocols
+
+let test_fleet_stale_reads_flagged () =
+  let r =
+    run_fleet ~read_rate:0.4 ~protocol:Core.Rgs.task
+      ~mutation:(Smr.Replica.Stale_reads 1) open_arrival
+  in
+  let o = Checker.Linearizability.check_history r.Workload.Fleet.history in
+  Alcotest.(check bool) "stale-read replica is caught" false o.ok;
+  match o.witness with
+  | None -> Alcotest.fail "no witness for the violation"
+  | Some w ->
+      Alcotest.(check bool) "witness window is non-empty" true (w.events <> []);
+      Alcotest.(check bool) "window bounds ordered" true
+        (w.window_start <= w.window_end);
+      (* The witness must stand on its own: checking just the window's
+         events (with a free initial value) still fails. *)
+      Alcotest.(check bool) "witness window itself fails" false
+        (Checker.Linearizability.check_history w.events).ok
+
 let test_proposer_subset () =
   let rng = Rng.create ~seed:3 in
   let ps = Conflict.proposer_subset ~rng ~n:7 ~count:3 ~rate:0.5 in
@@ -162,5 +250,14 @@ let () =
           Alcotest.test_case "closed loop completes" `Quick test_fleet_closed_loop_completes;
           Alcotest.test_case "open loop completes" `Quick test_fleet_open_loop_completes;
           Alcotest.test_case "same seed, same samples" `Quick test_fleet_determinism;
+          Alcotest.test_case "history recorded" `Quick test_fleet_history_recorded;
+          Alcotest.test_case "outstanding reclaimed" `Quick test_fleet_outstanding_reclaimed;
+        ] );
+      ( "linearizability",
+        [
+          Alcotest.test_case "all protocols, fault-free and drop/dup" `Slow
+            test_fleet_histories_linearizable;
+          Alcotest.test_case "stale-read mutation flagged" `Quick
+            test_fleet_stale_reads_flagged;
         ] );
     ]
