@@ -1,0 +1,104 @@
+module H = Checker.History
+module L = Checker.Linearizability
+
+(* Brute-force linearizability for small histories over a multi-key int
+   register map, zero-initialized. Incomplete writes may apply anywhere
+   after invoke or never; incomplete reads are unconstrained (dropped). *)
+let brute (events : H.t) : bool =
+  (* ops: (key, is_read, value, invoke, respond option) *)
+  let ops =
+    List.filter_map
+      (fun (e : H.event) ->
+        match e.H.kind, e.H.respond, e.H.ret with
+        | H.Read, None, _ -> None
+        | H.Read, Some r, Some v -> Some (e.H.key, true, v, e.H.invoke, Some r)
+        | H.Write w, Some r, Some _ -> Some (e.H.key, false, w, e.H.invoke, Some r)
+        | H.Write w, None, _ -> Some (e.H.key, false, w, e.H.invoke, None)
+        | _ -> assert false)
+      events
+  in
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let used = Array.make n false in
+  let module Im = Map.Make (Int) in
+  let value store k = Option.value ~default:0 (Im.find_opt k store) in
+  (* subsets of incomplete writes to skip: recurse with a "skip" decision *)
+  let rec go store placed skipped =
+    if placed + skipped = n then true
+    else
+      (* minimality: candidate if invoke <= min respond of remaining *)
+      let min_resp = ref max_int in
+      for i = 0 to n - 1 do
+        if not used.(i) then
+          (match arr.(i) with
+           | (_, _, _, _, Some r) -> if r < !min_resp then min_resp := r
+           | _ -> ())
+      done;
+      let ok = ref false in
+      for i = 0 to n - 1 do
+        if (not !ok) && not used.(i) then begin
+          let (k, is_read, v, invoke, respond) = arr.(i) in
+          if invoke <= !min_resp then begin
+            (* option: linearize now *)
+            if is_read then begin
+              if value store k = v then begin
+                used.(i) <- true;
+                if go store (placed + 1) skipped then ok := true;
+                used.(i) <- false
+              end
+            end else begin
+              used.(i) <- true;
+              if go (Im.add k v store) (placed + 1) skipped then ok := true;
+              used.(i) <- false
+            end
+          end;
+          (* option: never linearize (incomplete only) *)
+          if (not !ok) && respond = None then begin
+            used.(i) <- true;
+            if go store placed (skipped + 1) then ok := true;
+            used.(i) <- false
+          end
+        end
+      done;
+      !ok
+  in
+  go Im.empty 0 0
+
+let () =
+  let seed = int_of_string Sys.argv.(1) in
+  let iters = int_of_string Sys.argv.(2) in
+  let st = Random.State.make [| seed |] in
+  let mismatches = ref 0 in
+  for trial = 1 to iters do
+    let nops = 4 + Random.State.int st 5 in
+    let nkeys = 1 + Random.State.int st 3 in
+    let nvals = 3 in
+    let events =
+      List.init nops (fun i ->
+          let key = Random.State.int st nkeys in
+          let invoke = Random.State.int st 12 in
+          let dur = Random.State.int st 20 in
+          let complete = Random.State.int st 10 < 8 in
+          let is_read = Random.State.bool st in
+          if is_read then
+            if complete then
+              { H.client = i; key; kind = H.Read; invoke;
+                respond = Some (invoke + dur); ret = Some (Random.State.int st nvals) }
+            else { H.client = i; key; kind = H.Read; invoke; respond = None; ret = None }
+          else
+            let v = 1 + Random.State.int st (nvals - 1) in
+            if complete then
+              { H.client = i; key; kind = H.Write v; invoke;
+                respond = Some (invoke + dur); ret = Some v }
+            else { H.client = i; key; kind = H.Write v; invoke; respond = None; ret = None })
+    in
+    let expect = brute events in
+    let mono = (L.check_history ~mode:`Monolithic events).L.ok in
+    let pk = (L.check_history ~mode:`Per_key events).L.ok in
+    if mono <> expect || pk <> expect then begin
+      incr mismatches;
+      Printf.printf "MISMATCH trial %d: brute=%b mono=%b perkey=%b\n" trial expect mono pk;
+      List.iter (fun e -> Format.printf "  %a@." H.pp_event e) (H.sort events)
+    end
+  done;
+  Printf.printf "done: %d mismatches\n" !mismatches
