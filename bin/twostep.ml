@@ -689,6 +689,17 @@ let lin_cmd =
             "When the check fails, write the minimal witness window's operations to \
              $(docv) (same format rule as --history-out).")
   in
+  let witness_chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "witness-chrome" ] ~docv:"FILE"
+          ~doc:
+            "When the check fails, additionally render the witness window as a \
+             Chrome trace_event timeline (one thread per client) to $(docv) — \
+             open in Perfetto or about://tracing to see the overlap the checker \
+             could not linearize.")
+  in
   let monolithic_arg =
     Arg.(
       value & flag
@@ -703,9 +714,16 @@ let lin_cmd =
     end
     else Checker.History.to_file path history
   in
+  let write_chrome path events =
+    let oc = open_out path in
+    let fmt = Format.formatter_of_out_channel oc in
+    Checker.History.to_chrome fmt events;
+    Format.pp_print_flush fmt ();
+    close_out oc
+  in
   let run protocol n e f topology clients rate mode think pipeline batch_max keys
       hot_rate read_rate horizon jitter seed drop_rate dup_rate max_drops max_dups
-      mutate history_out witness_out monolithic =
+      mutate history_out witness_out witness_chrome monolithic =
     let (module P : Proto.Protocol.S) = protocol in
     let n = match n with Some n -> n | None -> P.min_n ~e ~f in
     let arrival =
@@ -753,7 +771,8 @@ let lin_cmd =
       Option.iter
         (fun (w : Checker.Linearizability.witness) ->
           printf "%a@." Checker.Linearizability.pp_witness w;
-          Option.iter (fun path -> write_history path w.events) witness_out)
+          Option.iter (fun path -> write_history path w.events) witness_out;
+          Option.iter (fun path -> write_chrome path w.events) witness_chrome)
         outcome.witness;
       exit 1
     end
@@ -771,7 +790,125 @@ let lin_cmd =
       $ rate_arg $ mode_arg $ think_arg $ pipeline_arg $ batch_max_arg $ keys_arg
       $ hot_rate_arg $ read_rate_arg $ horizon_arg $ jitter_arg $ seed_arg
       $ drop_rate_arg $ dup_rate_arg $ max_drops_arg $ max_dups_arg $ mutate_arg
-      $ history_out_arg $ witness_out_arg $ monolithic_arg)
+      $ history_out_arg $ witness_out_arg $ witness_chrome_arg $ monolithic_arg)
+
+(* -- spans ---------------------------------------------------------------- *)
+
+let spans_cmd =
+  let chrome_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's causal span store as Chrome trace_event JSON — one \
+             thread per replica, flow arrows along every causal parent link. Open \
+             in Perfetto or about://tracing.")
+  in
+  let spans_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the raw span table to $(docv): streaming JSON lines when the \
+             name ends in .jsonl, run-length binary otherwise.")
+  in
+  let assert_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "assert-fast" ]
+          ~doc:
+            "Exit non-zero unless at least one command committed and every one \
+             took the fast path (measured delay_steps <= 2). Meaningful on \
+             conflict-free runs of the two-step protocols — the CI cross-check \
+             that the measured critical paths match the paper's table.")
+  in
+  let run protocol n e f topology clients rate mode think pipeline batch_max keys
+      hot_rate horizon jitter seed chrome_out spans_out assert_fast =
+    let (module P : Proto.Protocol.S) = protocol in
+    let n = match n with Some n -> n | None -> P.min_n ~e ~f in
+    let arrival =
+      match mode with
+      | `Open -> Workload.Fleet.Open { rate_per_client = rate }
+      | `Closed -> Workload.Fleet.Closed { think }
+    in
+    let cfg : Workload.Fleet.config =
+      { clients; arrival; keys; hot_rate; read_rate = 0.0; horizon; tick = 50 }
+    in
+    let causality = Dsim.Causality.create () in
+    let r =
+      Workload.Fleet.run ~protocol ~e ~f ~n ~topology ~jitter ~pipeline ~batch_max
+        ~seed ~causality cfg
+    in
+    let paths = Smr.Spans.command_paths causality in
+    let attr = Smr.Spans.attribution paths in
+    let open Format in
+    printf "SMR deployment: %s n=%d (e=%d f=%d) on %s, %d clients (%s)@." P.name n e f
+      (Workload.Topology.name topology)
+      clients
+      (match mode with
+      | `Open -> Printf.sprintf "open loop, %.2f cmd/s each" rate
+      | `Closed -> Printf.sprintf "closed loop, think %d ms" think);
+    printf "spans        %d recorded, %d command paths (%d completed)@."
+      (Dsim.Causality.length causality)
+      (List.length paths) r.completed;
+    printf "attribution  %a@." Smr.Spans.pp_attribution attr;
+    (match Smr.Spans.predicate P.name with
+    | Some p -> printf "theory       %s@." (Smr.Spans.predicate_name p)
+    | None -> ());
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        let fmt = Format.formatter_of_out_channel oc in
+        Dsim.Causality.to_chrome fmt causality;
+        Format.pp_print_flush fmt ();
+        close_out oc)
+      chrome_out;
+    Option.iter
+      (fun path ->
+        let table = Dsim.Causality.to_table causality in
+        if Filename.check_suffix path ".jsonl" then begin
+          let oc = open_out path in
+          Stdext.Rle.iter_jsonl table (fun line ->
+              output_string oc line;
+              output_char oc '\n');
+          close_out oc
+        end
+        else Stdext.Rle.to_file path table)
+      spans_out;
+    if not r.converged then begin
+      printf "converged    false@.";
+      exit 1
+    end;
+    if assert_fast then
+      if attr.Smr.Spans.commits = 0 then begin
+        printf "assert-fast  FAILED: no commits@.";
+        exit 1
+      end
+      else if attr.Smr.Spans.two_step < attr.Smr.Spans.commits then begin
+        printf "assert-fast  FAILED: %d of %d commits exceeded two message delays@."
+          (attr.Smr.Spans.commits - attr.Smr.Spans.two_step)
+          attr.Smr.Spans.commits;
+        exit 1
+      end
+      else printf "assert-fast  ok: %d/%d commits at delay_steps <= 2@."
+             attr.Smr.Spans.two_step attr.Smr.Spans.commits
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Run the client fleet with causal span tracing attached, reconstruct every \
+          committed command's critical path (submit -> proposal -> quorum -> apply), \
+          and report the measured delay_steps histogram and fast/slow-path \
+          attribution against the protocol's theoretical two-step predicate. \
+          Optionally export the span store as Chrome trace JSON or a columnar \
+          table.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ e_arg $ f_arg $ topology_arg $ clients_arg
+      $ rate_arg $ mode_arg $ think_arg $ pipeline_arg $ batch_max_arg $ keys_arg
+      $ hot_rate_arg $ horizon_arg $ jitter_arg $ seed_arg $ chrome_out_arg
+      $ spans_out_arg $ assert_fast_arg)
 
 (* -- experiments --------------------------------------------------------- *)
 
@@ -816,5 +953,6 @@ let () =
             report_cmd;
             smr_cmd;
             lin_cmd;
+            spans_cmd;
             experiments_cmd;
           ]))

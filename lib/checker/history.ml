@@ -101,6 +101,39 @@ let to_file path events = Rle.to_file path (to_table events)
 
 let of_file path = Result.bind (Rle.of_file path) of_table
 
+let to_chrome fmt events =
+  let events = Array.of_list (sort events) in
+  let horizon =
+    Array.fold_left
+      (fun acc e -> max acc (match e.respond with Some r -> r | None -> e.invoke))
+      0 events
+  in
+  let store = Stdext.Span.create ~capacity:(max 1 (Array.length events)) () in
+  Array.iter
+    (fun e ->
+      let finish = match e.respond with Some r -> r | None -> horizon in
+      let op = match e.kind with Write _ -> 0 | Read -> 1 in
+      let value = match e.kind with Write v -> v | Read -> 0 in
+      ignore
+        (Stdext.Span.add store ~parent:(-1) ~kind:op ~track:e.client ~start:e.invoke
+           ~finish ~a:e.key ~b:value))
+    events;
+  (* Span ids are dense in append order, so id [i] is [events.(i)]. *)
+  let name _store id =
+    let e = events.(id) in
+    let base =
+      match e.kind with
+      | Write v -> Printf.sprintf "put k%d=%d" e.key v
+      | Read -> Printf.sprintf "get k%d" e.key
+    in
+    match (e.respond, e.ret) with
+    | Some _, Some v -> Printf.sprintf "%s -> %d" base v
+    | _ -> base ^ " (in flight)"
+  in
+  Stdext.Span.to_chrome ~process_name:"history" ~name
+    ~track_name:(Printf.sprintf "client %d")
+    fmt store
+
 let to_jsonl oc events =
   Rle.iter_jsonl (to_table events) (fun line ->
       output_string oc line;

@@ -56,4 +56,12 @@ val of_file : string -> (t, string) result
 val to_jsonl : out_channel -> t -> unit
 (** One JSON object per row of {!to_table}, one row per line. *)
 
+val to_chrome : Format.formatter -> t -> unit
+(** Chrome [trace_event] timeline of the history: one thread per client,
+    one complete slice per operation spanning [invoke, respond] (in-flight
+    ops extend to the history's last instant).  Loadable in Perfetto /
+    [about://tracing] — the way to eyeball a linearizability witness
+    window: overlapping slices on different client tracks are exactly the
+    concurrency the checker reasoned about. *)
+
 val of_jsonl : in_channel -> (t, string) result

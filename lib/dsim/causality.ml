@@ -1,0 +1,89 @@
+module Span = Stdext.Span
+
+type kind = Init | Input | Deliver | Timer | Crash | Output
+
+let kind_code = function
+  | Init -> 0
+  | Input -> 1
+  | Deliver -> 2
+  | Timer -> 3
+  | Crash -> 4
+  | Output -> 5
+
+let kind_of_code = function
+  | 0 -> Some Init
+  | 1 -> Some Input
+  | 2 -> Some Deliver
+  | 3 -> Some Timer
+  | 4 -> Some Crash
+  | 5 -> Some Output
+  | _ -> None
+
+let kind_name = function
+  | Init -> "init"
+  | Input -> "input"
+  | Deliver -> "deliver"
+  | Timer -> "timer"
+  | Crash -> "crash"
+  | Output -> "output"
+
+type t = Span.t
+
+let create ?capacity () = Span.create ?capacity ()
+
+let length = Span.length
+
+let store t = t
+
+let record t ~kind ~pid ~parent ~start ~finish ~payload ~aux =
+  Span.add t ~parent ~kind:(kind_code kind) ~track:pid ~start ~finish ~a:payload ~b:aux
+
+let kind_of t id =
+  match kind_of_code (Span.kind t id) with
+  | Some k -> k
+  | None -> invalid_arg "Causality.kind_of: foreign span kind"
+
+let pid = Span.track
+
+let parent = Span.parent
+
+let time = Span.finish
+
+let start_at = Span.start
+
+let payload = Span.a
+
+let aux = Span.b
+
+let path = Span.path
+
+let delay_steps t id =
+  List.fold_left
+    (fun acc sid -> if Span.kind t sid = kind_code Deliver then acc + 1 else acc)
+    0 (Span.path t id)
+
+type ('input, 'output) spec = {
+  store : t;
+  input_payload : 'input -> int;
+  output_payload : 'output -> int;
+}
+
+let no_payload _ = -1
+
+let spec ?(input = no_payload) ?(output = no_payload) store =
+  { store; input_payload = input; output_payload = output }
+
+let to_table t = Span.to_table t
+
+let span_name t id =
+  match kind_of_code (Span.kind t id) with
+  | Some Deliver -> Printf.sprintf "deliver %d->%d" (Span.b t id) (Span.track t id)
+  | Some Input -> Printf.sprintf "input %d" (Span.a t id)
+  | Some Output -> Printf.sprintf "output %d" (Span.a t id)
+  | Some Timer -> Printf.sprintf "timer %d" (Span.a t id)
+  | Some k -> kind_name k
+  | None -> Printf.sprintf "k%d" (Span.kind t id)
+
+let to_chrome fmt t =
+  Span.to_chrome ~process_name:"dsim" ~name:span_name
+    ~track_name:(Printf.sprintf "pid %d") fmt t

@@ -69,6 +69,10 @@ let meters_of registry =
    one meters record instead of allocating ten per [create]. *)
 let disabled_meters = meters_of Metrics.disabled
 
+(* [origin] is the causal-span id of the event during which the delivery
+   was sent / the timer armed, or [-1] when no tracer is attached.  It
+   rides outside the priority packing, so stamping it never perturbs
+   scheduling. *)
 type ('msg, 'input) event =
   | Ev_crash of Pid.t
   | Ev_init of Pid.t
@@ -76,8 +80,8 @@ type ('msg, 'input) event =
   (* Inline record: a queued delivery is one block, not a variant pointing
      at a separate record. Deliveries dominate the queue, so this halves
      the hot path's event allocations. *)
-  | Ev_deliver of { src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t }
-  | Ev_timer of { pid : Pid.t; id : Automaton.timer_id; epoch : int }
+  | Ev_deliver of { src : Pid.t; dst : Pid.t; msg : 'msg; sent_at : Time.t; origin : int }
+  | Ev_timer of { pid : Pid.t; id : Automaton.timer_id; epoch : int; origin : int }
 
 (* Events at equal time are processed by rank; see the .mli. *)
 let rank = function
@@ -137,6 +141,7 @@ type ('state, 'msg, 'input, 'output) t = {
   mutable pd_dst : int array;
   mutable pd_sent : int array;  (* sent_at, or next freelist link when free *)
   mutable pd_seq : int array;  (* send-order stamp *)
+  mutable pd_origin : int array;  (* causal origin of the send, -1 untraced *)
   mutable pd_msgs : 'msg array;
   mutable pd_hwm : int;  (* slots 0 .. pd_hwm-1 have been allocated at least once *)
   mutable pd_free : int;  (* freelist head, -1 when empty *)
@@ -145,7 +150,14 @@ type ('state, 'msg, 'input, 'output) t = {
   (* Per-destination scratch used by [handle_deliver_batch], reverse
      arrival order. Contents are transient — cleared before the batch is
      processed — so [clone] just allocates fresh empties. *)
-  batch_scratch : (Pid.t * 'msg * Time.t) list array;
+  batch_scratch : (Pid.t * 'msg * Time.t * int) list array;
+  (* Causal span tracer: [None] (the default) stamps [-1] origins and
+     records nothing — the inert branch costs one match per event.  When
+     attached, [cur_node] tracks the span id of the event currently being
+     processed so [send]/[set_timer] can stamp it as the origin of what
+     they schedule.  The store is shared by [clone]s (see the .mli). *)
+  causality : ('input, 'output) Causality.spec option;
+  mutable cur_node : int;
   (* Fault-injection state. The decision stream draws from [fault_rng], a
      stream derived from (but disjoint from) the engine seed, so enabling
      faults never perturbs the base network model's delay samples. The
@@ -206,7 +218,7 @@ let fault_seed_mix = 0x2545F4914F6CDD1D
 
 let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
     ?(disable_timers = false) ?(max_steps = 5_000_000) ?(inputs = []) ?(crashes = [])
-    ?(faults = Network.Fault.none) ?(metrics = Metrics.disabled) () =
+    ?(faults = Network.Fault.none) ?(metrics = Metrics.disabled) ?causality () =
   if n < 1 then invalid_arg "Engine.create: n must be >= 1";
   Network.validate network;
   let t =
@@ -231,12 +243,15 @@ let create ~automaton ~n ~network ?(seed = 0) ?(record_trace = true)
       pd_dst = [||];
       pd_sent = [||];
       pd_seq = [||];
+      pd_origin = [||];
       pd_msgs = [||];
       pd_hwm = 0;
       pd_free = no_slot;
       pd_live = 0;
       pd_next_seq = 0;
       batch_scratch = Array.make n [];
+      causality;
+      cur_node = -1;
       fault_plan = faults;
       fault_rng = Rng.create ~seed:(seed lxor fault_seed_mix);
       sends = 0;
@@ -285,6 +300,7 @@ let clone t =
     pd_dst = Array.sub t.pd_dst 0 t.pd_hwm;
     pd_sent = Array.sub t.pd_sent 0 t.pd_hwm;
     pd_seq = Array.sub t.pd_seq 0 t.pd_hwm;
+    pd_origin = Array.sub t.pd_origin 0 t.pd_hwm;
     pd_msgs = Array.sub t.pd_msgs 0 t.pd_hwm;
     batch_scratch = Array.make t.n [];
     first_input = Array.copy t.first_input;
@@ -369,6 +385,15 @@ let do_crash t pid =
     | Some _ -> ());
     t.crashed_flags.(pid) <- true;
     t.p_crashes <- t.p_crashes + 1;
+    (* [cur_node] is [-1] for scheduled crashes (root spans) and the
+       in-flight event's span for mid-transition [Crash_sender] faults. *)
+    (match t.causality with
+    | None -> ()
+    | Some spec ->
+        ignore
+          (Causality.record spec.Causality.store ~kind:Causality.Crash ~pid
+             ~parent:t.cur_node ~start:t.now ~finish:t.now ~payload:(-1) ~aux:(-1)
+            : int));
     record t (Trace.Crashed { time = t.now; pid })
   end
 
@@ -387,12 +412,13 @@ let grow_pending t msg =
   t.pd_dst <- sub t.pd_dst 0;
   t.pd_sent <- sub t.pd_sent 0;
   t.pd_seq <- sub t.pd_seq 0;
+  t.pd_origin <- sub t.pd_origin (-1);
   t.pd_msgs <- sub t.pd_msgs msg
 
 (* Claim a slot and fill it; returns the new pending id. Freed slots are
    reused LIFO — deterministic, so branched explorations assign identical
    ids along identical paths. *)
-let add_pending t ~src ~dst ~sent_at msg =
+let add_pending t ~src ~dst ~sent_at ~origin msg =
   let s =
     if t.pd_free >= 0 then begin
       let s = t.pd_free in
@@ -412,6 +438,7 @@ let add_pending t ~src ~dst ~sent_at msg =
   t.pd_sent.(s) <- sent_at;
   t.pd_seq.(s) <- t.pd_next_seq;
   t.pd_next_seq <- t.pd_next_seq + 1;
+  t.pd_origin.(s) <- origin;
   t.pd_msgs.(s) <- msg;
   s
 
@@ -474,6 +501,9 @@ let send t ~src ~dst msg =
     let index = t.sends in
     t.sends <- index + 1;
     record t (Trace.Sent { time = t.now; src; dst; msg });
+    (* [cur_node] is the span of the event whose transition is sending —
+       always [-1] when no tracer is attached, so the stamp is free. *)
+    let origin = t.cur_node in
     let action =
       Network.Fault.decide t.fault_plan ~rng:t.fault_rng ~index
         ~drops_used:t.faults_dropped ~dups_used:t.faults_duplicated
@@ -484,8 +514,8 @@ let send t ~src ~dst msg =
     let delivery = Network.delivery_time t.network ~rng:t.rng ~now:t.now ~src ~dst in
     let schedule_original () =
       match delivery with
-      | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now })
-      | None -> ignore (add_pending t ~src ~dst ~sent_at:t.now msg : int)
+      | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now; origin })
+      | None -> ignore (add_pending t ~src ~dst ~sent_at:t.now ~origin msg : int)
     in
     match action with
     | Network.Fault.Deliver -> schedule_original ()
@@ -505,8 +535,8 @@ let send t ~src ~dst msg =
            Network.delivery_time t.network ~rng:t.fault_rng
              ~now:(t.now + extra_delay) ~src ~dst
          with
-        | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now })
-        | None -> ignore (add_pending t ~src ~dst ~sent_at:t.now msg : int))
+        | Some at -> push_event t ~at (Ev_deliver { src; dst; msg; sent_at = t.now; origin })
+        | None -> ignore (add_pending t ~src ~dst ~sent_at:t.now ~origin msg : int))
     | Network.Fault.Crash_sender ->
         schedule_original ();
         do_crash t src
@@ -543,7 +573,8 @@ let timer_epoch t ~pid ~id =
 let set_timer t ~pid ~id ~after =
   if not t.disable_timers then begin
     let epoch = bump_timer_epoch t ~pid ~id in
-    push_event t ~at:(t.now + max 0 after) (Ev_timer { pid; id; epoch })
+    push_event t ~at:(t.now + max 0 after)
+      (Ev_timer { pid; id; epoch; origin = t.cur_node })
   end
 
 let cancel_timer t ~pid ~id =
@@ -568,6 +599,14 @@ let apply_actions t ~pid actions =
         t.outputs_rev <- (t.now, pid, output) :: t.outputs_rev;
         t.p_decides <- t.p_decides + 1;
         if t.first_output.(pid) = None then t.first_output.(pid) <- Some t.now;
+        (match t.causality with
+        | None -> ()
+        | Some spec ->
+            ignore
+              (Causality.record spec.Causality.store ~kind:Causality.Output ~pid
+                 ~parent:t.cur_node ~start:t.now ~finish:t.now
+                 ~payload:(spec.Causality.output_payload output) ~aux:(-1)
+                : int));
         record t (Trace.Output { time = t.now; pid; output })
   in
   List.iter apply actions
@@ -582,10 +621,16 @@ let step_process t ~pid transition =
         apply_actions t ~pid actions
   end
 
-let handle_deliver t ~src ~dst ~msg ~sent_at =
+let handle_deliver t ~src ~dst ~msg ~sent_at ~origin =
   if not t.crashed_flags.(dst) then begin
     t.p_delivered <- t.p_delivered + 1;
     record t (Trace.Delivered { time = t.now; src; dst; msg; sent_at });
+    (match t.causality with
+    | None -> ()
+    | Some spec ->
+        t.cur_node <-
+          Causality.record spec.Causality.store ~kind:Causality.Deliver ~pid:dst
+            ~parent:origin ~start:sent_at ~finish:t.now ~payload:(-1) ~aux:src);
     step_process t ~pid:dst (fun s -> t.automaton.on_message s ~src msg)
   end
 
@@ -597,13 +642,13 @@ let handle_deliver t ~src ~dst ~msg ~sent_at =
    RNG-visible order (one [order_batch_by] call per non-empty destination,
    ascending) is identical, and sent_at rides along instead of being
    re-matched after the fact. *)
-let handle_deliver_batch t ~order ~src ~dst ~msg ~sent_at ~prio =
+let handle_deliver_batch t ~order ~src ~dst ~msg ~sent_at ~origin ~prio =
   let scratch = t.batch_scratch in
-  scratch.(dst) <- (src, msg, sent_at) :: scratch.(dst);
+  scratch.(dst) <- (src, msg, sent_at, origin) :: scratch.(dst);
   while (not (Pqueue.is_empty t.queue)) && Pqueue.peek_prio t.queue = prio do
     match Pqueue.pop_exn t.queue with
-    | Ev_deliver { src; dst; msg; sent_at } ->
-        scratch.(dst) <- (src, msg, sent_at) :: scratch.(dst)
+    | Ev_deliver { src; dst; msg; sent_at; origin } ->
+        scratch.(dst) <- (src, msg, sent_at, origin) :: scratch.(dst)
     | _ -> assert false  (* delivery rank at this instant: always Ev_deliver *)
   done;
   for d = 0 to t.n - 1 do
@@ -614,20 +659,31 @@ let handle_deliver_batch t ~order ~src ~dst ~msg ~sent_at ~prio =
         let group = List.rev rev_group in
         let ordered =
           Network.order_batch_by order ~rng:t.rng
-            ~src:(fun (s, _, _) -> s)
-            ~payload:(fun (_, m, _) -> m)
+            ~src:(fun (s, _, _, _) -> s)
+            ~payload:(fun (_, m, _, _) -> m)
             group
         in
         List.iter
-          (fun (src, msg, sent_at) -> handle_deliver t ~src ~dst:d ~msg ~sent_at)
+          (fun (src, msg, sent_at, origin) ->
+            handle_deliver t ~src ~dst:d ~msg ~sent_at ~origin)
           ordered
   done
 
 let handle_event t ~prio ev =
   match ev with
-  | Ev_crash pid -> do_crash t pid
+  | Ev_crash pid ->
+      (* Scheduled crashes are causal roots; [cur_node] may still hold the
+         previous event's span, so reset it before [do_crash] records. *)
+      t.cur_node <- -1;
+      do_crash t pid
   | Ev_init pid ->
       if not t.crashed_flags.(pid) then begin
+        (match t.causality with
+        | None -> ()
+        | Some spec ->
+            t.cur_node <-
+              Causality.record spec.Causality.store ~kind:Causality.Init ~pid
+                ~parent:(-1) ~start:t.now ~finish:t.now ~payload:(-1) ~aux:(-1));
         let s, actions = t.automaton.init ~self:pid ~n:t.n in
         t.states.(pid) <- Some s;
         apply_actions t ~pid actions
@@ -636,18 +692,31 @@ let handle_event t ~prio ev =
       if not t.crashed_flags.(pid) then begin
         if t.first_input.(pid) = None then t.first_input.(pid) <- Some t.now;
         record t (Trace.Input { time = t.now; pid; input });
+        (match t.causality with
+        | None -> ()
+        | Some spec ->
+            t.cur_node <-
+              Causality.record spec.Causality.store ~kind:Causality.Input ~pid
+                ~parent:(-1) ~start:t.now ~finish:t.now
+                ~payload:(spec.Causality.input_payload input) ~aux:(-1));
         step_process t ~pid (fun s -> t.automaton.on_input s input)
       end
-  | Ev_deliver { src; dst; msg; sent_at } -> begin
+  | Ev_deliver { src; dst; msg; sent_at; origin } -> begin
       match t.network with
       | Network.Sync_rounds { order; _ } ->
-          handle_deliver_batch t ~order ~src ~dst ~msg ~sent_at ~prio
-      | _ -> handle_deliver t ~src ~dst ~msg ~sent_at
+          handle_deliver_batch t ~order ~src ~dst ~msg ~sent_at ~origin ~prio
+      | _ -> handle_deliver t ~src ~dst ~msg ~sent_at ~origin
     end
-  | Ev_timer { pid; id; epoch } ->
+  | Ev_timer { pid; id; epoch; origin } ->
       if timer_epoch t ~pid ~id = epoch && not t.crashed_flags.(pid) then begin
         t.p_timer_fires <- t.p_timer_fires + 1;
         record t (Trace.Timer_fired { time = t.now; pid; id });
+        (match t.causality with
+        | None -> ()
+        | Some spec ->
+            t.cur_node <-
+              Causality.record spec.Causality.store ~kind:Causality.Timer ~pid
+                ~parent:origin ~start:t.now ~finish:t.now ~payload:id ~aux:(-1));
         step_process t ~pid (fun s -> t.automaton.on_timer s id)
       end
 
@@ -704,9 +773,10 @@ let deliver_pending t ~id ~at =
   if not (pending_live t id) then raise Not_found;
   if at < t.now then invalid_arg "Engine.deliver_pending: at < now";
   let src = t.pd_src.(id) and dst = t.pd_dst.(id) and sent_at = t.pd_sent.(id) in
+  let origin = t.pd_origin.(id) in
   let msg = t.pd_msgs.(id) in
   free_pending t id;
-  push_event t ~at (Ev_deliver { src; dst; msg; sent_at })
+  push_event t ~at (Ev_deliver { src; dst; msg; sent_at; origin })
 
 let drop_pending t ~id =
   if pending_live t id then begin
@@ -730,9 +800,9 @@ let duplicate_pending t ~id =
   let msg = t.pd_msgs.(id) in
   t.faults_duplicated <- t.faults_duplicated + 1;
   record t (Trace.Duplicated { time = t.now; src; dst; msg; sent_at; extra_delay = 0 });
-  (* The copy keeps the original's sent_at: it is the same message on
-     the wire twice, not a re-send by the automaton. *)
-  add_pending t ~src ~dst ~sent_at msg
+  (* The copy keeps the original's sent_at (and causal origin): it is the
+     same message on the wire twice, not a re-send by the automaton. *)
+  add_pending t ~src ~dst ~sent_at ~origin:(t.pd_origin.(id)) msg
 
 let fault_counts t = (t.faults_dropped, t.faults_duplicated)
 
@@ -761,12 +831,15 @@ let event_fp ~relabel = function
   | Ev_crash pid -> Fp.mix 31L (Fp.int (relabel pid))
   | Ev_init pid -> Fp.mix 37L (Fp.int (relabel pid))
   | Ev_input (pid, input) -> Fp.mix (Fp.mix 41L (Fp.int (relabel pid))) (Fp.structural input)
-  | Ev_deliver { src; dst; msg; sent_at } ->
+  (* [origin] is excluded everywhere below: span ids are observability
+     bookkeeping with no influence on future behaviour (and always -1 in
+     the explorer, which never attaches a tracer). *)
+  | Ev_deliver { src; dst; msg; sent_at; origin = _ } ->
       Fp.mix
         (Fp.mix (Fp.mix (Fp.mix 43L (Fp.int (relabel src))) (Fp.int (relabel dst)))
            (Fp.structural msg))
         (Fp.int sent_at)
-  | Ev_timer { pid; id; epoch } ->
+  | Ev_timer { pid; id; epoch; origin = _ } ->
       Fp.mix (Fp.mix (Fp.mix 47L (Fp.int (relabel pid))) (Fp.int id)) (Fp.int epoch)
 
 (* Everything pid-local: protocol state, crash flag, latency probes. Also

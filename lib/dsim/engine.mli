@@ -73,6 +73,7 @@ val create :
   ?crashes:(Time.t * Pid.t) list ->
   ?faults:Network.Fault.plan ->
   ?metrics:Stdext.Metrics.t ->
+  ?causality:('input, 'output) Causality.spec ->
   unit ->
   ('state, 'msg, 'input, 'output) t
 (** Build a simulation of [n] processes. [inputs] schedules environment
@@ -94,7 +95,16 @@ val create :
     mirror update is one branch on an immutable bool. The mirror is fed in
     batches — {!run} flushes the counter deltas accumulated since the
     previous flush when it returns — so registry totals lag the live
-    {!probe} between [run] calls but always catch up at the next return. *)
+    {!probe} between [run] calls but always catch up at the next return.
+
+    [causality] (default none) attaches a {!Causality} span tracer: every
+    effective event is recorded with a link to the event that caused it
+    (see {!Causality} for the exact semantics and the guarantee that
+    recording never perturbs the run — traces, outputs and RNG streams
+    are byte-identical with and without a tracer). Without a tracer the
+    engine stamps inert [-1] origins; the per-event cost is one branch.
+    {!clone}s share the tracer's store, like a metrics registry — attach
+    tracers to single runs, not branched explorations. *)
 
 val run : ?until:Time.t -> ('state, 'msg, 'input, 'output) t -> run_result
 (** Process events until the queue is empty, the next event is strictly

@@ -335,7 +335,7 @@ module Instance = struct
   }
 
   let create ~protocol ~n ~e ~f ~delta ~net ?(seed = 0) ?(pipeline = 1) ?(batch_max = 1)
-      ?(commands = []) ?(crashes = []) ?faults ?metrics ?mutation
+      ?(commands = []) ?(crashes = []) ?faults ?metrics ?causality ?mutation
       ?(max_steps = 20_000_000) () =
     let (module P : Proto.Protocol.S) = protocol in
     let batches = Kv.Batch.create () in
@@ -361,9 +361,20 @@ module Instance = struct
           Dsim.Network.Uniform { min_delay; max_delay }
       | Checker.Scenario.Wan { latency; jitter } -> Dsim.Network.Wan { latency; jitter }
     in
+    (* Commands are already packed int words, so the span payload encoders
+       are identity on inputs and project the command out of apply
+       outputs — (pid, payload) then keys submit/apply span matching. *)
+    let causality =
+      Option.map
+        (fun store ->
+          Dsim.Causality.spec ~input:Fun.id
+            ~output:(fun ((_slot, cmd, _ret) : int * Value.t * int) -> cmd)
+            store)
+        causality
+    in
     let engine =
       Dsim.Engine.create ~automaton ~n ~network ~seed ~record_trace:false ~max_steps
-        ~inputs:commands ~crashes ?faults ?metrics ()
+        ~inputs:commands ~crashes ?faults ?metrics ?causality ()
     in
     {
       packed = E engine;

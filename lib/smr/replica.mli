@@ -88,6 +88,7 @@ module Instance : sig
     ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
     ?faults:Dsim.Network.Fault.plan ->
     ?metrics:Stdext.Metrics.t ->
+    ?causality:Dsim.Causality.t ->
     ?mutation:mutation ->
     ?max_steps:int ->
     unit ->
@@ -95,7 +96,13 @@ module Instance : sig
   (** Each instance owns a private {!Kv.Batch} registry shared by all its
       replicas, so batch identifiers expand identically everywhere.
       [commands] (default none) pre-schedules submissions; live drivers
-      use {!submit} instead. [max_steps] defaults to 20M engine steps. *)
+      use {!submit} instead. [max_steps] defaults to 20M engine steps.
+
+      [causality] (default none) attaches a causal span tracer to the
+      underlying engine with command-word payload encoders (inputs record
+      the submitted word, outputs the applied word), so {!Spans} can
+      reconstruct per-command critical paths from the store afterwards.
+      Recording never perturbs the run. *)
 
   val run : ?until:Dsim.Time.t -> t -> Dsim.Engine.run_result
 

@@ -1,0 +1,184 @@
+module C = Dsim.Causality
+module Stats = Stdext.Stats
+
+type leg = {
+  src : Dsim.Pid.t;
+  dst : Dsim.Pid.t;
+  sent_at : Dsim.Time.t;
+  delivered_at : Dsim.Time.t;
+}
+
+type path = {
+  proxy : Dsim.Pid.t;
+  command : int;
+  submit : Dsim.Time.t;
+  apply : Dsim.Time.t;
+  delay_steps : int;
+  legs : leg list;
+  queue_ms : int;
+}
+
+let total_ms p = p.apply - p.submit
+
+let command_paths store =
+  let len = C.length store in
+  (* (pid, word) -> first submit instant; commands are distinct words per
+     client, so collisions are only client resubmissions (first wins, like
+     the fleet's latency accounting). *)
+  let submits : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let applied : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let paths_rev = ref [] in
+  for id = 0 to len - 1 do
+    match C.kind_of store id with
+    | C.Input ->
+        let key = (C.pid store id, C.payload store id) in
+        if not (Hashtbl.mem submits key) then Hashtbl.add submits key (C.time store id)
+    | C.Output -> (
+        let key = (C.pid store id, C.payload store id) in
+        match Hashtbl.find_opt submits key with
+        | None -> ()  (* an apply at a non-proxy replica *)
+        | Some submit ->
+            if not (Hashtbl.mem applied key) then begin
+              Hashtbl.add applied key ();
+              let apply = C.time store id in
+              (* Walk the apply's causal chain; Deliver spans are the legs. *)
+              let legs =
+                List.filter_map
+                  (fun sid ->
+                    match C.kind_of store sid with
+                    | C.Deliver ->
+                        Some
+                          {
+                            src = C.aux store sid;
+                            dst = C.pid store sid;
+                            sent_at = C.start_at store sid;
+                            delivered_at = C.time store sid;
+                          }
+                    | _ -> None)
+                  (C.path store id)
+              in
+              let wire =
+                List.fold_left
+                  (fun acc l -> acc + (l.delivered_at - max l.sent_at submit))
+                  0 legs
+              in
+              let proxy, command = key in
+              paths_rev :=
+                {
+                  proxy;
+                  command;
+                  submit;
+                  apply;
+                  delay_steps = List.length legs;
+                  legs;
+                  queue_ms = max 0 (apply - submit - wire);
+                }
+                :: !paths_rev
+            end)
+    | _ -> ()
+  done;
+  List.rev !paths_rev
+
+(* -- attribution -------------------------------------------------------- *)
+
+type attribution = {
+  commits : int;
+  two_step : int;
+  steps_hist : (int * int) list;
+  dominant : (string * int) list;
+  p99_dominant : string option;
+}
+
+let leg_label k = Printf.sprintf "leg%d" (k + 1)
+
+(* The commit's largest latency component: its legs (by chain position)
+   and its queueing. Ties go to the earliest leg — on an all-equal fast
+   path the first hop is as good a name as any. *)
+let dominant_component p =
+  let best_label = ref "queue" and best = ref (-1) in
+  List.iteri
+    (fun k l ->
+      let d = l.delivered_at - l.sent_at in
+      if d > !best then begin
+        best := d;
+        best_label := leg_label k
+      end)
+    p.legs;
+  if p.queue_ms > !best then "queue" else !best_label
+
+let attribution paths =
+  let commits = List.length paths in
+  let two_step = List.length (List.filter (fun p -> p.delay_steps <= 2) paths) in
+  let hist = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace hist p.delay_steps
+        (1 + Option.value ~default:0 (Hashtbl.find_opt hist p.delay_steps)))
+    paths;
+  let steps_hist =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [])
+  in
+  let dom = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let c = dominant_component p in
+      Hashtbl.replace dom c (1 + Option.value ~default:0 (Hashtbl.find_opt dom c)))
+    paths;
+  let dominant = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) dom []) in
+  let p99_dominant =
+    match Stats.percentile_opt (Array.of_list (List.map total_ms paths)) 99.0 with
+    | None -> None
+    | Some p99 ->
+        let tail = List.filter (fun p -> total_ms p >= p99) paths in
+        (* Mean duration per component over the tail commits. *)
+        let sums = Hashtbl.create 8 in
+        let bump label v =
+          Hashtbl.replace sums label (v + Option.value ~default:0 (Hashtbl.find_opt sums label))
+        in
+        List.iter
+          (fun p ->
+            bump "queue" p.queue_ms;
+            List.iteri (fun k l -> bump (leg_label k) (l.delivered_at - l.sent_at)) p.legs)
+          tail;
+        let best =
+          Hashtbl.fold
+            (fun label v acc ->
+              match acc with
+              | Some (_, bv) when bv >= v -> acc
+              | _ -> Some (label, v))
+            sums None
+        in
+        Option.map fst best
+  in
+  { commits; two_step; steps_hist; dominant; p99_dominant }
+
+let two_step_rate a =
+  if a.commits = 0 then nan else float_of_int a.two_step /. float_of_int a.commits
+
+let pp_attribution fmt a =
+  Format.fprintf fmt "commits %d, two-step %d (%.1f%%)" a.commits a.two_step
+    (100.0 *. two_step_rate a);
+  Format.fprintf fmt ", delay_steps {%s}"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%d: %d" k v) a.steps_hist));
+  Format.fprintf fmt ", dominant {%s}"
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s: %d" k v) a.dominant));
+  match a.p99_dominant with
+  | None -> ()
+  | Some c -> Format.fprintf fmt ", p99 tail dominated by %s" c
+
+(* -- theory ------------------------------------------------------------- *)
+
+type predicate = Every_proxy | Leader_only of Dsim.Pid.t | Conflict_dependent
+
+let predicate = function
+  | "rgs-task" | "rgs-object" | "fast-paxos" -> Some Every_proxy
+  | "paxos" -> Some (Leader_only 0)
+  | "epaxos" -> Some Conflict_dependent
+  | _ -> None
+
+let predicate_name = function
+  | Every_proxy -> "two-step at every proxy"
+  | Leader_only p -> Printf.sprintf "two-step only at the leader (pid %d)" p
+  | Conflict_dependent -> "two-step when conflict-free (EPaxos)"

@@ -1,0 +1,99 @@
+(** Per-command critical paths over an SMR run's causal span store.
+
+    A fleet or instance run with a {!Dsim.Causality} tracer attached
+    records every submit ([Input] span carrying the command word at its
+    proxy) and every apply ([Output] span carrying the word at the replica
+    that applied it).  For each command this module walks the apply's
+    causal chain back to its root and renders it as an explicit sequence
+    of {e message legs} — who sent to whom, when, and how long the hop
+    took — plus the derived [delay_steps] count: the number of message
+    delays on the path, the unit the paper's two-step/three-step
+    distinction is denominated in.
+
+    The chain is the {e actual} causal dependency of the apply, which is
+    not always the command's own consensus instance: in-order application
+    means a command whose slot decided early may be applied when an {e
+    earlier} slot's decision arrives, and batching gives every command of
+    a batch the batch's chain.  On a conflict-free run (one client, one
+    slot at a time) the chain is exactly the textbook diagram — submit →
+    proposal → quorum reply → apply — and [delay_steps] lands on the
+    protocol's theoretical figure: 2 for the two-step protocols at every
+    proxy, 2 at Paxos's leader but 4 behind a non-leader proxy (submit
+    relay + phase 2 + learn), conflict-dependent for EPaxos. *)
+
+type leg = {
+  src : Dsim.Pid.t;
+  dst : Dsim.Pid.t;
+  sent_at : Dsim.Time.t;
+  delivered_at : Dsim.Time.t;
+}
+(** One message hop on a critical path; duration
+    [delivered_at - sent_at]. *)
+
+type path = {
+  proxy : Dsim.Pid.t;  (** replica where the command was submitted and applied *)
+  command : int;  (** packed command word *)
+  submit : Dsim.Time.t;  (** the proxy's [Input] span instant *)
+  apply : Dsim.Time.t;  (** the proxy's [Output] span instant *)
+  delay_steps : int;  (** legs on the apply's causal chain = message delays *)
+  legs : leg list;  (** chronological (root side first) *)
+  queue_ms : int;
+      (** [apply - submit] minus the time actually spent on the wire by
+          the chain's legs {e after} submission, clamped at 0: local
+          queueing/processing (pipeline waits, apply-order stalls).
+          Chains that route through another command's instance may start
+          before this command's submit; the pre-submit part of a leg does
+          not count against this command's wait. *)
+}
+
+val total_ms : path -> int
+(** [apply - submit], the client-visible proxy latency. *)
+
+val command_paths : Dsim.Causality.t -> path list
+(** Reconstruct the critical path of every command that was both
+    submitted (first [Input] carrying its word at some pid) and applied
+    at its submission replica (first such [Output]), in apply order.
+    O(spans + total path length). *)
+
+(** {2 Fast-path / slow-path attribution} *)
+
+type attribution = {
+  commits : int;
+  two_step : int;  (** commits with [delay_steps <= 2] — the fast path *)
+  steps_hist : (int * int) list;  (** [delay_steps -> commits], ascending *)
+  dominant : (string * int) list;
+      (** per-commit largest latency component -> commits. Components are
+          ["leg1"], ["leg2"], … (chain position, root side first) and
+          ["queue"] ({!path.queue_ms}); ties go to the earlier leg. *)
+  p99_dominant : string option;
+      (** the component with the largest mean over the commits in the
+          p99 latency tail ([total_ms >= p99]); [None] when empty. *)
+}
+
+val attribution : path list -> attribution
+
+val two_step_rate : attribution -> float
+(** [two_step / commits]; [nan] when no commits. *)
+
+val pp_attribution : Format.formatter -> attribution -> unit
+
+(** {2 Theoretical predicate}
+
+    What the paper's table says about each protocol's fast path, keyed by
+    the CLI protocol names; the measured histograms above are
+    cross-checked against this in `bench smr` and the conflict-free
+    assertions. *)
+
+type predicate =
+  | Every_proxy  (** two-step capable at every proxy (the 2Δ protocols) *)
+  | Leader_only of Dsim.Pid.t
+      (** two-step only when the proxy is the (ballot-0) leader; other
+          proxies pay the submit relay and the learn hop *)
+  | Conflict_dependent  (** EPaxos: fast iff the command's deps commute *)
+
+val predicate : string -> predicate option
+(** ["rgs-task"], ["rgs-object"], ["fast-paxos"] are [Every_proxy];
+    ["paxos"] is [Leader_only 0]; ["epaxos"] is [Conflict_dependent];
+    anything else [None]. *)
+
+val predicate_name : predicate -> string

@@ -1,0 +1,172 @@
+type t = {
+  mutable parent : int array;
+  mutable kind : int array;
+  mutable track : int array;
+  mutable start : int array;
+  mutable finish : int array;
+  mutable a : int array;
+  mutable b : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 1024) () =
+  let cap = max 1 capacity in
+  {
+    parent = Array.make cap 0;
+    kind = Array.make cap 0;
+    track = Array.make cap 0;
+    start = Array.make cap 0;
+    finish = Array.make cap 0;
+    a = Array.make cap 0;
+    b = Array.make cap 0;
+    len = 0;
+  }
+
+let length t = t.len
+
+let grow t =
+  let cap = 2 * Array.length t.parent in
+  let sub a =
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 t.len;
+    b
+  in
+  t.parent <- sub t.parent;
+  t.kind <- sub t.kind;
+  t.track <- sub t.track;
+  t.start <- sub t.start;
+  t.finish <- sub t.finish;
+  t.a <- sub t.a;
+  t.b <- sub t.b
+
+let add t ~parent ~kind ~track ~start ~finish ~a ~b =
+  let id = t.len in
+  if parent < -1 || parent >= id then
+    invalid_arg "Span.add: parent must be -1 or an existing span id";
+  if start > finish then invalid_arg "Span.add: start > finish";
+  if id = Array.length t.parent then grow t;
+  t.parent.(id) <- parent;
+  t.kind.(id) <- kind;
+  t.track.(id) <- track;
+  t.start.(id) <- start;
+  t.finish.(id) <- finish;
+  t.a.(id) <- a;
+  t.b.(id) <- b;
+  t.len <- id + 1;
+  id
+
+let check t id = if id < 0 || id >= t.len then invalid_arg "Span: span id out of range"
+
+let parent t id = check t id; t.parent.(id)
+let kind t id = check t id; t.kind.(id)
+let track t id = check t id; t.track.(id)
+let start t id = check t id; t.start.(id)
+let finish t id = check t id; t.finish.(id)
+let a t id = check t id; t.a.(id)
+let b t id = check t id; t.b.(id)
+
+let path t id =
+  check t id;
+  (* Parents strictly decrease ({!add}'s invariant), so this terminates. *)
+  let rec up acc id = if id < 0 then acc else up (id :: acc) t.parent.(id) in
+  up [] id
+
+let table_schema = [ "parent"; "kind"; "track"; "start"; "finish"; "a"; "b" ]
+
+let to_table t =
+  let col a = Array.sub a 0 t.len in
+  {
+    Rle.schema = table_schema;
+    columns =
+      [ col t.parent; col t.kind; col t.track; col t.start; col t.finish; col t.a; col t.b ];
+  }
+
+(* -- Chrome trace_event export ------------------------------------------ *)
+
+let default_name t id = Printf.sprintf "k%d" t.kind.(id)
+
+let to_chrome ?(process_name = "twostep") ?name ?track_name fmt t =
+  let name = match name with Some f -> f | None -> default_name in
+  let track_name = match track_name with Some f -> f | None -> Printf.sprintf "track %d" in
+  let ev fields = Json.to_string (Json.Obj fields) in
+  Format.fprintf fmt "{\"traceEvents\":[@\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Format.fprintf fmt ",@\n";
+    Format.pp_print_string fmt line
+  in
+  emit
+    (ev
+       [
+         ("ph", Json.String "M");
+         ("name", Json.String "process_name");
+         ("pid", Json.Int 0);
+         ("args", Json.Obj [ ("name", Json.String process_name) ]);
+       ]);
+  (* Thread-name metadata once per distinct track, in first-seen order. *)
+  let seen = Hashtbl.create 16 in
+  for id = 0 to t.len - 1 do
+    let tr = t.track.(id) in
+    if not (Hashtbl.mem seen tr) then begin
+      Hashtbl.add seen tr ();
+      emit
+        (ev
+           [
+             ("ph", Json.String "M");
+             ("name", Json.String "thread_name");
+             ("pid", Json.Int 0);
+             ("tid", Json.Int tr);
+             ("args", Json.Obj [ ("name", Json.String (track_name tr)) ]);
+           ])
+    end
+  done;
+  for id = 0 to t.len - 1 do
+    emit
+      (ev
+         [
+           ("ph", Json.String "X");
+           ("name", Json.String (name t id));
+           ("pid", Json.Int 0);
+           ("tid", Json.Int t.track.(id));
+           ("ts", Json.Int t.start.(id));
+           ("dur", Json.Int (t.finish.(id) - t.start.(id)));
+           ( "args",
+             Json.Obj
+               [
+                 ("span", Json.Int id);
+                 ("parent", Json.Int t.parent.(id));
+                 ("kind", Json.Int t.kind.(id));
+                 ("a", Json.Int t.a.(id));
+                 ("b", Json.Int t.b.(id));
+               ] );
+         ]);
+    let p = t.parent.(id) in
+    if p >= 0 then begin
+      (* Flow arrow parent -> child; the id namespace is the child span id,
+         unique per arrow. [bp:"e"] binds the finish to the enclosing slice. *)
+      emit
+        (ev
+           [
+             ("ph", Json.String "s");
+             ("id", Json.Int id);
+             ("name", Json.String "causal");
+             ("cat", Json.String "causal");
+             ("pid", Json.Int 0);
+             ("tid", Json.Int t.track.(p));
+             ("ts", Json.Int t.finish.(p));
+           ]);
+      emit
+        (ev
+           [
+             ("ph", Json.String "f");
+             ("bp", Json.String "e");
+             ("id", Json.Int id);
+             ("name", Json.String "causal");
+             ("cat", Json.String "causal");
+             ("pid", Json.Int 0);
+             ("tid", Json.Int t.track.(id));
+             ("ts", Json.Int t.start.(id));
+           ])
+    end
+  done;
+  Format.fprintf fmt "@\n]}@\n"

@@ -1,0 +1,76 @@
+(** Append-only span store: a structure-of-arrays event log with causal
+    parent links, shared by the causal tracer ({!Dsim.Causality}) and the
+    checker's witness timelines.
+
+    A span is seven integers — [parent] (the span that caused this one, or
+    [-1] for a root), a small [kind] discriminator, a [track] (process id,
+    client id — whatever lane the span renders on), [start]/[finish]
+    instants, and two payload words [a]/[b] whose meaning the client
+    assigns per kind.  {!add} enforces [parent < id], so every store is
+    acyclic by construction: walking parent links strictly decreases the
+    id and terminates at a root.
+
+    Two exports: the {!Stdext.Rle} columnar table (bulk dumps, golden
+    digests) and Chrome [trace_event] JSON — complete ("X") slices per
+    span plus flow ("s"/"f") arrows along every parent link — loadable in
+    Perfetto / [about://tracing]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty store. [capacity] (default 1024) pre-sizes the arrays. *)
+
+val add :
+  t ->
+  parent:int ->
+  kind:int ->
+  track:int ->
+  start:int ->
+  finish:int ->
+  a:int ->
+  b:int ->
+  int
+(** Append a span, returning its id (dense, starting at 0). Raises
+    [Invalid_argument] unless [-1 <= parent < id] and [start <= finish]. *)
+
+val length : t -> int
+
+(** {2 Accessors} — O(1); raise [Invalid_argument] on out-of-range ids. *)
+
+val parent : t -> int -> int
+val kind : t -> int -> int
+val track : t -> int -> int
+val start : t -> int -> int
+val finish : t -> int -> int
+val a : t -> int -> int
+val b : t -> int -> int
+
+val path : t -> int -> int list
+(** The causal chain of span [id]: root first, [id] last. Terminates
+    because parents strictly decrease. *)
+
+(** {2 Columnar export} *)
+
+val table_schema : string list
+(** [["parent"; "kind"; "track"; "start"; "finish"; "a"; "b"]]. *)
+
+val to_table : t -> Rle.table
+(** One row per span in id order; decodable back with {!Stdext.Rle}. *)
+
+(** {2 Chrome trace_event export}
+
+    The JSON object Perfetto and [about://tracing] load directly: every
+    span becomes a complete event (timestamps are virtual ms rendered as
+    trace microseconds) on thread [track], and every non-root span gets a
+    flow arrow from its parent's finish to its own start. *)
+
+val to_chrome :
+  ?process_name:string ->
+  ?name:(t -> int -> string) ->
+  ?track_name:(int -> string) ->
+  Format.formatter ->
+  t ->
+  unit
+(** [name] labels each span (default ["k<kind>"]); [track_name] labels
+    threads (default ["track <i>"]); [process_name] defaults to
+    ["twostep"]. *)

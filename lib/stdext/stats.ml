@@ -1,12 +1,18 @@
-let mean samples =
+let mean_opt samples =
   match Array.length samples with
-  | 0 -> nan
+  | 0 -> None
   | len ->
       (* Accumulate in float: an int accumulator overflows for large
          sample sets of large values (e.g. millions of multi-second
          latencies), silently corrupting the mean. *)
-      Array.fold_left (fun acc x -> acc +. float_of_int x) 0.0 samples
-      /. float_of_int len
+      Some
+        (Array.fold_left (fun acc x -> acc +. float_of_int x) 0.0 samples
+        /. float_of_int len)
+
+let mean samples =
+  match mean_opt samples with
+  | Some v -> v
+  | None -> invalid_arg "Stats.mean: empty sample array"
 
 let percentile_opt samples p =
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]";

@@ -13,8 +13,13 @@
     perfect latency in every report built on it.) *)
 
 val mean : int array -> float
-(** Arithmetic mean, accumulated in float (no integer-sum overflow);
-    [nan] on the empty array. *)
+(** Arithmetic mean, accumulated in float (no integer-sum overflow).
+    Raises [Invalid_argument] on the empty array — like {!percentile},
+    an empty sample set has no mean, and the old [nan] return poisoned
+    downstream arithmetic silently. *)
+
+val mean_opt : int array -> float option
+(** As {!mean} but [None] on the empty array. *)
 
 val percentile : int array -> float -> int
 (** [percentile samples p] is the nearest-rank p-th percentile (p in

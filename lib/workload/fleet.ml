@@ -51,7 +51,7 @@ let latency_buckets =
 let batch_buckets = [| 1; 2; 4; 8; 16; 32; 64; 128 |]
 
 let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max = 1)
-    ?(seed = 0) ?faults ?(metrics = Metrics.disabled) ?mutation config =
+    ?(seed = 0) ?faults ?(metrics = Metrics.disabled) ?causality ?mutation config =
   let (module P : Proto.Protocol.S) = protocol in
   let n = match n with Some n -> n | None -> P.min_n ~e ~f in
   let { clients; arrival; keys; hot_rate; read_rate; horizon; tick } = config in
@@ -151,7 +151,8 @@ let run ~protocol ~e ~f ?n ~topology ?(jitter = 0) ?(pipeline = 1) ?(batch_max =
   in
   let inst =
     Smr.Replica.Instance.create ~protocol ~n ~e ~f ~delta ~net ~seed ~pipeline ~batch_max
-      ~commands:initial_commands ?faults ~metrics ?mutation ~max_steps:2_000_000_000 ()
+      ~commands:initial_commands ?faults ~metrics ?causality ?mutation
+      ~max_steps:2_000_000_000 ()
   in
   let latencies_rev = ref [] in
   let completed = ref 0 in

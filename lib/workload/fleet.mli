@@ -67,6 +67,7 @@ val run :
   ?seed:int ->
   ?faults:Dsim.Network.Fault.plan ->
   ?metrics:Stdext.Metrics.t ->
+  ?causality:Dsim.Causality.t ->
   ?mutation:Smr.Replica.mutation ->
   config ->
   result
@@ -75,7 +76,10 @@ val run :
     [pipeline]/[batch_max] (default 1/1) are the replica's knobs. When
     [metrics] is given, [smr.commands.submitted]/[smr.commands.completed]
     counters and [smr.latency_ms]/[smr.batch_size] histograms are recorded
-    alongside the engine's own probes. [mutation] injects a deliberate
+    alongside the engine's own probes. [causality] attaches a causal span
+    tracer to the run's engine (see {!Smr.Replica.Instance.create}) for
+    per-command critical-path reconstruction via {!Smr.Spans}; recording
+    never perturbs the run. [mutation] injects a deliberate
     object-level replica bug (checker mutation testing). Raises
     [Invalid_argument] on a non-positive knob, a [read_rate] outside
     [0, 1], or a fleet larger than the {!Smr.Kv} client space. *)
