@@ -50,6 +50,13 @@ type explore_sample = {
      hot-path rewrites are steered by. *)
   events : int;
   minor_words : float;
+  (* Partial-order-reduction columns (schema v7): the row's POR policy,
+     the order combinations pruned before expansion, and — derived —
+     distinct_states_per_sec, the coverage rate that is the headline
+     metric for swarm rows (mode "swarm", where [domains] carries the
+     walker count and [explored] the completed random walks). *)
+  por : string;
+  por_pruned : int;
 }
 
 (* Suites append here and each writes the union, so one invocation running
@@ -59,6 +66,10 @@ let all_samples : explore_sample list ref = ref []
 
 let states_per_sec s =
   if s.wall_ns = 0 then 0.0 else float_of_int s.explored /. (float_of_int s.wall_ns /. 1e9)
+
+let distinct_states_per_sec s =
+  if s.wall_ns = 0 then 0.0
+  else float_of_int s.distinct_states /. (float_of_int s.wall_ns /. 1e9)
 
 (* n=5..7 at fixed rounds: the (e, f) pairs keep n exactly at the task
    bound 2e+f so the configurations match the T2/T3 grids. The extra
@@ -83,15 +94,17 @@ let dedup_name = function
   | Checker.Explore.Exact -> "exact"
   | Checker.Explore.Symmetry -> "symmetry"
 
+let por_name = function Checker.Explore.No_por -> "off" | Checker.Explore.Sleep -> "sleep"
+
 let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains
-    ?(dedup = Checker.Explore.Off) () =
+    ?(dedup = Checker.Explore.Off) ?(por = Checker.Explore.No_por) () =
   let proposals =
     Checker.Scenario.all_proposals_at_zero ~n (List.init n (fun i -> n - 1 - i))
   in
   let t0 = Unix.gettimeofday () in
   let r, report =
     Checker.Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals
-      ~rounds ~budget ~faults ~mode ~domains ~dedup
+      ~rounds ~budget ~faults ~mode ~domains ~dedup ~por
       ~check:(fun o -> Checker.Safety.safe o)
       ()
   in
@@ -128,6 +141,58 @@ let time_explore ~experiment ~n ~e ~f ~budget ~rounds ~faults ~mode ~domains
          /. float_of_int arrivals);
     events = 0;
     minor_words = 0.;
+    por = por_name por;
+    por_pruned = totals.Checker.Explore.Run_report.por_pruned;
+  }
+
+(* A swarm row: K seeded walkers sharing a visited set and the run budget.
+   [domains] carries the walker count, [explored] the completed walks;
+   the coverage signal is distinct_states (and, derived in the JSON,
+   distinct_states_per_sec). The dedup column reads "count": the shared
+   set counts coverage but never prunes a walk. *)
+let time_swarm ~experiment ~n ~e ~f ~budget ~rounds ~walkers ~seed () =
+  let proposals =
+    Checker.Scenario.all_proposals_at_zero ~n (List.init n (fun i -> n - 1 - i))
+  in
+  let t0 = Unix.gettimeofday () in
+  let r, s =
+    Checker.Explore.swarm_report Core.Rgs.task ~n ~e ~f ~delta:100 ~proposals ~rounds
+      ~budget ~walkers ~seed
+      ~check:(fun o -> Checker.Safety.safe o)
+      ()
+  in
+  let t1 = Unix.gettimeofday () in
+  if r.Checker.Explore.violations > 0 then
+    failwith "swarm bench: unexpected safety violation";
+  let arrivals =
+    s.Checker.Explore.Swarm_report.distinct_states
+    + s.Checker.Explore.Swarm_report.dedup_hits
+  in
+  {
+    experiment;
+    protocol = "rgs-task";
+    n;
+    mode = "swarm";
+    domains = walkers;
+    budget;
+    rounds;
+    max_drops = 0;
+    max_dups = 0;
+    explored = s.Checker.Explore.Swarm_report.runs;
+    wall_ns = int_of_float ((t1 -. t0) *. 1e9);
+    fast_path_rate = 0.;
+    mean_depth = 0.;
+    budget_waste_pct = 0.;
+    dedup = "count";
+    distinct_states = s.Checker.Explore.Swarm_report.distinct_states;
+    dedup_hit_rate =
+      (if arrivals = 0 then 0.
+       else
+         float_of_int s.Checker.Explore.Swarm_report.dedup_hits /. float_of_int arrivals);
+    events = 0;
+    minor_words = 0.;
+    por = "sleep";
+    por_pruned = s.Checker.Explore.Swarm_report.por_pruned;
   }
 
 (* Wall-clock of the domains=1 row with the same experiment/mode/budget,
@@ -137,10 +202,41 @@ let speedup_vs_seq samples s =
   List.find_opt
     (fun b ->
       b.domains = 1 && b.experiment = s.experiment && b.mode = s.mode
-      && b.budget = s.budget && b.dedup = s.dedup)
+      && b.budget = s.budget && b.dedup = s.dedup && b.por = s.por)
     samples
   |> Option.map (fun b ->
          if s.wall_ns = 0 then 1.0 else float_of_int b.wall_ns /. float_of_int s.wall_ns)
+
+(* The header's recommendation, derived from the rows actually emitted
+   instead of the host's core count (which the old header reported even
+   when every measured multi-domain row lost to sequential): the domains
+   value with the best mean measured speedup_vs_seq, 1 when nothing beats
+   the sequential baseline, and the host count only as a fallback when
+   the sweep measured no multi-domain rows at all. *)
+let recommended_domains samples =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if s.domains > 1 then
+        match speedup_vs_seq samples s with
+        | Some sp ->
+            let sum, count =
+              Option.value ~default:(0., 0) (Hashtbl.find_opt tbl s.domains)
+            in
+            Hashtbl.replace tbl s.domains (sum +. sp, count + 1)
+        | None -> ())
+    samples;
+  if Hashtbl.length tbl = 0 then max 1 (Domain.recommended_domain_count ())
+  else begin
+    let best_d, best_mean =
+      Hashtbl.fold
+        (fun d (sum, count) (bd, bm) ->
+          let m = sum /. float_of_int count in
+          if m > bm || (m = bm && d < bd) then (d, m) else (bd, bm))
+        tbl (1, 1.0)
+    in
+    if best_mean > 1.0 then best_d else 1
+  end
 
 (* events/sec of an engine-suite row; 0 for rows without engine columns. *)
 let events_per_sec s =
@@ -155,15 +251,16 @@ let write_explore_json path samples =
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"suite\": \"explore\",\n";
-  out "  \"schema_version\": 6,\n";
+  out "  \"schema_version\": 7,\n";
   out
     "  \"schema\": [\"experiment\", \"protocol\", \"n\", \"mode\", \"domains\", \
      \"budget\", \"rounds\", \"max_drops\", \"max_dups\", \"explored\", \"wall_ns\", \
      \"states_per_sec\", \"speedup_vs_seq\", \"fast_path_rate\", \"mean_depth\", \
      \"budget_waste_pct\", \"dedup\", \"distinct_states\", \"dedup_hit_rate\", \
-     \"events_per_sec\", \"minor_words_per_event\"],\n";
+     \"events_per_sec\", \"minor_words_per_event\", \"por\", \"por_pruned\", \
+     \"distinct_states_per_sec\"],\n";
   out "  \"rounds\": %d,\n" explore_rounds;
-  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"recommended_domains\": %d,\n" (recommended_domains samples);
   out "  \"results\": [\n";
   List.iteri
     (fun i s ->
@@ -179,11 +276,13 @@ let write_explore_json path samples =
          \"speedup_vs_seq\": %s, \"fast_path_rate\": %.4f, \"mean_depth\": %.2f, \
          \"budget_waste_pct\": %.2f, \"dedup\": %S, \"distinct_states\": %d, \
          \"dedup_hit_rate\": %.4f, \"events_per_sec\": %.1f, \
-         \"minor_words_per_event\": %.2f}%s\n"
+         \"minor_words_per_event\": %.2f, \"por\": %S, \"por_pruned\": %d, \
+         \"distinct_states_per_sec\": %.1f}%s\n"
         s.experiment s.protocol s.n s.mode s.domains s.budget s.rounds s.max_drops
         s.max_dups s.explored s.wall_ns (states_per_sec s) speedup s.fast_path_rate
         s.mean_depth s.budget_waste_pct s.dedup s.distinct_states s.dedup_hit_rate
-        (events_per_sec s) (minor_words_per_event s)
+        (events_per_sec s) (minor_words_per_event s) s.por s.por_pruned
+        (distinct_states_per_sec s)
         (if i = List.length samples - 1 then "" else ","))
     samples;
   out "  ]\n}\n";
@@ -191,15 +290,16 @@ let write_explore_json path samples =
 
 let print_sample_table samples =
   Format.fprintf fmt
-    "%-20s %3s %-9s %7s %7s %5s %5s %-8s | %8s %10s %11s %8s %5s %6s %6s %9s %6s@."
-    "experiment" "n" "mode" "domains" "budget" "drops" "dups" "dedup" "explored"
-    "wall-ms" "states/sec" "speedup" "fast" "depth" "waste%" "distinct" "hit%";
+    "%-20s %3s %-9s %7s %7s %5s %5s %-8s %-6s | %8s %10s %11s %8s %5s %6s %6s %9s %6s \
+     %9s@."
+    "experiment" "n" "mode" "domains" "budget" "drops" "dups" "dedup" "por" "explored"
+    "wall-ms" "states/sec" "speedup" "fast" "depth" "waste%" "distinct" "hit%" "pruned";
   List.iter
     (fun s ->
       Format.fprintf fmt
-        "%-20s %3d %-9s %7d %7d %5d %5d %-8s | %8d %10.1f %11.0f %8s %5.2f %6.2f %6.2f \
-         %9d %6.1f@."
-        s.experiment s.n s.mode s.domains s.budget s.max_drops s.max_dups s.dedup
+        "%-20s %3d %-9s %7d %7d %5d %5d %-8s %-6s | %8d %10.1f %11.0f %8s %5.2f %6.2f \
+         %6.2f %9d %6.1f %9d@."
+        s.experiment s.n s.mode s.domains s.budget s.max_drops s.max_dups s.dedup s.por
         s.explored
         (float_of_int s.wall_ns /. 1e6)
         (states_per_sec s)
@@ -207,7 +307,7 @@ let print_sample_table samples =
         | None -> "-"
         | Some x -> Printf.sprintf "%.2fx" x)
         s.fast_path_rate s.mean_depth s.budget_waste_pct s.distinct_states
-        (100. *. s.dedup_hit_rate))
+        (100. *. s.dedup_hit_rate) s.por_pruned)
     samples
 
 let emit_samples samples =
@@ -260,7 +360,68 @@ let run_explore_suite ~domains_list ~budget_override () =
           ~faults:Checker.Explore.no_faults ~mode ~domains ~dedup ())
       (cases @ dedup_cases)
   in
-  emit_samples samples
+  (* POR trajectory: a fixed-budget on/off pair per n >= 6 config, run at
+     a budget large enough that both sides are exhaustive — so the
+     schedules-enumerated ratio measures the tree, not a budget artifact —
+     plus the POR+dedup composition row. Deliberately independent of
+     --explore-budget: POR makes these cheap. *)
+  let por_budget = 5_000 in
+  let por_samples =
+    List.concat_map
+      (fun (n, e, f, _) ->
+        if n < 6 then []
+        else
+          let experiment = Printf.sprintf "por-n%d" n in
+          List.map
+            (fun (dedup, por) ->
+              time_explore ~experiment ~n ~e ~f ~budget:por_budget
+                ~rounds:explore_rounds ~faults:Checker.Explore.no_faults
+                ~mode:`Snapshot ~domains:1 ~dedup ~por ())
+            [
+              (Checker.Explore.Off, Checker.Explore.No_por);
+              (Checker.Explore.Off, Checker.Explore.Sleep);
+              (Checker.Explore.Exact, Checker.Explore.Sleep);
+            ])
+      (List.sort_uniq compare (List.map (fun (n, e, f, _) -> (n, e, f, 0)) configs))
+  in
+  (* The acceptance gate: POR on (exact dedup, 1 domain) must enumerate at
+     most half the schedules POR-off enumerates, with identical (clean)
+     verdicts — time_explore already fails on any violation. *)
+  List.iter
+    (fun (n, _, _, _) ->
+      if n >= 7 then begin
+        let find por dedup =
+          List.find
+            (fun s ->
+              s.experiment = Printf.sprintf "por-n%d" n
+              && s.por = por && s.dedup = dedup)
+            por_samples
+        in
+        let off = find "off" "off" in
+        let on = find "sleep" "exact" in
+        if on.explored * 2 > off.explored then
+          failwith
+            (Printf.sprintf
+               "POR regression at n=%d: sleep enumerates %d of %d schedules (> 50%%)" n
+               on.explored off.explored)
+      end)
+    (List.sort_uniq compare (List.map (fun (n, e, f, _) -> (n, e, f, 0)) configs));
+  (* Swarm coverage row at n=8 — a size where the exhaustive product is out
+     of reach but K random walkers sweep a budget in seconds. Honours
+     --explore-budget for CI smoke sizing. *)
+  let swarm_budget = match budget_override with None -> 2_000 | Some b -> b in
+  let swarm_samples =
+    [ time_swarm ~experiment:"swarm-n8" ~n:8 ~e:2 ~f:4 ~budget:swarm_budget
+        ~rounds:explore_rounds ~walkers:4 ~seed:7 () ]
+  in
+  List.iter
+    (fun s ->
+      if s.explored <> s.budget then
+        failwith
+          (Printf.sprintf "swarm bench: %d of %d budgeted walks completed" s.explored
+             s.budget))
+    swarm_samples;
+  emit_samples (samples @ por_samples @ swarm_samples)
 
 (* Fault-injection exploration: the same explorer with drop/duplication
    branching enabled. Fault subsets widen the tree by orders of magnitude,
@@ -347,6 +508,8 @@ let run_metrics_overhead_suite ?(iters = 3_000) () =
       dedup_hit_rate = 0.;
       events = 0;
       minor_words = 0.;
+      por = "off";
+      por_pruned = 0;
     }
   in
   (* Warm-up evens out allocator/cache state so off vs on is a fair pair. *)
@@ -472,6 +635,8 @@ let time_engine_workload ~experiment ~kind ~iters =
     dedup_hit_rate = 0.;
     events;
     minor_words = w1 -. w0;
+    por = "off";
+    por_pruned = 0;
   }
 
 let engine_workloads =

@@ -23,6 +23,24 @@ type mode = [ `Replay | `Snapshot ]
    up to a pid permutation. *)
 type dedup = Off | Exact | Symmetry
 
+(* Partial-order reduction policy. [Sleep] cuts, per destination, the
+   delivery orders of one round's batch down to outcome representatives:
+   before expanding a node, each candidate order is trial-run against a
+   scratch clone that delivers only that destination's batch, and orders
+   landing on the fingerprint (plus output history) of an earlier sibling
+   order are commuted away — the sleep set of already-covered
+   interleavings. Deliveries to distinct destinations need no trial at
+   all: a delivery only steps its destination process, so cross-group
+   orders commute structurally (and the enumeration never multiplies them
+   out). The independence relation comes entirely from the engine's
+   pending pool ({!Dsim.Engine.pending_delivery_groups}) — no
+   per-protocol knowledge. Timer fires, crashes and fault branches are
+   inside the trial context (they land at the same boundary instant), so
+   an intervening event that breaks commutation shows up as differing
+   trial fingerprints and defeats the pruning. Sound for the same reason
+   — and up to the same hash-compaction caveat — as [Exact] dedup. *)
+type por = No_por | Sleep
+
 type fault_bounds = { max_drops : int; max_dups : int }
 
 let no_faults = { max_drops = 0; max_dups = 0 }
@@ -47,6 +65,8 @@ module Run_report = struct
     distinct_states : int;  (* visited-set additions; 0 with dedup off *)
     dedup_hits : int;  (* arrivals at an already-visited state *)
     pruned_subtrees : int;  (* hits at interior nodes (a whole subtree cut) *)
+    por_pruned : int;  (* children never generated: commuted order combinations *)
+    sleep_hits : int;  (* per-destination orders suppressed by trial equivalence *)
   }
 
   type sched = {
@@ -88,6 +108,7 @@ module Run_report = struct
        depth histogram: [%a] (mean %.2f)@,\
        fast runs: %d (rate %.3f); fault runs: %d (drops %d, dups %d)@,\
        dedup: distinct states %d, hits %d, pruned subtrees %d@,\
+       por: pruned %d, sleep hits %d@,\
        sched: domains %d, budget %d, leased %d, evals %d, wasted %d (%.1f%%), \
        top-ups %d, max fan-out %d@,\
        tasks/domain: [%a], stolen %d@]"
@@ -95,7 +116,7 @@ module Run_report = struct
       t.totals.depth_histogram (mean_depth t.totals) t.totals.fast_runs
       (fast_path_rate t.totals) t.totals.fault_runs t.totals.drops t.totals.dups
       t.totals.distinct_states t.totals.dedup_hits t.totals.pruned_subtrees
-      t.sched.domains t.sched.budget t.sched.leased t.sched.evals t.sched.wasted
+      t.totals.por_pruned t.totals.sleep_hits t.sched.domains t.sched.budget t.sched.leased t.sched.evals t.sched.wasted
       (budget_waste_pct t.sched) t.sched.top_ups t.sched.max_fanout pp_arr
       t.sched.tasks_per_domain t.sched.stolen
 
@@ -111,6 +132,8 @@ module Run_report = struct
     c "explore.distinct_states" t.totals.distinct_states;
     c "explore.dedup_hits" t.totals.dedup_hits;
     c "explore.pruned_subtrees" t.totals.pruned_subtrees;
+    c "explore.por_pruned" t.totals.por_pruned;
+    c "explore.sleep_hits" t.totals.sleep_hits;
     c "explore.leased" t.sched.leased;
     c "explore.evals" t.sched.evals;
     c "explore.wasted" t.sched.wasted;
@@ -217,10 +240,146 @@ let rec take_n n = function
   | x :: tl when n > 0 -> x :: take_n (n - 1) tl
   | _ -> []
 
+let outcome_of ~n engine =
+  let trace = Dsim.Engine.trace engine in
+  let dropped, duplicated = Dsim.Engine.fault_counts engine in
+  {
+    Scenario.decisions = Dsim.Engine.outputs engine;
+    proposals = Dsim.Trace.inputs trace;
+    crashes = Dsim.Trace.crashes trace;
+    n;
+    horizon = Dsim.Engine.now engine;
+    messages = Dsim.Trace.message_count trace;
+    dropped;
+    duplicated;
+    latencies = Dsim.Engine.decision_latencies engine;
+    engine_result = Dsim.Engine.Quiescent;
+  }
+
+(* Enumerate one round's scheduling decisions: which live pending messages
+   to drop (within the remaining drop bound), which of the kept ones to
+   duplicate (within the dup bound; the copy stays pooled for a later
+   round), and — per correct recipient — every delivery order of the kept
+   messages. Fault subsets are enumerated in ascending size with the empty
+   choice first, so under a tight budget the no-fault schedules are
+   explored before any faulty ones. Messages to crashed processes are
+   irrelevant and are appended in arrival order. Returns [None] when
+   nothing is pending. Shared by the exhaustive DFS and the swarm walkers
+   (fan-out telemetry stays with the caller).
+
+   With [por = Sleep], each destination's order list is first reduced to
+   trial-outcome representatives: a scratch clone of [engine] delivers
+   only that destination's kept batch in the candidate order and runs to
+   the boundary; orders landing on an (engine fingerprint, output
+   history) pair already claimed by an earlier sibling are suppressed and
+   counted in [sleep_hits]. Any boundary-instant timer fire or crash step
+   runs inside the trial (deliveries rank before timers at an instant),
+   so an event that breaks commutation differentiates the trial outcomes
+   and keeps both orders. The child a kept order generates is determined,
+   process-locally, by the per-destination trial classes jointly —
+   delivering a message only steps its destination — so every suppressed
+   combination would have rebuilt an already-generated child state (up to
+   the fingerprint's hash compaction, exactly like [Exact] dedup).
+   [por_pruned] counts the order combinations never multiplied out.
+   Trials are memoized per kept batch, so a batch's orders are trialled
+   once per node even across fault branches that keep it intact. *)
+let round_choices_of ~perm_limit ~por ~truncated ~sleep_hits ~por_pruned ~boundary_at
+    engine ~drops_left ~dups_left =
+  if Dsim.Engine.pending_count engine = 0 then None
+  else begin
+    let orders_for_batch ids =
+      if List.length ids <= perm_limit then Combinat.permutations ids
+      else begin
+        truncated := true;
+        [ ids; List.rev ids ]
+      end
+    in
+    let groups, crashed_ids = Dsim.Engine.pending_delivery_groups engine in
+    (* Drop subsets are enumerated over the live ids in global send order —
+       the same order the pre-POR explorer used — so the DFS visits fault
+       branches in an unchanged sequence. *)
+    let live_ids =
+      List.rev
+        (Dsim.Engine.fold_pending engine ~init:[]
+           ~f:(fun acc ~id ~src:_ ~dst ~msg:_ ~sent_at:_ ->
+             if Dsim.Engine.crashed engine dst then acc else id :: acc))
+    in
+    let reduce_orders =
+      match por with
+      | No_por -> fun ~batch:_ orders -> orders
+      | Sleep ->
+          let memo = Hashtbl.create 8 in
+          fun ~batch orders ->
+            (match orders with
+            | [] | [ _ ] -> orders
+            | _ -> (
+                match Hashtbl.find_opt memo batch with
+                | Some reps -> reps
+                | None ->
+                    let seen = Hashtbl.create 8 in
+                    let reps =
+                      List.filter
+                        (fun order ->
+                          let scratch = Dsim.Engine.clone engine in
+                          List.iter
+                            (fun id ->
+                              Dsim.Engine.deliver_pending scratch ~id ~at:boundary_at)
+                            order;
+                          ignore (Dsim.Engine.run ~until:boundary_at scratch);
+                          let key =
+                            (Dsim.Engine.fingerprint scratch, Dsim.Engine.outputs scratch)
+                          in
+                          if Hashtbl.mem seen key then begin
+                            Atomic.incr sleep_hits;
+                            false
+                          end
+                          else begin
+                            Hashtbl.add seen key ();
+                            true
+                          end)
+                        orders
+                    in
+                    Hashtbl.add memo batch reps;
+                    reps))
+    in
+    let choices =
+      List.concat_map
+        (fun drop ->
+          let kept = List.filter (fun id -> not (List.mem id drop)) live_ids in
+          let dup_sets = Combinat.subsets_up_to dups_left kept in
+          let full = ref 1 in
+          let per_dst_orders =
+            List.filter_map
+              (fun (_dst, batch) ->
+                match List.filter (fun id -> not (List.mem id drop)) batch with
+                | [] -> None
+                | kept_batch ->
+                    let orders = orders_for_batch kept_batch in
+                    full := !full * List.length orders;
+                    Some (reduce_orders ~batch:kept_batch orders))
+              groups
+          in
+          let reduced = List.fold_left (fun a o -> a * List.length o) 1 per_dst_orders in
+          if !full > reduced then
+            ignore (Atomic.fetch_and_add por_pruned ((!full - reduced) * List.length dup_sets));
+          let delivers =
+            List.map
+              (fun combo -> List.concat combo @ crashed_ids)
+              (Combinat.cartesian per_dst_orders)
+          in
+          List.concat_map
+            (fun dup -> List.map (fun deliver -> { drop; dup; deliver }) delivers)
+            dup_sets)
+        (Combinat.subsets_up_to drops_left live_ids)
+    in
+    Some choices
+  end
+
 let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
     ?(crashes = []) ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true)
     ?(mode = (`Snapshot : mode)) ?(domains = 1) ?(clamp_domains = true) ?eval_counter
-    ?(faults = no_faults) ?(dedup = Off) ?(metrics = Metrics.disabled) ~check () =
+    ?(faults = no_faults) ?(dedup = Off) ?(por = No_por) ?stateset_capacity
+    ?(metrics = Metrics.disabled) ~check () =
   if faults.max_drops < 0 || faults.max_dups < 0 then
     invalid_arg "Explore.synchronous: fault bounds must be non-negative";
   (* Scheduling telemetry. These are observability-only: nothing below
@@ -244,6 +403,18 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
      prunes — equal the edge count of the deduplicated state graph no
      matter how domains interleave. *)
   let symmetry = dedup = Symmetry in
+  if por = Sleep && not (Dsim.Engine.has_fingerprint (fresh ())) then
+    invalid_arg
+      "Explore.synchronous: POR requires the automaton to supply state_fingerprint";
+  (* Pre-size the visited set so a full-budget exploration never resizes
+     mid-search: every evaluated run inserts at most a handful of interior
+     nodes beyond its leaf, so 2x the run budget is a comfortable ceiling
+     (capped — capacity is performance-only, the set still grows). *)
+  let capacity =
+    match stateset_capacity with
+    | Some c -> c
+    | None -> min (1 lsl 22) (Stateset.recommended_capacity ~expected:(2 * budget))
+  in
   let visited =
     match dedup with
     | Off -> None
@@ -251,11 +422,13 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
         if not (Dsim.Engine.has_fingerprint (fresh ())) then
           invalid_arg
             "Explore.synchronous: dedup requires the automaton to supply state_fingerprint";
-        Some (Stateset.create ~capacity:4096 ~metrics ())
+        Some (Stateset.create ~capacity ~metrics ())
   in
   let distinct_total = Atomic.make 0 in
   let hits_total = Atomic.make 0 in
   let pruned_total = Atomic.make 0 in
+  let sleep_total = Atomic.make 0 in
+  let por_pruned_total = Atomic.make 0 in
   (* [true] = first arrival (or dedup off): expand this node. The round
      number is mixed into the key so a quiescent engine reached at two
      different depths cannot alias (its clock may not have advanced). *)
@@ -312,83 +485,15 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
           Atomic.incr evals_total;
           Atomic.incr c
   in
-  let outcome_of engine =
-    let trace = Dsim.Engine.trace engine in
-    let dropped, duplicated = Dsim.Engine.fault_counts engine in
-    {
-      Scenario.decisions = Dsim.Engine.outputs engine;
-      proposals = Dsim.Trace.inputs trace;
-      crashes = Dsim.Trace.crashes trace;
-      n;
-      horizon = Dsim.Engine.now engine;
-      messages = Dsim.Trace.message_count trace;
-      dropped;
-      duplicated;
-      latencies = Dsim.Engine.decision_latencies engine;
-      engine_result = Dsim.Engine.Quiescent;
-    }
-  in
-  (* Enumerate one round's scheduling decisions: which live pending
-     messages to drop (within the remaining drop bound), which of the kept
-     ones to duplicate (within the dup bound; the copy stays pooled for a
-     later round), and — per correct recipient — every delivery order of
-     the kept messages. Fault subsets are enumerated in ascending size
-     with the empty choice first, so under a tight budget the no-fault
-     schedules are explored before any faulty ones. Messages to crashed
-     processes are irrelevant and are appended in arrival order. Returns
-     [None] when nothing is pending. *)
-  let round_choices ~truncated engine ~drops_left ~dups_left =
-    if Dsim.Engine.pending_count engine = 0 then None
-    else begin
-      let orders_for_batch ids =
-        if List.length ids <= perm_limit then Combinat.permutations ids
-        else begin
-          truncated := true;
-          [ ids; List.rev ids ]
-        end
-      in
-      (* One fold over the pool (send order) partitions ids by recipient
-         liveness and records each live id's destination — no pending-record
-         list is materialised. *)
-      let tbl = Hashtbl.create 16 in
-      let live_rev, crashed_rev =
-        Dsim.Engine.fold_pending engine ~init:([], [])
-          ~f:(fun (live, dead) ~id ~src:_ ~dst ~msg:_ ~sent_at:_ ->
-            if Dsim.Engine.crashed engine dst then (live, id :: dead)
-            else begin
-              Hashtbl.replace tbl id dst;
-              (id :: live, dead)
-            end)
-      in
-      let live_ids = List.rev live_rev in
-      let crashed_ids = List.rev crashed_rev in
-      let dst_of id = Hashtbl.find tbl id in
-      let choices =
-        List.concat_map
-          (fun drop ->
-            let kept = List.filter (fun id -> not (List.mem id drop)) live_ids in
-            let dup_sets = Combinat.subsets_up_to dups_left kept in
-            let dsts = List.sort_uniq Pid.compare (List.map dst_of kept) in
-            let per_dst_orders =
-              List.map
-                (fun dst ->
-                  orders_for_batch
-                    (List.filter (fun id -> Pid.equal (dst_of id) dst) kept))
-                dsts
-            in
-            let delivers =
-              List.map
-                (fun combo -> List.concat combo @ crashed_ids)
-                (Combinat.cartesian per_dst_orders)
-            in
-            List.concat_map
-              (fun dup -> List.map (fun deliver -> { drop; dup; deliver }) delivers)
-              dup_sets)
-          (Combinat.subsets_up_to drops_left live_ids)
-      in
-      record_fanout (List.length choices);
-      Some choices
-    end
+  let outcome_of engine = outcome_of ~n engine in
+  let round_choices ~truncated engine ~round ~drops_left ~dups_left =
+    let r =
+      round_choices_of ~perm_limit ~por ~truncated ~sleep_hits:sleep_total
+        ~por_pruned:por_pruned_total ~boundary_at:(boundary round) engine ~drops_left
+        ~dups_left
+    in
+    (match r with Some choices -> record_fanout (List.length choices) | None -> ());
+    r
   in
   (* Sequential DFS over the subtree below [node], evaluating runs against
      tokens obtained through [lease] (0 = denied). The traversal order —
@@ -458,7 +563,7 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
         if checked || check_visited engine round then begin
           if round > rounds then evaluate engine ~depth:rounds
           else begin
-            match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
+            match round_choices ~truncated:fallback engine ~round ~drops_left ~dups_left with
             | None -> evaluate engine ~depth:(round - 1)
             | Some choices ->
                 let last = List.length choices - 1 in
@@ -536,6 +641,8 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
           distinct_states = Atomic.get distinct_total;
           dedup_hits = Atomic.get hits_total;
           pruned_subtrees = Atomic.get pruned_total;
+          por_pruned = Atomic.get por_pruned_total;
+          sleep_hits = Atomic.get sleep_total;
         };
       sched =
         {
@@ -701,7 +808,7 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
                   } )
             end
             else begin
-              match round_choices ~truncated:fallback engine ~drops_left ~dups_left with
+              match round_choices ~truncated:fallback engine ~round ~drops_left ~dups_left with
               | None -> inline ~checked:true ()
               | Some combos ->
                 (* Workers clone the (now quiescent, shared) parent engine
@@ -917,9 +1024,191 @@ let synchronous_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals
   end
 
 let synchronous protocol ~n ~e ~f ~delta ~proposals ?crashes ~rounds ?budget ?perm_limit
-    ?disable_timers ?mode ?domains ?clamp_domains ?eval_counter ?faults ?dedup ?metrics
-    ~check () =
+    ?disable_timers ?mode ?domains ?clamp_domains ?eval_counter ?faults ?dedup ?por
+    ?stateset_capacity ?metrics ~check () =
   fst
     (synchronous_report protocol ~n ~e ~f ~delta ~proposals ?crashes ~rounds ?budget
        ?perm_limit ?disable_timers ?mode ?domains ?clamp_domains ?eval_counter ?faults
-       ?dedup ?metrics ~check ())
+       ?dedup ?por ?stateset_capacity ?metrics ~check ())
+
+module Swarm_report = struct
+  type t = {
+    walkers : int;
+    runs : int;
+    violations : int;
+    distinct_states : int;
+    dedup_hits : int;
+    sleep_hits : int;
+    por_pruned : int;
+    fallback : bool;
+  }
+
+  let distinct_states_per_sec t ~wall_s =
+    if wall_s <= 0. then 0. else float_of_int t.distinct_states /. wall_s
+
+  let pp fmt t =
+    Format.fprintf fmt
+      "@[<v>swarm: walkers %d, runs %d, violations %d@,\
+       coverage: distinct states %d, revisits %d@,\
+       por: pruned %d, sleep hits %d, perm-limit fallback %b@]"
+      t.walkers t.runs t.violations t.distinct_states t.dedup_hits t.por_pruned
+      t.sleep_hits t.fallback
+end
+
+(* Randomized swarm search: [walkers] seeded random walkers, each
+   descending the schedule tree from the root by picking uniformly among
+   the (POR-reduced) choices at every boundary, sharing one visited set —
+   used to *count* coverage, never to prune, so every walk completes —
+   and one budget pool of run tokens. Walker [w]'s trajectory depends
+   only on [(seed, w)] and its fixed share of the budget
+   (ceil-division), so the whole report is deterministic for a given
+   configuration regardless of how the domains schedule the walkers. *)
+let swarm_report (module P : Proto.Protocol.S) ~n ~e ~f ~delta ~proposals ?(crashes = [])
+    ~rounds ?(budget = 20_000) ?(perm_limit = 4) ?(disable_timers = true) ?(walkers = 4)
+    ?(seed = 0) ?domains ?(clamp_domains = true) ?(faults = no_faults) ?(por = Sleep)
+    ?stateset_capacity ?(metrics = Metrics.disabled) ~check () =
+  if faults.max_drops < 0 || faults.max_dups < 0 then
+    invalid_arg "Explore.swarm: fault bounds must be non-negative";
+  if walkers <= 0 then invalid_arg "Explore.swarm: walkers must be positive";
+  let fresh () =
+    let automaton = P.make ~n ~e ~f ~delta in
+    Dsim.Engine.create ~automaton ~n ~network:Dsim.Network.Manual ~seed:0
+      ~disable_timers ~record_trace:true ~inputs:proposals ~crashes ()
+  in
+  if not (Dsim.Engine.has_fingerprint (fresh ())) then
+    invalid_arg "Explore.swarm: swarm search requires the automaton to supply state_fingerprint";
+  (* Each walk inserts at most [rounds + 1] keys. *)
+  let capacity =
+    match stateset_capacity with
+    | Some c -> c
+    | None ->
+        min (1 lsl 22) (Stateset.recommended_capacity ~expected:((rounds + 1) * budget))
+  in
+  let visited = Stateset.create ~capacity ~metrics () in
+  let distinct_total = Atomic.make 0 in
+  let hits_total = Atomic.make 0 in
+  let sleep_total = Atomic.make 0 in
+  let por_pruned_total = Atomic.make 0 in
+  let fallback_any = Atomic.make false in
+  let visit engine round =
+    let key = Fingerprint.mix (Dsim.Engine.fingerprint engine) (Fingerprint.int round) in
+    if Stateset.add visited key then Atomic.incr distinct_total
+    else Atomic.incr hits_total
+  in
+  let boundary round = round * delta in
+  let advance engine round = ignore (Dsim.Engine.run ~until:(boundary round - 1) engine) in
+  let apply_choice engine round { drop; dup; deliver } =
+    List.iter (fun id -> Dsim.Engine.drop_pending engine ~id) drop;
+    List.iter (fun id -> ignore (Dsim.Engine.duplicate_pending engine ~id : int)) dup;
+    List.iter
+      (fun id -> Dsim.Engine.deliver_pending engine ~id ~at:(boundary round))
+      deliver;
+    ignore (Dsim.Engine.run ~until:(boundary round) engine)
+  in
+  let root =
+    let engine = fresh () in
+    advance engine 1;
+    engine
+  in
+  (* One random descent; visits count coverage at every node, including
+     the terminal one, mirroring the exhaustive explorer's per-node
+     visited check so the two [distinct_states] figures are comparable. *)
+  let walk_one rng =
+    let engine = Dsim.Engine.clone root in
+    let truncated = ref false in
+    let rec go round ~drops_left ~dups_left =
+      visit engine round;
+      if round <= rounds then begin
+        match
+          round_choices_of ~perm_limit ~por ~truncated ~sleep_hits:sleep_total
+            ~por_pruned:por_pruned_total ~boundary_at:(boundary round) engine ~drops_left
+            ~dups_left
+        with
+        | None -> ()
+        | Some choices ->
+            let choice = Stdext.Rng.pick rng choices in
+            apply_choice engine round choice;
+            advance engine (round + 1);
+            go (round + 1)
+              ~drops_left:(drops_left - List.length choice.drop)
+              ~dups_left:(dups_left - List.length choice.dup)
+      end
+    in
+    go 1 ~drops_left:faults.max_drops ~dups_left:faults.max_dups;
+    if !truncated then Atomic.set fallback_any true;
+    outcome_of ~n engine
+  in
+  let bpool = Budget.create budget in
+  (* Fixed ceil-division share per walker: the shared pool still caps the
+     global total, but no walker can hoard another's share, so
+     trajectories — hence all the coverage counters — do not depend on
+     domain scheduling. *)
+  let quota w = (budget / walkers) + (if w < budget mod walkers then 1 else 0) in
+  let walker w =
+    let rng = Stdext.Rng.stream ~seed w in
+    let q = quota w in
+    let runs = ref 0 in
+    let violations = ref 0 in
+    let first = ref None in
+    let tokens = ref 0 in
+    let have_token () =
+      !tokens > 0
+      ||
+      let g = Budget.lease bpool (max 1 (min 64 (q - !runs))) in
+      tokens := g;
+      g > 0
+    in
+    while !runs < q && have_token () do
+      tokens := !tokens - 1;
+      let outcome = walk_one rng in
+      incr runs;
+      if not (check outcome) then begin
+        incr violations;
+        if !first = None then first := Some outcome
+      end
+    done;
+    if !tokens > 0 then Budget.refund bpool !tokens;
+    (!runs, !violations, !first)
+  in
+  let domains =
+    let d = match domains with Some d -> d | None -> walkers in
+    if clamp_domains then min d (max 1 (Domain.recommended_domain_count ())) else d
+  in
+  let results =
+    if domains <= 1 then List.init walkers walker
+    else
+      Pool.run ~domains (fun pool ->
+          let promises =
+            List.map (fun w -> Pool.submit pool (fun () -> walker w)) (List.init walkers Fun.id)
+          in
+          List.map (fun p -> Pool.await_helping pool p) promises)
+  in
+  let runs = List.fold_left (fun a (r, _, _) -> a + r) 0 results in
+  let violations = List.fold_left (fun a (_, v, _) -> a + v) 0 results in
+  let first =
+    List.fold_left
+      (fun acc (_, _, fv) -> match acc with Some _ -> acc | None -> fv)
+      None results
+  in
+  (* A swarm run is a sample of the schedule tree, never an exhaustive
+     search, so the result is always reported as truncated. *)
+  let res = { explored = runs; violations; first_violation = first; truncated = true } in
+  ( res,
+    {
+      Swarm_report.walkers;
+      runs;
+      violations;
+      distinct_states = Atomic.get distinct_total;
+      dedup_hits = Atomic.get hits_total;
+      sleep_hits = Atomic.get sleep_total;
+      por_pruned = Atomic.get por_pruned_total;
+      fallback = Atomic.get fallback_any;
+    } )
+
+let swarm protocol ~n ~e ~f ~delta ~proposals ?crashes ~rounds ?budget ?perm_limit
+    ?disable_timers ?walkers ?seed ?domains ?clamp_domains ?faults ?por
+    ?stateset_capacity ?metrics ~check () =
+  fst
+    (swarm_report protocol ~n ~e ~f ~delta ~proposals ?crashes ~rounds ?budget ?perm_limit
+       ?disable_timers ?walkers ?seed ?domains ?clamp_domains ?faults ?por
+       ?stateset_capacity ?metrics ~check ())

@@ -102,6 +102,14 @@ module Run_report : sig
     dedup_hits : int;  (** arrivals at an already-visited state *)
     pruned_subtrees : int;
         (** dedup hits at interior nodes — each cut a whole subtree *)
+    por_pruned : int;
+        (** children never generated because every path to them was a
+            commuted recombination of kept delivery orders (0 with POR
+            off). Each unit is a whole subtree the search never entered —
+            pruning {e before} expansion, where dedup prunes after. *)
+    sleep_hits : int;
+        (** per-destination delivery orders suppressed by the sleep set —
+            the trial-equivalence classes behind [por_pruned] *)
   }
 
   type sched = {
@@ -151,6 +159,25 @@ type mode = [ `Replay | `Snapshot ]
     do); [Invalid_argument] otherwise. *)
 type dedup = Off | Exact | Symmetry
 
+(** Partial-order reduction policy: [No_por] (the default) enumerates
+    every delivery-order combination; [Sleep] prunes commuting orders
+    {e before} expansion. At a round boundary, deliveries to distinct
+    destinations commute structurally (a delivery only steps its
+    destination process — the independence relation is read off
+    {!Dsim.Engine.pending_delivery_groups}, with no per-protocol
+    knowledge), and within one destination's batch, each candidate order
+    is trial-run against a scratch clone; orders reaching the (engine
+    fingerprint, output history) of an earlier sibling order join the
+    sleep set and are never expanded. Timer fires, crashes and fault
+    branches execute inside the trial context, so an intervening event
+    that breaks commutation differentiates the trials and defeats the
+    pruning — never the verdict. Composes with [dedup] (POR prunes
+    first, the visited set catches cross-branch convergence), [faults]
+    and [domains]. Sound up to the same 62-bit hash-compaction caveat as
+    [Exact] dedup; requires a [state_fingerprint] hook
+    ([Invalid_argument] otherwise). *)
+type por = No_por | Sleep
+
 type fault_bounds = { max_drops : int; max_dups : int }
 (** Bounds on the fault choices the explorer may enumerate per run: the
     adversary may lose at most [max_drops] messages and duplicate at most
@@ -179,6 +206,8 @@ val synchronous :
   ?eval_counter:int Atomic.t ->
   ?faults:fault_bounds ->
   ?dedup:dedup ->
+  ?por:por ->
+  ?stateset_capacity:int ->
   ?metrics:Stdext.Metrics.t ->
   check:(Scenario.outcome -> bool) ->
   unit ->
@@ -186,9 +215,21 @@ val synchronous :
 (** [check] returns [false] on a violating run. [budget] defaults to 20_000
     runs, [perm_limit] to 4, [disable_timers] to [true], [mode] to
     [`Snapshot], [domains] to 1 (sequential), [faults] to {!no_faults},
-    [dedup] to {!Off}. [metrics] (default disabled) receives the visited
+    [dedup] to {!Off}, [por] to {!No_por}. [stateset_capacity] overrides
+    the visited set's initial slot count, which otherwise is pre-sized
+    from [budget] ({!Stdext.Stateset.recommended_capacity} on twice the
+    run budget, capped) so a full-budget dedup exploration never pays a
+    resize stall. [metrics] (default disabled) receives the visited
     set's [stateset.*] counters; the [explore.*] report metrics are still
     recorded separately via {!Run_report.record}.
+
+    With [por = Sleep] the explored tree is a sub-tree of the [No_por]
+    one with the same reachable verdicts: violation/no-violation and the
+    {e existence} of a first violation are preserved (the particular
+    witness may differ, as with [dedup]), while [explored] shrinks by the
+    number of commuted order combinations ([totals.por_pruned]). The
+    [totals] byte-identity contract extends to the POR counters for
+    explorations that complete within budget.
 
     With non-zero [faults] bounds, each round boundary additionally
     branches on which pending messages are dropped and which are
@@ -233,6 +274,8 @@ val synchronous_report :
   ?eval_counter:int Atomic.t ->
   ?faults:fault_bounds ->
   ?dedup:dedup ->
+  ?por:por ->
+  ?stateset_capacity:int ->
   ?metrics:Stdext.Metrics.t ->
   check:(Scenario.outcome -> bool) ->
   unit ->
@@ -241,3 +284,93 @@ val synchronous_report :
     [result]; the report's [totals] agree with [result] and are
     mode/domain/scheduling-independent, while [sched] describes this
     execution. [synchronous] is [fst] of this function. *)
+
+(** Coverage account of one {!swarm_report} run. Deterministic for a
+    given configuration — each walker's trajectory depends only on
+    [(seed, walker index)] and its fixed budget share — regardless of
+    domain count or scheduling. *)
+module Swarm_report : sig
+  type t = {
+    walkers : int;
+    runs : int;  (** complete random walks evaluated (= budget when > 0) *)
+    violations : int;
+    distinct_states : int;
+        (** distinct (state, round) pairs covered across all walkers —
+            the headline coverage figure; divide by wall time for
+            distinct-states/sec *)
+    dedup_hits : int;  (** node arrivals at an already-covered state *)
+    sleep_hits : int;  (** as in {!Run_report.totals.sleep_hits} *)
+    por_pruned : int;
+        (** order combinations removed from the walkers' choice menus *)
+    fallback : bool;  (** perm-limit fallback hit on some boundary *)
+  }
+
+  val distinct_states_per_sec : t -> wall_s:float -> float
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val swarm :
+  Proto.Protocol.t ->
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  proposals:(Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list ->
+  ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
+  rounds:int ->
+  ?budget:int ->
+  ?perm_limit:int ->
+  ?disable_timers:bool ->
+  ?walkers:int ->
+  ?seed:int ->
+  ?domains:int ->
+  ?clamp_domains:bool ->
+  ?faults:fault_bounds ->
+  ?por:por ->
+  ?stateset_capacity:int ->
+  ?metrics:Stdext.Metrics.t ->
+  check:(Scenario.outcome -> bool) ->
+  unit ->
+  result
+(** Randomized swarm search for configurations beyond exhaustive reach
+    (n ≥ 8): [walkers] (default 4) seeded walkers each perform random
+    root-to-leaf descents of the schedule tree, picking uniformly among
+    the POR-reduced choices ([por] defaults to {!Sleep}) at every round
+    boundary, until the shared [budget] of complete runs is spent. All
+    walkers share one {!Stdext.Stateset} — used to {e count} coverage
+    (distinct (state, round) pairs, comparable with the exhaustive
+    explorer's [distinct_states]), never to prune — and one budget lease
+    pool, split in fixed ceil-division shares so trajectories are
+    scheduling-independent. Walker [w] draws from
+    [Stdext.Rng.stream ~seed w], so the whole run is reproducible from
+    [seed] alone. [domains] defaults to [walkers] (clamped like
+    {!synchronous}). The result is always [truncated] — a swarm run is a
+    sample, not a proof; a clean sweep raises confidence, a violation is
+    a genuine witness. *)
+
+val swarm_report :
+  Proto.Protocol.t ->
+  n:int ->
+  e:int ->
+  f:int ->
+  delta:int ->
+  proposals:(Dsim.Time.t * Dsim.Pid.t * Proto.Value.t) list ->
+  ?crashes:(Dsim.Time.t * Dsim.Pid.t) list ->
+  rounds:int ->
+  ?budget:int ->
+  ?perm_limit:int ->
+  ?disable_timers:bool ->
+  ?walkers:int ->
+  ?seed:int ->
+  ?domains:int ->
+  ?clamp_domains:bool ->
+  ?faults:fault_bounds ->
+  ?por:por ->
+  ?stateset_capacity:int ->
+  ?metrics:Stdext.Metrics.t ->
+  check:(Scenario.outcome -> bool) ->
+  unit ->
+  result * Swarm_report.t
+(** {!swarm} plus the coverage report. [swarm] is [fst] of this
+    function. *)

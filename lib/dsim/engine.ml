@@ -492,6 +492,31 @@ let pending t =
     (fold_pending t ~init:[] ~f:(fun acc ~id ~src ~dst ~msg ~sent_at ->
          { id; src; dst; msg; sent_at } :: acc))
 
+(* Commutativity metadata for the explorer's partial-order reduction: the
+   live pool bucketed by destination. A delivery only ever steps its
+   destination process (messages sent during the step land back in the
+   pool, not in the same instant), so deliveries in distinct groups
+   commute; order within a group is the recipient's observable arrival
+   order and stays send-ordered here. Ids to crashed destinations are
+   split off — delivering them is a no-op, so they belong to no
+   commutation class. *)
+let pending_delivery_groups t =
+  let slots = live_slots_in_send_order t in
+  let groups = Array.make t.n [] in
+  let crashed_rev = ref [] in
+  Array.iter
+    (fun packed ->
+      let s = packed land (pd_slot_limit - 1) in
+      let dst = t.pd_dst.(s) in
+      if t.crashed_flags.(dst) then crashed_rev := s :: !crashed_rev
+      else groups.(dst) <- s :: groups.(dst))
+    slots;
+  let live = ref [] in
+  for d = t.n - 1 downto 0 do
+    match groups.(d) with [] -> () | rev -> live := (d, List.rev rev) :: !live
+  done;
+  (!live, List.rev !crashed_rev)
+
 (* -- sending ------------------------------------------------------------ *)
 
 let send t ~src ~dst msg =

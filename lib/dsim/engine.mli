@@ -209,6 +209,21 @@ val fold_pending :
 (** Fold over undelivered sends in send order; same contract as
     {!iter_pending}. *)
 
+val pending_delivery_groups :
+  ('state, 'msg, 'input, 'output) t -> (Pid.t * int list) list * int list
+(** The live pending pool bucketed by destination, plus the ids addressed
+    to crashed processes: [(groups, crashed)] where [groups] lists
+    [(dst, ids)] for every non-crashed destination with at least one
+    undelivered send (destinations ascending, ids in send order within
+    each group) and [crashed] holds the remaining ids in send order.
+    This is the commutativity metadata for partial-order reduction:
+    delivering a message only ever steps its destination process, so
+    same-instant deliveries in distinct groups commute, while the order
+    within a group is the recipient's observable arrival order.
+    Delivering to a crashed process is a no-op, so [crashed] ids belong
+    to no commutation class. Ids obey the {!drop_pending} lifetime
+    caveat: valid only until the next pool mutation. *)
+
 val deliver_pending : ('state, 'msg, 'input, 'output) t -> id:int -> at:Time.t -> unit
 (** Schedule pending message [id] for delivery at [at] (must be [>= now]).
     Raises [Not_found] for unknown ids. *)

@@ -19,6 +19,14 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed i] is the [i]th generator in a family of independent
+    streams derived from one master [seed]: equal [(seed, i)] pairs give
+    equal streams, distinct indices give decorrelated ones. O(1) and
+    side-effect free (no parent generator to advance), so parallel
+    workers — e.g. the explorer's swarm walkers — can each derive their
+    own stream from their index without coordinating. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

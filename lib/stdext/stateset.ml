@@ -41,6 +41,11 @@ let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
 
 let make_table size = Array.init size (fun _ -> Atomic.make empty_slot)
 
+(* [create]'s capacity that absorbs [expected] keys with no resize: tables
+   grow at 3/4 load, so ask for a third more slots than keys and let
+   [create]'s per-shard power-of-two rounding only ever round up. *)
+let recommended_capacity ~expected = max 1024 ((max 0 expected * 4 / 3) + 1)
+
 let create ?(shards = 16) ?(capacity = 1024) ?(metrics = Metrics.disabled) () =
   let nshards = pow2_at_least (max 1 shards) 1 in
   let per_shard = pow2_at_least (max 4 (capacity / nshards)) 4 in

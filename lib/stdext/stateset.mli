@@ -38,6 +38,13 @@ val create : ?shards:int -> ?capacity:int -> ?metrics:Metrics.t -> unit -> t
     [stateset.misses], [stateset.collisions] and [stateset.resizes]
     counters. *)
 
+val recommended_capacity : expected:int -> int
+(** A [capacity] for {!create} that absorbs [expected] distinct keys
+    without triggering a single resize (tables double at 3/4 load; the
+    per-shard power-of-two rounding in [create] only rounds up). Use it to
+    pre-size a visited set from a search budget instead of paying resize
+    stalls mid-exploration. *)
+
 val add : t -> int64 -> bool
 (** Insert a fingerprint. [true] = newly added (this caller won the
     insertion race), [false] = already present. Lock-free except while the

@@ -537,6 +537,216 @@ let test_explore_dedup_totals_identical () =
         ])
     [ ("exact", Explore.Exact); ("symmetry", Explore.Symmetry) ]
 
+(* -- por: sleep-set partial-order reduction soundness ------------------- *)
+
+let test_explore_por_prunes_and_agrees () =
+  (* n = 6 at the task bound, dedup off so the reduction is measured on its
+     own: sleep-set POR must suppress commuting per-destination delivery
+     orders (sleep_hits > 0, por_pruned > 0), evaluate at most half the
+     schedules of the unreduced search, and reach the same verdict. *)
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go por =
+    Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3
+      ~budget:1_000_000 ~por
+      ~check:(fun o -> Safety.safe o)
+      ()
+  in
+  let off, _ = go Explore.No_por in
+  let red, rr = go Explore.Sleep in
+  let t = rr.Explore.Run_report.totals in
+  Alcotest.(check int) "same verdict" off.Explore.violations red.Explore.violations;
+  Alcotest.(check bool) "sleep hits counted" true (t.Explore.Run_report.sleep_hits > 0);
+  Alcotest.(check bool) "orders pruned" true (t.Explore.Run_report.por_pruned > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "at most half the schedules (%d vs %d)" red.Explore.explored
+       off.Explore.explored)
+    true
+    (red.Explore.explored * 2 <= off.Explore.explored)
+
+(* Soundness property: with an ample budget, [Sleep] POR reaches the same
+   verdict as [No_por] and preserves first-violation existence, across
+   protocols, configurations, seeds and explored fault bounds. The witness
+   schedule itself may differ (POR keeps one representative per commuting
+   class), so only its existence is compared. *)
+let explore_por_sound_property =
+  QCheck.Test.make ~name:"explore: POR preserves verdict and violation existence"
+    ~count:12
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let pick l k = List.nth l (seed / k mod List.length l) in
+      let protocol = pick [ Core.Rgs.task; Core.Rgs.obj ] 1 in
+      let n, e, f = pick [ (3, 1, 1); (4, 1, 1) ] 2 in
+      let rounds = pick [ 2; 3 ] 4 in
+      let values = pick [ List.init n (fun i -> n - i); List.init n (fun _ -> 5) ] 8 in
+      let faults =
+        pick
+          [ Explore.no_faults;
+            { Explore.max_drops = 1; max_dups = 0 };
+            { Explore.max_drops = 0; max_dups = 1 };
+          ]
+          16
+      in
+      let check =
+        pick
+          [ (fun o -> Safety.safe o); (fun o -> Scenario.decided_value o 0 = None) ]
+          48
+      in
+      let proposals = Scenario.all_proposals_at_zero ~n values in
+      let go por =
+        Explore.synchronous protocol ~n ~e ~f ~delta ~proposals ~rounds
+          ~budget:1_000_000 ~faults ~por ~check ()
+      in
+      let off = go Explore.No_por in
+      let red = go Explore.Sleep in
+      (off.Explore.violations > 0) = (red.Explore.violations > 0)
+      && (off.Explore.first_violation <> None) = (red.Explore.first_violation <> None)
+      && off.Explore.truncated = red.Explore.truncated)
+
+let test_explore_por_timer_between_deliveries () =
+  (* A timer firing between deliveries is NOT treated as commuting: trial
+     execution re-runs the boundary timers inside every candidate order,
+     so two orders only collapse when the full engine state — including
+     timer effects — coincides. With timers enabled and a mid-run crash
+     (the T3-flavoured configuration) the unreduced tree exceeds 10^6
+     schedules, so the Off side runs with a bounded budget; the Sleep side
+     must complete the SAME tree exhaustively (truncated = false) — the
+     sharpest form of the soundness claim: nothing the reduction kept was
+     cut by budget, yet verdict and violation existence match the
+     unreduced sample. *)
+  let n = 3 and e = 1 and f = 1 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 0; 1; 2 ] in
+  let go ~budget por check =
+    Explore.synchronous Core.Rgs.task ~n ~e ~f ~delta ~proposals
+      ~crashes:[ ((2 * delta) + 1, 2) ]
+      ~rounds:3 ~disable_timers:false ~budget ~por ~check ()
+  in
+  let safe o = Safety.safe o in
+  let off = go ~budget:20_000 Explore.No_por safe in
+  let red = go ~budget:1_000_000 Explore.Sleep safe in
+  Alcotest.(check bool) "unreduced tree is timer-inflated" true off.Explore.truncated;
+  Alcotest.(check bool) "reduced search exhaustive" true (not red.Explore.truncated);
+  Alcotest.(check bool) "reduced search non-trivial" true (red.Explore.explored > 1_000);
+  Alcotest.(check int) "clean verdict preserved" off.Explore.violations
+    red.Explore.violations;
+  (* A property violated on every run that decides p0: the reduction must
+     keep (timer-distinguished) violating schedules — every surviving run
+     still violates, and a witness exists. *)
+  let p0_undecided o = Scenario.decided_value o 0 = None in
+  let off_v = go ~budget:20_000 Explore.No_por p0_undecided in
+  let red_v = go ~budget:1_000_000 Explore.Sleep p0_undecided in
+  Alcotest.(check bool) "violations found without POR" true (off_v.Explore.violations > 0);
+  Alcotest.(check int) "every kept run still violates" red_v.Explore.explored
+    red_v.Explore.violations;
+  Alcotest.(check bool) "witness existence preserved" true
+    (red_v.Explore.first_violation <> None)
+
+let test_explore_por_totals_identical () =
+  (* The byte-identical-totals contract extended to POR: for a fixed
+     (dedup, por) pair, all strategy combinations (Replay / Snapshot x
+     sequential / parallel) must report the same totals — including the
+     new por_pruned / sleep_hits counters, which stay deterministic
+     because trial classification depends only on engine state, never on
+     scheduling. Budget ample: scoped to within-budget explorations. *)
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go ~mode ~domains dedup =
+    snd
+      (Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3
+         ~budget:1_000_000 ~mode ~domains ~clamp_domains:false ~dedup ~por:Explore.Sleep
+         ~check:(fun o -> Scenario.decided_value o 0 = None)
+         ())
+  in
+  List.iter
+    (fun (name, dedup) ->
+      let base = go ~mode:`Snapshot ~domains:1 dedup in
+      Alcotest.(check bool)
+        (name ^ ": POR active") true
+        (base.Explore.Run_report.totals.sleep_hits > 0
+        || base.Explore.Run_report.totals.por_pruned > 0);
+      List.iter
+        (fun (label, mode, domains) ->
+          let r = go ~mode ~domains dedup in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: totals byte-identical" name label)
+            true
+            (base.Explore.Run_report.totals = r.Explore.Run_report.totals))
+        [
+          ("replay seq", `Replay, 1);
+          ("snapshot par", `Snapshot, 4);
+          ("replay par", `Replay, 3);
+        ])
+    [ ("por only", Explore.Off); ("por + exact dedup", Explore.Exact) ]
+
+(* -- swarm: seeded randomized walkers ----------------------------------- *)
+
+let test_swarm_deterministic () =
+  (* The swarm contract: walker trajectories depend only on (seed, walker
+     index) and fixed budget shares, so the full Swarm_report — runs,
+     coverage, POR counters — is byte-identical across repeated calls and
+     across domain counts. *)
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  let go ~domains =
+    Explore.swarm_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3
+      ~budget:300 ~walkers:4 ~seed:11 ~domains ~clamp_domains:false
+      ~check:(fun o -> Safety.safe o)
+      ()
+  in
+  let r1, s1 = go ~domains:1 in
+  let r2, s2 = go ~domains:1 in
+  let r4, s4 = go ~domains:4 in
+  Alcotest.(check bool) "repeat run identical" true (s1 = s2);
+  Alcotest.(check bool) "domain count irrelevant" true (s1 = s4);
+  Alcotest.(check bool) "results identical too" true (r1 = r2 && r1 = r4);
+  Alcotest.(check int) "runs = budget" 300 s1.Explore.Swarm_report.runs;
+  Alcotest.(check bool) "always a sample, never a proof" true r1.Explore.truncated;
+  Alcotest.(check int) "clean sweep" 0 r1.Explore.violations;
+  Alcotest.(check bool) "coverage counted" true
+    (s1.Explore.Swarm_report.distinct_states > 0)
+
+let test_swarm_coverage_and_violations () =
+  let n = 6 and e = 2 and f = 2 in
+  let proposals = Scenario.all_proposals_at_zero ~n [ 5; 4; 3; 2; 1; 0 ] in
+  (* Coverage is measured in the same (state, round) currency as the
+     exhaustive explorer: a swarm sample can never cover more distinct
+     states than the exhaustive search counts. *)
+  let _, exhaustive =
+    Explore.synchronous_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3
+      ~budget:1_000_000 ~dedup:Explore.Exact
+      ~check:(fun o -> Safety.safe o)
+      ()
+  in
+  let _, s =
+    Explore.swarm_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3 ~budget:200
+      ~walkers:4 ~seed:3
+      ~check:(fun o -> Safety.safe o)
+      ()
+  in
+  let exhaustive_distinct =
+    exhaustive.Explore.Run_report.totals.Explore.Run_report.distinct_states
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "swarm coverage bounded by state graph (%d <= %d)"
+       s.Explore.Swarm_report.distinct_states exhaustive_distinct)
+    true
+    (s.Explore.Swarm_report.distinct_states <= exhaustive_distinct);
+  (* Violation plumbing: a property false everywhere is flagged on every
+     run and yields a witness. *)
+  let r, sv =
+    Explore.swarm_report Core.Rgs.task ~n ~e ~f ~delta ~proposals ~rounds:3 ~budget:50
+      ~walkers:2 ~seed:5
+      ~check:(fun _ -> false)
+      ()
+  in
+  Alcotest.(check int) "every run violates" sv.Explore.Swarm_report.runs
+    r.Explore.violations;
+  Alcotest.(check bool) "witness produced" true (r.Explore.first_violation <> None);
+  (* distinct-states/sec is a plain division. *)
+  Alcotest.(check (float 0.001)) "coverage rate"
+    (float_of_int sv.Explore.Swarm_report.distinct_states /. 2.0)
+    (Explore.Swarm_report.distinct_states_per_sec sv ~wall_s:2.0)
+
 (* -- telemetry: run reports and the fast-path report -------------------- *)
 
 module Report = Checker.Report
@@ -704,6 +914,23 @@ let () =
           Alcotest.test_case "totals identical across strategies" `Quick
             test_explore_dedup_totals_identical;
           QCheck_alcotest.to_alcotest explore_dedup_sound_property;
+        ] );
+      ( "por",
+        [
+          Alcotest.test_case "prunes and agrees at n=6" `Quick
+            test_explore_por_prunes_and_agrees;
+          Alcotest.test_case "timers defeat commutation soundly" `Quick
+            test_explore_por_timer_between_deliveries;
+          Alcotest.test_case "totals identical across strategies" `Quick
+            test_explore_por_totals_identical;
+          QCheck_alcotest.to_alcotest explore_por_sound_property;
+        ] );
+      ( "swarm",
+        [
+          Alcotest.test_case "deterministic across runs and domains" `Quick
+            test_swarm_deterministic;
+          Alcotest.test_case "coverage bounded, violations plumbed" `Quick
+            test_swarm_coverage_and_violations;
         ] );
       ( "telemetry",
         [
